@@ -1,0 +1,198 @@
+// Ablations of ALERT's design choices (DESIGN.md section 5):
+//   1. Global slowdown factor vs per-configuration Kalman filters (Idea 1).
+//   2. Adaptive process noise (capped, Eq. 5) vs the literal-max variant vs mean-only.
+//   3. Idle-power tracking (Eq. 8) vs assuming the nominal platform idle draw.
+//   4. The explicit probabilistic guarantee Pr_th (Eqs. 10-12): violations vs cost.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/alert_scheduler.h"
+#include "src/estimator/kalman.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/experiment.h"
+
+using namespace alert;
+
+namespace {
+
+// Ablation 1 contender: ALERT's selection math, but latency beliefs kept per
+// configuration — each (model, power) pair has its own filter, updated only when that
+// pair executes.  Rarely-used configurations never learn, which is exactly the problem
+// the global factor solves (Section 3.3, challenge 1).
+class PerConfigScheduler final : public Scheduler {
+ public:
+  PerConfigScheduler(const ConfigSpace& space, const Goals& goals)
+      : space_(space), goals_(goals) {}
+
+  SchedulingDecision Decide(const InferenceRequest& request) override {
+    const bool min_energy = goals_.mode == GoalMode::kMinimizeEnergy;
+    int best_ci = 0;
+    int best_pi = space_.default_power_index();
+    double best_objective = min_energy ? 1e300 : -1e300;
+    bool found = false;
+    for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+      for (int pi = 0; pi < space_.num_powers(); ++pi) {
+        const Candidate& c = space_.candidate(ci);
+        const double ratio = RatioFor(c.model_index, pi);
+        const Seconds run_prof = space_.CandidateProfileLatency(c, pi);
+        const Seconds predicted = ratio * run_prof;
+        const double q = space_.CandidateAccuracy(c);
+        const Watts p_inf = space_.InferencePower(c.model_index, pi);
+        const Seconds run = std::min(predicted, request.deadline);
+        const Joules energy =
+            p_inf * run +
+            0.2 * p_inf * std::max(0.0, request.period - run);
+        const bool meets = predicted <= request.deadline;
+        bool feasible = false;
+        double objective = 0.0;
+        if (min_energy) {
+          feasible = meets && q >= goals_.accuracy_goal;
+          objective = energy;
+        } else {
+          feasible = meets && energy <= goals_.energy_budget;
+          objective = q;
+        }
+        if (!feasible) {
+          continue;
+        }
+        const bool better = min_energy ? objective < best_objective
+                                       : objective > best_objective;
+        if (better || !found) {
+          best_ci = ci;
+          best_pi = pi;
+          best_objective = objective;
+          found = true;
+        }
+      }
+    }
+    SchedulingDecision d;
+    d.candidate = space_.candidate(best_ci);
+    d.power_index = best_pi;
+    d.power_cap = space_.cap(best_pi);
+    return d;
+  }
+
+  void Observe(const SchedulingDecision& decision, const Measurement& m) override {
+    const int key = decision.candidate.model_index * 1000 + decision.power_index;
+    auto [it, inserted] = filters_.try_emplace(key, 1.0, 0.1, 1e-3, 1e-3);
+    const Seconds profile =
+        space_.ProfileLatency(decision.candidate.model_index, decision.power_index);
+    it->second.Update(m.xi_anchor_time / (m.xi_anchor_fraction * profile));
+  }
+
+  std::string_view name() const override { return "PerConfigKF"; }
+
+ private:
+  double RatioFor(int model, int power) const {
+    const auto it = filters_.find(model * 1000 + power);
+    return it == filters_.end() ? 1.0 : it->second.state();
+  }
+
+  const ConfigSpace& space_;
+  Goals goals_;
+  std::map<int, KalmanFilter1d> filters_;
+};
+
+void Report(TextTable& table, const char* label, const RunResult& r) {
+  table.AddRow({label, FormatDouble(r.avg_energy, 3), FormatDouble(100.0 * r.avg_accuracy, 2),
+                FormatDouble(100.0 * r.violation_fraction, 1),
+                FormatDouble(100.0 * r.deadline_miss_fraction, 1)});
+}
+
+}  // namespace
+
+int main() {
+  ExperimentOptions options;
+  options.num_inputs = 600;
+  options.seed = 515;
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                options);
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 1.25 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  goals.accuracy_goal = 0.9;
+
+  std::printf("=== Ablations (CPU1, image, Memory contention, minimize energy; deadline "
+              "%.0f ms, accuracy goal 90%%) ===\n\n",
+              ToMillis(goals.deadline));
+
+  // --- 1 & 2: estimator variants. ---
+  TextTable table({"variant", "energy (J)", "accuracy (%)", "violations (%)",
+                   "misses (%)"});
+  {
+    AlertScheduler alert(stack.space(), goals);
+    Report(table, "ALERT (global xi, adaptive Q, variance)", ex.Run(stack, alert, goals));
+  }
+  {
+    AlertOptions o;
+    o.use_variance = false;
+    AlertScheduler star(stack.space(), goals, o);
+    Report(table, "ALERT* (mean only)", ex.Run(stack, star, goals));
+  }
+  {
+    AlertOptions o;
+    o.kalman.literal_max_variant = true;  // Q floored at Q(0): permanently wide belief
+    AlertScheduler wide(stack.space(), goals, o);
+    Report(table, "Eq.5 literal-max Q (always conservative)", ex.Run(stack, wide, goals));
+  }
+  {
+    PerConfigScheduler per_config(stack.space(), goals);
+    Report(table, "per-config Kalman filters (no global xi)",
+           ex.Run(stack, per_config, goals));
+  }
+  {
+    AlertOptions o;
+    o.adapt_idle_power = false;  // assume nominal idle draw forever
+    AlertScheduler no_idle(stack.space(), goals, o);
+    Report(table, "no idle-power tracking (Eq. 8 off)", ex.Run(stack, no_idle, goals));
+  }
+  {
+    AlertOptions o;
+    o.wcet_window = 100;  // plan against the worst slowdown in the last 100 inputs
+    AlertScheduler wcet(stack.space(), goals, o);
+    Report(table, "empirical-WCET window (near-hard guarantees)",
+           ex.Run(stack, wcet, goals));
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // --- Budget pacing (accuracy-maximization extension). ---
+  {
+    Goals err_goals;
+    err_goals.mode = GoalMode::kMaximizeAccuracy;
+    err_goals.deadline = goals.deadline;
+    err_goals.energy_budget = 22.0 * goals.deadline;  // binding power envelope
+    TextTable pace_table({"variant", "energy (J)", "accuracy (%)", "violations (%)",
+                          "misses (%)"});
+    AlertScheduler per_input(stack.space(), err_goals);
+    Report(pace_table, "per-input budget (paper Eq. 4)", ex.Run(stack, per_input, err_goals));
+    AlertOptions paced_options;
+    paced_options.pace_energy_budget = true;
+    AlertScheduler paced(stack.space(), err_goals, paced_options);
+    Report(pace_table, "cumulative pacing (banked surplus)", ex.Run(stack, paced, err_goals));
+    std::printf("--- Energy-budget pacing (minimize error, 22 W envelope) ---\n%s\n",
+                pace_table.Render().c_str());
+  }
+
+  // --- 4: Pr_th sweep (Eqs. 10-12). ---
+  TextTable pr_table({"Pr_th", "energy (J)", "accuracy (%)", "violations (%)",
+                      "misses (%)"});
+  for (double pr_th : {0.0, 0.90, 0.99, 0.999}) {
+    Goals g = goals;
+    g.prob_threshold = pr_th;
+    AlertScheduler s(stack.space(), g);
+    const RunResult r = ex.Run(stack, s, g);
+    pr_table.AddRow({pr_th == 0.0 ? "expectation (default)" : FormatDouble(pr_th, 3),
+                     FormatDouble(r.avg_energy, 3),
+                     FormatDouble(100.0 * r.avg_accuracy, 2),
+                     FormatDouble(100.0 * r.violation_fraction, 1),
+                     FormatDouble(100.0 * r.deadline_miss_fraction, 1)});
+  }
+  std::printf("--- Probabilistic guarantee Pr_th (Eqs. 10-12): tighter guarantees cost "
+              "energy/accuracy ---\n%s",
+              pr_table.Render().c_str());
+  return 0;
+}

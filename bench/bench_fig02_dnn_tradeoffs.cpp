@@ -1,0 +1,81 @@
+// Figure 2: accuracy/latency/energy tradeoffs of the 42 ImageNet classifiers on CPU2.
+//
+// Paper claims reproduced: ~18x latency span, ~7.8x top-5 error span, >20x energy span,
+// and a non-trivial set of networks sitting above the lower convex hull (sub-optimal
+// tradeoffs).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/simulator.h"
+
+using namespace alert;
+
+int main() {
+  const std::vector<DnnModel> zoo = BuildImageNetZoo();
+  const PlatformSpec& cpu2 = GetPlatform(PlatformId::kCpu2);
+  PlatformSimulator sim(cpu2, zoo);
+
+  struct Point {
+    int index;
+    Seconds latency;
+    double error;
+    Joules energy;
+  };
+  std::vector<Point> points;
+  for (int i = 0; i < static_cast<int>(zoo.size()); ++i) {
+    const Seconds lat = sim.NominalLatency(i, cpu2.cap_max);
+    points.push_back(Point{i, lat, 1.0 - zoo[static_cast<size_t>(i)].accuracy,
+                           sim.InferencePower(i, cpu2.cap_max) * lat});
+  }
+
+  // Pareto frontier (lower-left): no other network is both faster and more accurate.
+  auto on_frontier = [&](const Point& p) {
+    for (const Point& q : points) {
+      if (q.index != p.index && q.latency <= p.latency + 1e-12 &&
+          q.error <= p.error + 1e-12) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<Point> sorted = points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Point& a, const Point& b) { return a.latency < b.latency; });
+
+  TextTable table({"network", "latency (s)", "top-5 error (%)", "energy (J)", "frontier"});
+  int frontier_count = 0;
+  for (const Point& p : sorted) {
+    const bool frontier = on_frontier(p);
+    frontier_count += frontier ? 1 : 0;
+    table.AddRow({zoo[static_cast<size_t>(p.index)].name, FormatDouble(p.latency, 3),
+                  FormatDouble(100.0 * p.error, 1), FormatDouble(p.energy, 2),
+                  frontier ? "*" : ""});
+  }
+  std::printf("=== Figure 2: tradeoffs of 42 ImageNet DNNs (CPU2, max power cap) ===\n%s",
+              table.Render().c_str());
+
+  const auto [lat_min, lat_max] = std::minmax_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& b) { return a.latency < b.latency; });
+  const auto [err_min, err_max] = std::minmax_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& b) { return a.error < b.error; });
+  const auto [en_min, en_max] = std::minmax_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& b) { return a.energy < b.energy; });
+
+  std::printf("\nSpans (paper: ~18x latency, ~7.8x error, >20x energy):\n");
+  std::printf("  latency  %.3f - %.3f s   -> %.1fx\n", lat_min->latency, lat_max->latency,
+              lat_max->latency / lat_min->latency);
+  std::printf("  error    %.1f - %.1f %%    -> %.1fx\n", 100.0 * err_min->error,
+              100.0 * err_max->error, err_max->error / err_min->error);
+  std::printf("  energy   %.2f - %.2f J   -> %.1fx\n", en_min->energy, en_max->energy,
+              en_max->energy / en_min->energy);
+  std::printf("  %d of 42 networks on the latency/error frontier; %d dominated\n",
+              frontier_count, 42 - frontier_count);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figures 4 and 5: per-input inference latency variance across tasks and platforms,
+// without (Fig. 4) and with (Fig. 5) co-located jobs.
+//
+// One boxplot per (task, platform): whiskers at p10/p90, box at p25/p75, line at the
+// median — exactly the statistics the paper plots.  NLP1's "input" is a sentence
+// (variable word count), which is what gives it the paper's outsized variance; image
+// tasks cannot run on the embedded board (out of memory).
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace.h"
+
+using namespace alert;
+
+namespace {
+
+struct TaskSpec {
+  const char* id;
+  DnnModel model;
+  TaskId task;
+};
+
+std::optional<BoxplotStats> MeasureLatencies(const TaskSpec& spec, PlatformId platform,
+                                             ContentionType contention, uint64_t seed) {
+  if (!spec.model.SupportsPlatform(platform)) {
+    return std::nullopt;
+  }
+  const std::vector<DnnModel> models = {spec.model};
+  const PlatformSpec& pspec = GetPlatform(platform);
+  PlatformSimulator sim(pspec, models);
+
+  TraceOptions options;
+  options.num_inputs = 2000;
+  options.seed = seed;
+  const EnvironmentTrace trace =
+      MakeEnvironmentTrace(spec.task, platform, contention, options);
+
+  std::vector<double> latencies;
+  double sentence_total = 0.0;
+  for (int n = 0; n < trace.num_inputs(); ++n) {
+    ExecRequest req;
+    req.model_index = 0;
+    req.power_cap = pspec.cap_max;
+    req.deadline = 1e9;  // unconstrained: we measure raw latency
+    req.period = 1e9;
+    req.stop_at_deadline = false;
+    const Measurement m = sim.Execute(req, trace.inputs[static_cast<size_t>(n)]);
+    if (trace.has_sentences()) {
+      sentence_total += m.latency;
+      const int sentence = trace.sentence_of_input[static_cast<size_t>(n)];
+      const bool last_word =
+          trace.word_in_sentence[static_cast<size_t>(n)] + 1 ==
+          trace.sentence_length[static_cast<size_t>(sentence)];
+      if (last_word) {
+        latencies.push_back(sentence_total);
+        sentence_total = 0.0;
+      }
+    } else {
+      latencies.push_back(m.latency);
+    }
+  }
+  return ComputeBoxplot(latencies);
+}
+
+int RunStudy(ContentionType contention, const char* figure) {
+  const std::vector<TaskSpec> tasks = {
+      {"IMG1 (VGG16)", BuildVgg16(), TaskId::kImageClassification},
+      {"IMG2 (ResNet50)", BuildResNet50(), TaskId::kImageClassification},
+      {"NLP1 (RNN, per sentence)", BuildRnn(), TaskId::kSentencePrediction},
+      {"NLP2 (BERT)", BuildBert(), TaskId::kQuestionAnswering},
+  };
+  const std::vector<PlatformId> platforms = {PlatformId::kEmbedded, PlatformId::kCpu1,
+                                             PlatformId::kCpu2, PlatformId::kGpu};
+
+  TextTable table({"task", "platform", "min", "p10", "p25", "median", "p75", "p90", "max",
+                   "p90/p10"});
+  for (const TaskSpec& t : tasks) {
+    for (PlatformId p : platforms) {
+      const auto stats = MeasureLatencies(t, p, contention, 1234);
+      if (!stats.has_value()) {
+        table.AddRow({t.id, std::string(PlatformName(p)), "OOM", "-", "-", "-", "-", "-",
+                      "-", "-"});
+        continue;
+      }
+      table.AddRow({t.id, std::string(PlatformName(p)), FormatDouble(stats->min, 4),
+                    FormatDouble(stats->p10, 4), FormatDouble(stats->p25, 4),
+                    FormatDouble(stats->median, 4), FormatDouble(stats->p75, 4),
+                    FormatDouble(stats->p90, 4), FormatDouble(stats->max, 4),
+                    FormatDouble(stats->p90 / stats->p10, 2)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("=== %s: latency variance across inputs (%s; seconds) ===\n%s\n", figure,
+              std::string(ContentionName(contention)).c_str(), table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+#ifndef FIG5_CONTENTION
+int main() { return RunStudy(ContentionType::kNone, "Figure 4"); }
+#else
+int main() { return RunStudy(ContentionType::kMemory, "Figure 5"); }
+#endif

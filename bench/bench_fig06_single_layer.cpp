@@ -1,0 +1,143 @@
+// Figure 6: why single-layer adaptation is insufficient (Section 2.3).
+//
+// ImageNet classification, minimizing energy under a (deadline x accuracy)
+// constraint grid.  Three clairvoyant schemes, each picking per input with perfect
+// knowledge:
+//   * App-level oracle:   best DNN from the 42-network family, default power setting;
+//   * Sys-level oracle:   default (most accurate) DNN, best power setting;
+//   * Combined oracle:    best DNN and power setting jointly.
+// "inf" marks settings a scheme cannot satisfy — the paper's key finding is that
+// Sys-only fails all tight deadlines while App-only meets them at much higher energy
+// (~60% more than Combined on average).
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace.h"
+
+using namespace alert;
+
+namespace {
+
+enum class Variant { kAppOnly, kSysOnly, kCombined };
+
+// Per-input clairvoyant minimum energy subject to deadline+accuracy, restricted by the
+// variant's frozen dimension.  Returns NaN if more than 10% of inputs are infeasible.
+double EvaluateVariant(Variant variant, const PlatformSimulator& sim,
+                       const EnvironmentTrace& trace, Seconds deadline,
+                       double accuracy_goal) {
+  const PlatformSpec& spec = sim.platform();
+  const int num_models = static_cast<int>(sim.models().size());
+  // Default DNN = most accurate in the family.
+  int default_model = 0;
+  for (int m = 1; m < num_models; ++m) {
+    if (sim.models()[static_cast<size_t>(m)].accuracy >
+        sim.models()[static_cast<size_t>(default_model)].accuracy) {
+      default_model = m;
+    }
+  }
+  const std::vector<Watts> caps = spec.PowerSettings();
+
+  double total_energy = 0.0;
+  int infeasible = 0;
+  for (int n = 0; n < trace.num_inputs(); ++n) {
+    const ExecutionContext& ctx = trace.inputs[static_cast<size_t>(n)];
+    double best = std::numeric_limits<double>::infinity();
+    for (int m = 0; m < num_models; ++m) {
+      if (variant == Variant::kSysOnly && m != default_model) {
+        continue;
+      }
+      if (sim.models()[static_cast<size_t>(m)].accuracy < accuracy_goal) {
+        continue;
+      }
+      for (Watts cap : caps) {
+        if (variant == Variant::kAppOnly && cap != spec.cap_max) {
+          continue;
+        }
+        ExecRequest req;
+        req.model_index = m;
+        req.power_cap = cap;
+        req.deadline = deadline;
+        req.period = deadline;
+        const Measurement meas = sim.Execute(req, ctx);
+        if (meas.deadline_met) {
+          best = std::min(best, meas.energy);
+        }
+      }
+    }
+    if (std::isinf(best)) {
+      ++infeasible;
+    } else {
+      total_energy += best;
+    }
+  }
+  const int n = trace.num_inputs();
+  if (infeasible > n / 10) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return total_energy / static_cast<double>(n - infeasible);
+}
+
+}  // namespace
+
+int main() {
+  // Substitution note: the paper runs this on its CPU1 laptop.  Our calibrated zoo
+  // latencies put the most-accurate network at ~0.92 s on CPU1, outside the paper's
+  // absolute 0.1-0.7 s deadline axis; on CPU2 it is 0.27 s, which reproduces the
+  // paper's crossover ("Sys-only cannot meet any constraints below 0.3 s") exactly.
+  const std::vector<DnnModel> zoo = BuildImageNetZoo();
+  const PlatformSpec& cpu2 = GetPlatform(PlatformId::kCpu2);
+  PlatformSimulator sim(cpu2, zoo);
+
+  TraceOptions options;
+  options.num_inputs = 90;  // the paper's 90-input oracle study
+  options.seed = 2023;
+  const EnvironmentTrace trace = MakeEnvironmentTrace(
+      TaskId::kImageClassification, PlatformId::kCpu2, ContentionType::kNone, options);
+
+  const std::vector<Seconds> deadlines = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  const std::vector<double> accuracy_goals = {0.85, 0.875, 0.90, 0.925, 0.95};
+
+  TextTable table({"deadline (s)", "accuracy goal", "Sys-level (J)", "App-level (J)",
+                   "Combined (J)", "App/Combined"});
+  double sum_app = 0.0;
+  double sum_combined = 0.0;
+  int both_ok = 0;
+  int sys_fail = 0;
+  int total = 0;
+  for (Seconds deadline : deadlines) {
+    for (double goal : accuracy_goals) {
+      const double sys = EvaluateVariant(Variant::kSysOnly, sim, trace, deadline, goal);
+      const double app = EvaluateVariant(Variant::kAppOnly, sim, trace, deadline, goal);
+      const double combined =
+          EvaluateVariant(Variant::kCombined, sim, trace, deadline, goal);
+      ++total;
+      sys_fail += std::isnan(sys) ? 1 : 0;
+      if (!std::isnan(app) && !std::isnan(combined)) {
+        sum_app += app;
+        sum_combined += combined;
+        ++both_ok;
+      }
+      auto cell = [](double v) { return std::isnan(v) ? std::string("inf") : FormatDouble(v, 2); };
+      table.AddRow({FormatDouble(deadline, 1), FormatDouble(goal, 3), cell(sys), cell(app),
+                    cell(combined),
+                    (std::isnan(app) || std::isnan(combined))
+                        ? std::string("-")
+                        : FormatDouble(app / combined, 2)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("=== Figure 6: minimize energy under latency x accuracy constraints (CPU2, "
+              "42-network family) ===\n%s",
+              table.Render().c_str());
+  std::printf("\nSummary (paper: Sys-only fails all tight deadlines; App-only ~60%% more "
+              "energy than Combined):\n");
+  std::printf("  Sys-level infeasible on %d of %d settings\n", sys_fail, total);
+  std::printf("  App-level average energy overhead vs Combined: +%.0f%%\n",
+              100.0 * (sum_app / sum_combined - 1.0));
+  return 0;
+}

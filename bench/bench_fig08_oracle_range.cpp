@@ -1,0 +1,84 @@
+// Figure 8: ALERT versus Oracle and OracleStatic on the minimize-energy task.
+//
+// Four sub-plots — {CPU1, CPU2} x {image classification, sentence prediction} — each
+// showing, per contention scenario, the whisker range (min / mean / max over the
+// constraint settings) of average energy for OracleStatic, ALERT, and Oracle.  The
+// paper's takeaways: ALERT's whole range tracks Oracle's, and OracleStatic has both the
+// worst mean and the worst tail.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/harness/evaluation.h"
+
+using namespace alert;
+
+namespace {
+
+struct Whisker {
+  double lo = 0.0;
+  double mean = 0.0;
+  double hi = 0.0;
+};
+
+Whisker MakeWhisker(const std::vector<double>& v) {
+  Whisker w;
+  if (v.empty()) {
+    return w;
+  }
+  w.lo = *std::min_element(v.begin(), v.end());
+  w.hi = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double x : v) {
+    sum += x;
+  }
+  w.mean = sum / static_cast<double>(v.size());
+  return w;
+}
+
+std::string Cell(const Whisker& w) {
+  return FormatDouble(w.lo, 2) + " / " + FormatDouble(w.mean, 2) + " / " +
+         FormatDouble(w.hi, 2);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<SchemeId> schemes = {SchemeId::kAlert, SchemeId::kOracle};
+  const struct {
+    PlatformId platform;
+    TaskId task;
+    const char* label;
+  } panels[] = {
+      {PlatformId::kCpu1, TaskId::kImageClassification, "(a) CPU1, Image Classification"},
+      {PlatformId::kCpu1, TaskId::kSentencePrediction, "(b) CPU1, Sentence Prediction"},
+      {PlatformId::kCpu2, TaskId::kImageClassification, "(c) CPU2, Image Classification"},
+      {PlatformId::kCpu2, TaskId::kSentencePrediction, "(d) CPU2, Sentence Prediction"},
+  };
+
+  std::printf("=== Figure 8: average energy per input (J), min/mean/max across "
+              "constraint settings ===\n\n");
+  for (const auto& panel : panels) {
+    TextTable table({"workload", "OracleStatic", "ALERT", "Oracle"});
+    for (ContentionType contention : {ContentionType::kNone, ContentionType::kCompute,
+                                      ContentionType::kMemory}) {
+      CellSpec spec;
+      spec.task = panel.task;
+      spec.platform = panel.platform;
+      spec.contention = contention;
+      spec.mode = GoalMode::kMinimizeEnergy;
+      spec.options.num_inputs = 300;
+      spec.options.seed = 20200715;
+      const CellResult cell = EvaluateCell(spec, schemes);
+      const auto* alert_stats = cell.Find(SchemeId::kAlert);
+      const auto* oracle_stats = cell.Find(SchemeId::kOracle);
+      table.AddRow({std::string(ContentionName(contention)),
+                    Cell(MakeWhisker(cell.static_raw_values)),
+                    Cell(MakeWhisker(alert_stats->raw_values)),
+                    Cell(MakeWhisker(oracle_stats->raw_values))});
+    }
+    std::printf("%s\n%s\n", panel.label, table.Render().c_str());
+  }
+  return 0;
+}

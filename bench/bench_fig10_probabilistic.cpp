@@ -1,0 +1,95 @@
+// Figure 10: ALERT versus ALERT* (the mean-only ablation) on sentence prediction.
+//
+// Minimize error (perplexity) under latency + energy constraints on CPU1, with three
+// candidate sets — Standard (traditional + anytime), Traditional-only, Anytime-only —
+// under Default and Memory contention.  Whiskers are min/mean/max average perplexity
+// across the constraint settings.  Paper claims reproduced: ALERT always at or below
+// ALERT*; the gap is largest for the Standard set (mixing the two accuracy/latency
+// step-function shapes is exactly where the variance-aware estimate matters) and under
+// memory contention.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/evaluation.h"
+#include "src/harness/schemes.h"
+
+using namespace alert;
+
+namespace {
+
+struct Whisker {
+  double lo = 1e30;
+  double mean = 0.0;
+  double hi = 0.0;
+  int count = 0;
+};
+
+void Add(Whisker& w, double v) {
+  w.lo = std::min(w.lo, v);
+  w.hi = std::max(w.hi, v);
+  w.mean += v;
+  ++w.count;
+}
+
+std::string Cell(Whisker w) {
+  if (w.count == 0) {
+    return "-";
+  }
+  w.mean /= w.count;
+  return FormatDouble(w.lo, 0) + " / " + FormatDouble(w.mean, 0) + " / " +
+         FormatDouble(w.hi, 0);
+}
+
+}  // namespace
+
+int main() {
+  const struct {
+    SchemeId alert;
+    SchemeId alert_star;
+    const char* label;
+  } sets[] = {
+      {SchemeId::kAlert, SchemeId::kAlertStar, "Standard (trad + anytime)"},
+      {SchemeId::kAlertTrad, SchemeId::kAlertStarTrad, "Traditional only"},
+      {SchemeId::kAlertAny, SchemeId::kAlertStarAny, "Anytime only"},
+  };
+
+  std::printf("=== Figure 10: minimize error for sentence prediction @ CPU1 — average "
+              "perplexity, min/mean/max across settings (lower is better) ===\n\n");
+  for (ContentionType contention : {ContentionType::kNone, ContentionType::kMemory}) {
+    Experiment ex(TaskId::kSentencePrediction, PlatformId::kCpu1, contention, [] {
+      ExperimentOptions o;
+      o.num_inputs = 400;
+      o.seed = 20200715;
+      return o;
+    }());
+    const auto grid = BuildConstraintGrid(GoalMode::kMaximizeAccuracy,
+                                          TaskId::kSentencePrediction, PlatformId::kCpu1);
+
+    TextTable table({"candidate set", "ALERT (ppl)", "ALERT* (ppl)", "ALERT* / ALERT"});
+    for (const auto& set : sets) {
+      Whisker w_alert;
+      Whisker w_star;
+      double sum_alert = 0.0;
+      double sum_star = 0.0;
+      for (const Goals& goals : grid) {
+        auto alert = MakeScheduler(set.alert, ex, goals);
+        auto star = MakeScheduler(set.alert_star, ex, goals);
+        const RunResult r_alert =
+            ex.Run(ex.stack(SchemeDnnSet(set.alert)), *alert, goals);
+        const RunResult r_star = ex.Run(ex.stack(SchemeDnnSet(set.alert_star)), *star, goals);
+        Add(w_alert, r_alert.avg_perplexity);
+        Add(w_star, r_star.avg_perplexity);
+        sum_alert += r_alert.avg_perplexity;
+        sum_star += r_star.avg_perplexity;
+      }
+      table.AddRow({set.label, Cell(w_alert), Cell(w_star),
+                    FormatDouble(sum_star / sum_alert, 3)});
+    }
+    std::printf("(%s contention)\n%s\n", std::string(ContentionName(contention)).c_str(),
+                table.Render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Section 4's overhead claim: ALERT's scheduler computation costs 0.6-1.7% of an
+// input inference.  Google-benchmark microbenchmarks of the per-input work: one
+// Decide() (scores every candidate x power configuration) plus one Observe() (two
+// Kalman updates), across the per-platform configuration-space sizes.
+#include <benchmark/benchmark.h>
+
+#include "src/core/alert_scheduler.h"
+#include "src/dnn/zoo.h"
+#include "src/harness/constraint_grid.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+struct Fixture {
+  explicit Fixture(PlatformId platform)
+      : models(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim(GetPlatform(platform), models), space(sim) {
+    goals.mode = GoalMode::kMinimizeEnergy;
+    goals.deadline = 1.25 * BaseDeadline(TaskId::kImageClassification, platform);
+    goals.accuracy_goal = 0.9;
+  }
+  std::vector<DnnModel> models;
+  PlatformSimulator sim;
+  ConfigSpace space;
+  Goals goals;
+};
+
+void BM_AlertDecide(benchmark::State& state) {
+  const PlatformId platform = static_cast<PlatformId>(state.range(0));
+  Fixture f(platform);
+  AlertScheduler scheduler(f.space, f.goals);
+  InferenceRequest req;
+  req.input_index = 0;
+  req.deadline = f.goals.deadline;
+  req.period = f.goals.deadline;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.Decide(req));
+  }
+  state.counters["configs"] = f.space.num_configurations();
+  // For the Section 4 overhead claim, compare the reported Time against one inference:
+  // ~51 ms (CPU1), ~15 ms (CPU2), ~1.6 ms (GPU) for the largest evaluation network.
+  state.counters["inference_us"] = 1e6 * f.goals.deadline / 1.25;
+}
+BENCHMARK(BM_AlertDecide)
+    ->Arg(static_cast<int>(PlatformId::kCpu1))
+    ->Arg(static_cast<int>(PlatformId::kCpu2))
+    ->Arg(static_cast<int>(PlatformId::kGpu));
+
+void BM_AlertObserve(benchmark::State& state) {
+  Fixture f(PlatformId::kCpu1);
+  AlertScheduler scheduler(f.space, f.goals);
+  SchedulingDecision d;
+  d.candidate = f.space.candidate(0);
+  d.power_index = 0;
+  d.power_cap = f.space.cap(0);
+  Measurement m;
+  m.latency = 0.05;
+  m.period = 0.08;
+  m.inference_power = 30.0;
+  m.idle_power = 6.0;
+  m.xi_anchor_time = 0.05;
+  m.xi_anchor_fraction = 1.0;
+  for (auto _ : state) {
+    scheduler.Observe(d, m);
+  }
+}
+BENCHMARK(BM_AlertObserve);
+
+void BM_AdaptiveKalmanUpdate(benchmark::State& state) {
+  AdaptiveKalmanFilter filter;
+  double x = 1.0;
+  for (auto _ : state) {
+    filter.Update(x);
+    x = x < 1.5 ? x + 1e-4 : 1.0;
+    benchmark::DoNotOptimize(filter.mean());
+  }
+}
+BENCHMARK(BM_AdaptiveKalmanUpdate);
+
+void BM_ConfigEstimate(benchmark::State& state) {
+  Fixture f(PlatformId::kCpu1);
+  AlertScheduler scheduler(f.space, f.goals);
+  const Configuration config{f.space.candidate(5), 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.Estimate(config, f.goals.deadline, f.goals.deadline));
+  }
+}
+BENCHMARK(BM_ConfigEstimate);
+
+}  // namespace
+}  // namespace alert
+
+BENCHMARK_MAIN();

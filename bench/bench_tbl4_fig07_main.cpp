@@ -1,0 +1,120 @@
+// Table 4 + Figure 7: the headline evaluation.
+//
+// 15 cells — {CPU1, CPU2} x {Sparse-ResNet image, RNN sentence} x {Idle, Compute,
+// Memory} plus GPU x Sparse-ResNet x 3 — each averaged over the Table 3 constraint
+// grid, for both goal modes.  Cells report the scheme's metric normalized to
+// OracleStatic; superscripts count constraint settings the scheme violated on >10% of
+// inputs (those settings are excluded from the average, per the paper's accounting).
+// Figure 7's summary is the cross-cell average plus the violation percentage.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/harness/evaluation.h"
+
+using namespace alert;
+
+namespace {
+
+struct CellDef {
+  PlatformId platform;
+  TaskId task;
+  ContentionType contention;
+};
+
+const char* FamilyName(TaskId task) {
+  return task == TaskId::kImageClassification ? "SparseResnet" : "RNN";
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<CellDef> cells = {
+      {PlatformId::kCpu1, TaskId::kImageClassification, ContentionType::kNone},
+      {PlatformId::kCpu1, TaskId::kImageClassification, ContentionType::kCompute},
+      {PlatformId::kCpu1, TaskId::kImageClassification, ContentionType::kMemory},
+      {PlatformId::kCpu1, TaskId::kSentencePrediction, ContentionType::kNone},
+      {PlatformId::kCpu1, TaskId::kSentencePrediction, ContentionType::kCompute},
+      {PlatformId::kCpu1, TaskId::kSentencePrediction, ContentionType::kMemory},
+      {PlatformId::kCpu2, TaskId::kImageClassification, ContentionType::kNone},
+      {PlatformId::kCpu2, TaskId::kImageClassification, ContentionType::kCompute},
+      {PlatformId::kCpu2, TaskId::kImageClassification, ContentionType::kMemory},
+      {PlatformId::kCpu2, TaskId::kSentencePrediction, ContentionType::kNone},
+      {PlatformId::kCpu2, TaskId::kSentencePrediction, ContentionType::kCompute},
+      {PlatformId::kCpu2, TaskId::kSentencePrediction, ContentionType::kMemory},
+      {PlatformId::kGpu, TaskId::kImageClassification, ContentionType::kNone},
+      {PlatformId::kGpu, TaskId::kImageClassification, ContentionType::kCompute},
+      {PlatformId::kGpu, TaskId::kImageClassification, ContentionType::kMemory},
+  };
+  const std::vector<SchemeId> schemes = {SchemeId::kAlert,   SchemeId::kAlertAny,
+                                         SchemeId::kSysOnly, SchemeId::kAppOnly,
+                                         SchemeId::kNoCoord, SchemeId::kOracle};
+
+  for (GoalMode mode : {GoalMode::kMinimizeEnergy, GoalMode::kMaximizeAccuracy}) {
+    std::printf("=== Table 4 (%s task): metric normalized to OracleStatic; ^n = violated "
+                "settings ===\n",
+                std::string(GoalModeName(mode)).c_str());
+    TextTable table({"platform", "family", "workload", "ALERT", "ALERT-Any", "Sys-only",
+                     "App-only", "No-coord", "Oracle", "settings"});
+
+    std::vector<std::vector<double>> per_scheme_values(schemes.size());
+    std::vector<int> per_scheme_violations(schemes.size(), 0);
+    int total_usable = 0;
+
+    for (const CellDef& def : cells) {
+      CellSpec spec;
+      spec.task = def.task;
+      spec.platform = def.platform;
+      spec.contention = def.contention;
+      spec.mode = mode;
+      spec.options.num_inputs = 300;
+      spec.options.seed = 20200715;  // ATC'20 presentation day
+      const CellResult cell = EvaluateCell(spec, schemes);
+
+      std::vector<std::string> row = {std::string(PlatformName(def.platform)),
+                                      FamilyName(def.task),
+                                      std::string(ContentionName(def.contention))};
+      for (size_t si = 0; si < schemes.size(); ++si) {
+        const SchemeCellStats& s = cell.schemes[si];
+        if (s.normalized_values.empty()) {
+          row.push_back("-^" + std::to_string(s.violated_settings));
+        } else {
+          row.push_back(
+              FormatWithViolations(s.mean_normalized, 2, s.violated_settings));
+          if (s.mean_normalized > 0.0) {
+            per_scheme_values[si].push_back(s.mean_normalized);
+          }
+        }
+        per_scheme_violations[si] += s.violated_settings;
+      }
+      row.push_back(std::to_string(cell.total_settings - cell.skipped_settings) + "/" +
+                    std::to_string(cell.total_settings));
+      table.AddRow(row);
+      total_usable += cell.total_settings - cell.skipped_settings;
+    }
+
+    std::vector<std::string> hm_row = {"", "", "harmonic mean"};
+    for (size_t si = 0; si < schemes.size(); ++si) {
+      hm_row.push_back(per_scheme_values[si].empty()
+                           ? "-"
+                           : FormatDouble(HarmonicMean(per_scheme_values[si]), 2));
+    }
+    hm_row.push_back("");
+    table.AddSeparator();
+    table.AddRow(hm_row);
+    std::printf("%s\n", table.Render().c_str());
+
+    std::printf("--- Figure 7 summary (%s): mean normalized performance and %%settings "
+                "violated ---\n",
+                std::string(GoalModeName(mode)).c_str());
+    for (size_t si = 0; si < schemes.size(); ++si) {
+      std::printf("  %-10s  norm %.3f   violations %5.1f%%\n",
+                  std::string(SchemeName(schemes[si])).c_str(),
+                  Mean(per_scheme_values[si]),
+                  100.0 * per_scheme_violations[si] / static_cast<double>(total_usable));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

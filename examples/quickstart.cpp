@@ -1,0 +1,67 @@
+// Quickstart: minimize energy for an image-classification stream under latency and
+// accuracy constraints, with a memory-intensive co-runner coming and going.
+//
+// Demonstrates the core public API:
+//   1. build an Experiment (platform + task + contention trace),
+//   2. construct an AlertScheduler over the profiled configuration space,
+//   3. run the feedback loop and inspect the aggregate metrics,
+//   4. compare against the clairvoyant Oracle and the best static configuration.
+#include <cstdio>
+
+#include "src/core/alert_scheduler.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+#include "src/harness/static_oracle.h"
+
+int main() {
+  using namespace alert;
+
+  // An image-classification stream on the laptop-class platform (CPU1) with dynamic
+  // memory contention, 400 inputs.
+  ExperimentOptions options;
+  options.num_inputs = 400;
+  options.seed = 42;
+  Experiment experiment(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kMemory, options);
+
+  // Goals: meet a deadline of 1.25x the anytime network's nominal latency, deliver at
+  // least 92% top-5 accuracy, and minimize energy.
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 1.25 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  goals.accuracy_goal = 0.92;
+
+  const Stack& stack = experiment.stack(DnnSetChoice::kBoth);
+  std::printf("Platform: %s   candidates: %d   power settings: %d (%.1f-%.1f W)\n",
+              experiment.platform().name.c_str(), stack.space().num_candidates(),
+              stack.space().num_powers(), stack.space().caps().front(),
+              stack.space().caps().back());
+  std::printf("Deadline: %.1f ms   accuracy goal: %.1f%%\n\n", ToMillis(goals.deadline),
+              100.0 * goals.accuracy_goal);
+
+  // ALERT.
+  AlertScheduler alert_scheduler(stack.space(), goals);
+  const RunResult alert_run = experiment.Run(stack, alert_scheduler, goals);
+
+  // Baselines: clairvoyant dynamic oracle and best static configuration.
+  auto oracle = MakeScheduler(SchemeId::kOracle, experiment, goals);
+  const RunResult oracle_run = experiment.Run(stack, *oracle, goals);
+  const StaticOracleResult static_best = FindStaticOracle(experiment, stack, goals);
+
+  auto report = [](const char* name, const RunResult& r) {
+    std::printf("%-14s energy %7.4f J/input   accuracy %6.2f%%   violations %5.1f%%   "
+                "mean latency %6.2f ms\n",
+                name, r.avg_energy, 100.0 * r.avg_accuracy, 100.0 * r.violation_fraction,
+                ToMillis(r.avg_latency));
+  };
+  report("ALERT", alert_run);
+  report("Oracle", oracle_run);
+  report("OracleStatic", static_best.result);
+
+  std::printf("\nALERT uses %.1f%% more energy than the clairvoyant Oracle and %.1f%% "
+              "less than the best static configuration.\n",
+              100.0 * (alert_run.avg_energy / oracle_run.avg_energy - 1.0),
+              100.0 * (1.0 - alert_run.avg_energy / static_best.result.avg_energy));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Concurrent inference jobs sharing one server (the Section 3.6 extension).
+//
+// Two inference services run on the same CPU2 package: an image-classification
+// endpoint and a sentence-prediction endpoint, under one shared power budget.  The
+// MultiJobCoordinator splits the budget each round (jobs re-optimize their DNN choice
+// for the power they actually get); the uncoordinated alternative — each job's ALERT
+// assuming it owns the machine — blows the package budget on most rounds.
+#include <cstdio>
+
+#include "src/harness/constraint_grid.h"
+#include "src/harness/multi_job_experiment.h"
+
+using namespace alert;
+
+int main() {
+  const PlatformId platform = PlatformId::kCpu2;
+
+  MultiJobSpec image_job;
+  image_job.task = TaskId::kImageClassification;
+  image_job.goals.mode = GoalMode::kMaximizeAccuracy;
+  image_job.goals.deadline = 1.5 * BaseDeadline(TaskId::kImageClassification, platform);
+  image_job.goals.energy_budget = 1e9;  // per-job energy unconstrained; power is shared
+  image_job.seed = 11;
+
+  MultiJobSpec nlp_job;
+  nlp_job.task = TaskId::kSentencePrediction;
+  nlp_job.goals.mode = GoalMode::kMaximizeAccuracy;
+  nlp_job.goals.deadline = 1.5 * BaseDeadline(TaskId::kSentencePrediction, platform);
+  nlp_job.goals.energy_budget = 1e9;
+  nlp_job.seed = 13;
+
+  MultiJobExperiment experiment(platform, {image_job, nlp_job}, /*num_rounds=*/400,
+                                /*seed=*/5);
+
+  // The package can sustain 120 W total; each job alone would happily ask for 100 W.
+  const Watts budget = 120.0;
+  const MultiJobResult coordinated = experiment.RunCoordinated(budget);
+  const MultiJobResult uncoordinated = experiment.RunUncoordinated(budget);
+
+  std::printf("Shared server (CPU2): image + sentence services, %g W package budget\n\n",
+              budget);
+  auto report = [](const char* label, const MultiJobResult& r) {
+    std::printf("%s\n", label);
+    std::printf("  total cap: %.1f W avg, budget exceeded on %.1f%% of rounds\n",
+                r.avg_total_cap, 100.0 * r.budget_overshoot_fraction);
+    const char* names[] = {"image  ", "speech "};
+    for (size_t j = 0; j < r.per_job.size(); ++j) {
+      std::printf("  %s accuracy %.2f%%  misses %.1f%%  energy %.3f J/input\n", names[j],
+                  100.0 * r.per_job[j].avg_accuracy,
+                  100.0 * r.per_job[j].deadline_miss_fraction, r.per_job[j].avg_energy);
+    }
+  };
+  report("Coordinated (MultiJobCoordinator):", coordinated);
+  std::printf("\n");
+  report("Uncoordinated (each job assumes it owns the package):", uncoordinated);
+
+  std::printf("\nThe uncoordinated pair delivers its accuracy by drawing %.0f W against "
+              "a %g W budget —\nexactly the cross-purpose failure the paper's No-coord "
+              "baseline exhibits, one level up.\n",
+              uncoordinated.avg_total_cap, budget);
+  return 0;
+}

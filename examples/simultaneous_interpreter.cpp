@@ -1,0 +1,91 @@
+// Simultaneous interpretation: the paper's NLP motivation (Section 1) — "translation
+// must be provided every 2-4 seconds".
+//
+// Words of a sentence are predicted one at a time and share the sentence's deadline
+// budget: a slow word shrinks the time left for the rest (Section 3.2's goal
+// adjustment).  ALERT maximizes prediction accuracy (minimizes perplexity) under the
+// shared deadlines and a power budget.
+#include <cstdio>
+
+#include "src/core/alert_scheduler.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+
+using namespace alert;
+
+int main() {
+  ExperimentOptions options;
+  options.num_inputs = 800;
+  options.seed = 99;
+  Experiment experiment(TaskId::kSentencePrediction, PlatformId::kCpu1,
+                        ContentionType::kCompute, options);
+
+  Goals goals;
+  goals.mode = GoalMode::kMaximizeAccuracy;
+  // Per-word budget sized so an average sentence gets ~0.3 s — a tight interpretation
+  // pace for the word-level models.
+  goals.deadline =
+      1.25 * BaseDeadline(TaskId::kSentencePrediction, PlatformId::kCpu1);
+  goals.energy_budget = 16.0 * goals.deadline;  // 16 W power envelope
+
+  const Stack& stack = experiment.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult run = experiment.Run(stack, alert, goals, /*keep_records=*/true);
+
+  std::printf("Simultaneous interpreter: %d words across %d sentences; per-word budget "
+              "%.1f ms, power envelope 16 W\n\n",
+              run.num_inputs, experiment.trace().num_sentences,
+              ToMillis(goals.deadline));
+
+  // Sentence-level report: budget adherence.
+  int sentences_on_time = 0;
+  double worst_overrun = 0.0;
+  double elapsed = 0.0;
+  for (int n = 0; n < run.num_inputs; ++n) {
+    elapsed += run.records[static_cast<size_t>(n)].measurement.latency;
+    const int sentence = experiment.trace().sentence_of_input[static_cast<size_t>(n)];
+    const int len = experiment.trace().sentence_length[static_cast<size_t>(sentence)];
+    const bool last_word =
+        experiment.trace().word_in_sentence[static_cast<size_t>(n)] + 1 == len;
+    if (last_word) {
+      const Seconds budget = goals.deadline * len;
+      if (elapsed <= budget) {
+        ++sentences_on_time;
+      } else {
+        worst_overrun = std::max(worst_overrun, elapsed / budget - 1.0);
+      }
+      elapsed = 0.0;
+    }
+  }
+  std::printf("sentence budgets: %d/%d sentences completed within budget (worst overrun "
+              "+%.0f%%)\n",
+              sentences_on_time, experiment.trace().num_sentences, 100.0 * worst_overrun);
+  auto avg_power = [](const RunResult& r) {
+    double energy = 0.0;
+    Seconds period = 0.0;
+    for (const auto& rec : r.records) {
+      energy += rec.measurement.energy;
+      period += rec.measurement.period;
+    }
+    return energy / period;
+  };
+  const double alert_power = avg_power(run);
+  std::printf("word accuracy: %.1f%%   perplexity: %.0f   avg power: %.1f W (%s 16 W "
+              "envelope)\n",
+              100.0 * run.avg_accuracy, run.avg_perplexity, alert_power,
+              alert_power <= 16.0 ? "within" : "OVER");
+
+  // Contrast with the uncoordinated baseline on the same stream.
+  auto no_coord = MakeScheduler(SchemeId::kNoCoord, experiment, goals);
+  const RunResult nc = experiment.Run(experiment.stack(DnnSetChoice::kAnytimeOnly),
+                                      *no_coord, goals, /*keep_records=*/true);
+  const double nc_power = avg_power(nc);
+  std::printf("\nuncoordinated app+sys baseline: perplexity %.0f, avg power %.1f W "
+              "(%s 16 W envelope)\n",
+              nc.avg_perplexity, nc_power,
+              nc_power <= 16.0 ? "within" : "OVER");
+  std::printf("no-coord ignores the energy budget entirely: whatever accuracy it gains is "
+              "bought with power it was not given.\n");
+  return 0;
+}

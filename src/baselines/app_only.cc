@@ -1,0 +1,31 @@
+#include "src/baselines/app_only.h"
+
+#include "src/common/check.h"
+
+namespace alert {
+
+AppOnlyScheduler::AppOnlyScheduler(const ConfigSpace& space)
+    : space_(space), anytime_model_(space.AnytimeModel()), last_candidate_(-1) {
+  ALERT_CHECK(anytime_model_ >= 0);  // App-only is defined by its anytime DNN
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    const Candidate& c = space_.candidate(ci);
+    if (c.model_index == anytime_model_) {
+      last_candidate_ = ci;  // candidates are ordered by stage, keep the last
+    }
+  }
+  ALERT_CHECK(last_candidate_ >= 0);
+}
+
+SchedulingDecision AppOnlyScheduler::Decide(const InferenceRequest&) {
+  // Run the full anytime network at the default power; the platform delivers whatever
+  // output is ready at the deadline.
+  SchedulingDecision d;
+  d.candidate = space_.candidate(last_candidate_);
+  d.power_index = space_.default_power_index();
+  d.power_cap = space_.cap(d.power_index);
+  return d;
+}
+
+void AppOnlyScheduler::Observe(const SchedulingDecision&, const Measurement&) {}
+
+}  // namespace alert

@@ -1,0 +1,32 @@
+// Application-only adaptation (Table 3 "App-only").
+//
+// The state of the art in application-level adaptation: run an anytime DNN [5] at the
+// system-default power setting and deliver whatever output is ready at the deadline.
+// Latency adaptation is implicit (earlier exits under pressure); there is no notion of
+// an energy budget — which is exactly the weakness the paper demonstrates (Section 5.2:
+// ~73% more energy on energy-minimization tasks and frequent budget violations).
+#ifndef SRC_BASELINES_APP_ONLY_H_
+#define SRC_BASELINES_APP_ONLY_H_
+
+#include "src/core/config_space.h"
+#include "src/core/scheduler.h"
+
+namespace alert {
+
+class AppOnlyScheduler final : public Scheduler {
+ public:
+  explicit AppOnlyScheduler(const ConfigSpace& space);
+
+  SchedulingDecision Decide(const InferenceRequest& request) override;
+  void Observe(const SchedulingDecision& decision, const Measurement& m) override;
+  std::string_view name() const override { return "App-only"; }
+
+ private:
+  const ConfigSpace& space_;
+  int anytime_model_;
+  int last_candidate_;  // the unrestricted (final-stage) anytime candidate
+};
+
+}  // namespace alert
+
+#endif  // SRC_BASELINES_APP_ONLY_H_

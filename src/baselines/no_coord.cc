@@ -1,0 +1,92 @@
+#include "src/baselines/no_coord.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+NoCoordScheduler::NoCoordScheduler(const ConfigSpace& space, const Goals& goals)
+    : space_(space), goals_(goals), anytime_model_(space.AnytimeModel()),
+      first_candidate_(-1),
+      app_ratio_(1.0, 0.1, 1e-3, 1e-3), sys_ratio_(1.0, 0.1, 1e-3, 1e-3) {
+  ALERT_CHECK(anytime_model_ >= 0);
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    const Candidate& c = space_.candidate(ci);
+    if (c.model_index == anytime_model_ && c.stage_limit == 0) {
+      first_candidate_ = ci;
+      break;
+    }
+  }
+  ALERT_CHECK(first_candidate_ >= 0);
+}
+
+SchedulingDecision NoCoordScheduler::Decide(const InferenceRequest& request) {
+  const DnnModel& model = space_.model(anytime_model_);
+  const int num_stages = static_cast<int>(model.anytime_stages.size());
+  const Seconds deadline = request.deadline;
+
+  // Application level: pick the deepest stage predicted to fit the deadline — but
+  // against the *default power* profile, because the application does not know what
+  // the power manager is doing.
+  const Seconds app_profile =
+      space_.ProfileLatency(anytime_model_, space_.default_power_index());
+  int stage_limit = 0;
+  for (int k = num_stages - 1; k >= 0; --k) {
+    const double frac = model.anytime_stages[static_cast<size_t>(k)].latency_fraction;
+    if (app_ratio_.state() * frac * app_profile <= deadline * 0.98) {
+      stage_limit = k;
+      break;
+    }
+  }
+
+  // System level: CALOREE-style minimize-energy-under-latency, planning for the *full*
+  // network because it does not know the application truncates stages.
+  int best_power = -1;
+  Joules best_energy = std::numeric_limits<double>::infinity();
+  const Seconds period = request.period > 0.0 ? request.period : deadline;
+  for (int pi = 0; pi < space_.num_powers(); ++pi) {
+    const Seconds predicted = sys_ratio_.state() * space_.ProfileLatency(anytime_model_, pi);
+    if (predicted > deadline) {
+      continue;
+    }
+    const Watts p_inf = space_.InferencePower(anytime_model_, pi);
+    const Watts p_idle = idle_power_.PredictIdlePower(p_inf);
+    const Joules energy = p_inf * predicted + p_idle * std::max(0.0, period - predicted);
+    if (energy < best_energy) {
+      best_energy = energy;
+      best_power = pi;
+    }
+  }
+  if (best_power < 0) {
+    best_power = space_.default_power_index();
+  }
+
+  SchedulingDecision d;
+  d.candidate = space_.candidate(first_candidate_ + stage_limit);
+  ALERT_DCHECK(d.candidate.model_index == anytime_model_);
+  ALERT_DCHECK(d.candidate.stage_limit == stage_limit);
+  d.power_index = best_power;
+  d.power_cap = space_.cap(best_power);
+  return d;
+}
+
+void NoCoordScheduler::Observe(const SchedulingDecision& decision, const Measurement& m) {
+  // The application normalizes by the default-power profile, so power-cap slowdowns are
+  // misattributed to the environment — the cross-purpose feedback of Section 5.2.
+  const Seconds default_profile =
+      space_.ProfileLatency(anytime_model_, space_.default_power_index());
+  app_ratio_.Update(m.xi_anchor_time / (m.xi_anchor_fraction * default_profile));
+
+  // The system level normalizes by the profile of the cap it actually applied.
+  const Seconds cap_profile =
+      space_.ProfileLatency(decision.candidate.model_index, decision.power_index);
+  sys_ratio_.Update(m.xi_anchor_time / (m.xi_anchor_fraction * cap_profile));
+
+  if (m.period > m.latency + 1e-9 && m.inference_power > 0.0) {
+    idle_power_.Update(m.idle_power, m.inference_power);
+  }
+}
+
+}  // namespace alert

@@ -1,0 +1,44 @@
+// Uncoordinated application + system adaptation (Table 3 "No-coord").
+//
+// Both adaptation levels run, but independently — the paper's cautionary baseline.
+// The application level adapts the anytime DNN's stage limit assuming the *default*
+// power setting (it does not know the power manager exists); the system level runs the
+// same [63]-style minimize-energy-under-latency controller as Sys-only, treating the
+// application's behaviour as fixed.  The two "can work at cross purposes; e.g., the
+// application switches to a faster DNN to save energy while the system makes more power
+// available" (Section 5.2) — reproduced here by construction.
+#ifndef SRC_BASELINES_NO_COORD_H_
+#define SRC_BASELINES_NO_COORD_H_
+
+#include "src/core/config_space.h"
+#include "src/core/goals.h"
+#include "src/core/scheduler.h"
+#include "src/estimator/idle_power_filter.h"
+#include "src/estimator/kalman.h"
+
+namespace alert {
+
+class NoCoordScheduler final : public Scheduler {
+ public:
+  NoCoordScheduler(const ConfigSpace& space, const Goals& goals);
+
+  SchedulingDecision Decide(const InferenceRequest& request) override;
+  void Observe(const SchedulingDecision& decision, const Measurement& m) override;
+  std::string_view name() const override { return "No-coord"; }
+
+ private:
+  const ConfigSpace& space_;
+  Goals goals_;
+  int anytime_model_;
+  int first_candidate_;  // candidate index of stage 0 for the anytime model
+
+  // Application-level state: slowdown belief formed against the default-power profile.
+  KalmanFilter1d app_ratio_;
+  // System-level state: the independent power controller's latency belief.
+  KalmanFilter1d sys_ratio_;
+  IdlePowerFilter idle_power_;
+};
+
+}  // namespace alert
+
+#endif  // SRC_BASELINES_NO_COORD_H_

@@ -1,0 +1,125 @@
+#include "src/baselines/oracle.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+OracleScheduler::OracleScheduler(const ConfigSpace& space, const Goals& goals,
+                                 std::span<const ExecutionContext> contexts)
+    : space_(space), goals_(goals), contexts_(contexts) {
+  ALERT_CHECK(goals_.Valid());
+}
+
+SchedulingDecision OracleScheduler::Decide(const InferenceRequest& request) {
+  ALERT_CHECK(request.input_index >= 0 &&
+              request.input_index < static_cast<int>(contexts_.size()));
+  const ExecutionContext& ctx = contexts_[static_cast<size_t>(request.input_index)];
+  const PlatformSimulator& sim = space_.simulator();
+  const GoalMode mode = goals_.mode;
+  const bool min_energy = mode == GoalMode::kMinimizeEnergy;
+  const bool maximize = mode == GoalMode::kMaximizeAccuracy;
+
+  int best_candidate = -1;
+  int best_power = -1;
+  double best_objective = maximize ? -std::numeric_limits<double>::infinity()
+                                   : std::numeric_limits<double>::infinity();
+  double best_tiebreak = std::numeric_limits<double>::infinity();
+
+  // Fallback (nothing feasible): meet the deadline if at all possible.  In
+  // energy-minimization mode the next priority is accuracy (ALERT's hierarchy); in
+  // budget mode the next priority is *cheapness* — the budget pacing is in deficit, so
+  // the fallback must spend as little as possible to let the balance recover.
+  int fb_candidate = 0;
+  int fb_power = space_.default_power_index();
+  double fb_key_met = -1.0;
+  double fb_acc = -1.0;
+  double fb_energy = std::numeric_limits<double>::infinity();
+
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    for (int pi = 0; pi < space_.num_powers(); ++pi) {
+      SchedulingDecision d;
+      d.candidate = space_.candidate(ci);
+      d.power_index = pi;
+      d.power_cap = space_.cap(pi);
+      const Measurement m = sim.Execute(d.ToExecRequest(request), ctx);
+
+      const double met = m.deadline_met ? 1.0 : 0.0;
+      const bool better_fallback =
+          met > fb_key_met ||
+          (met == fb_key_met &&
+           (min_energy ? (m.accuracy > fb_acc ||
+                          (m.accuracy == fb_acc && m.energy < fb_energy))
+                       : (m.energy < fb_energy ||
+                          (m.energy == fb_energy && m.accuracy > fb_acc))));
+      if (better_fallback) {
+        fb_candidate = ci;
+        fb_power = pi;
+        fb_key_met = met;
+        fb_acc = m.accuracy;
+        fb_energy = m.energy;
+      }
+
+      // Cumulative pacing: spend within the running budget, with a 2% reserve so that
+      // greedy per-input accuracy maximization cannot ride the balance to exactly
+      // zero and then be forced over budget by a contention phase.
+      const Joules allowance =
+          0.98 * goals_.energy_budget * static_cast<double>(inputs_seen_ + 1) -
+          energy_spent_;
+      bool feasible = true;
+      double objective = 0.0;
+      double tiebreak = 0.0;
+      switch (mode) {
+        case GoalMode::kMinimizeEnergy:
+          feasible = m.deadline_met && m.accuracy >= goals_.accuracy_goal - 1e-12;
+          objective = m.energy;
+          tiebreak = -m.accuracy;
+          break;
+        case GoalMode::kMaximizeAccuracy:
+          feasible = m.deadline_met && m.energy <= allowance + 1e-12;
+          objective = m.accuracy;
+          tiebreak = m.energy;
+          break;
+        case GoalMode::kMinimizeLatency:
+          feasible = m.accuracy >= goals_.accuracy_goal - 1e-12 &&
+                     m.energy <= allowance + 1e-12;
+          objective = m.latency;
+          tiebreak = m.energy;
+          break;
+      }
+      if (!feasible) {
+        continue;
+      }
+      const bool better =
+          maximize ? (objective > best_objective ||
+                      (objective == best_objective && tiebreak < best_tiebreak))
+                   : (objective < best_objective ||
+                      (objective == best_objective && tiebreak < best_tiebreak));
+      if (better || best_candidate < 0) {
+        best_candidate = ci;
+        best_power = pi;
+        best_objective = objective;
+        best_tiebreak = tiebreak;
+      }
+    }
+  }
+
+  if (best_candidate < 0) {
+    best_candidate = fb_candidate;
+    best_power = fb_power;
+  }
+  SchedulingDecision decision;
+  decision.candidate = space_.candidate(best_candidate);
+  decision.power_index = best_power;
+  decision.power_cap = space_.cap(best_power);
+  return decision;
+}
+
+void OracleScheduler::Observe(const SchedulingDecision&, const Measurement& m) {
+  energy_spent_ += m.energy;
+  ++inputs_seen_;
+}
+
+}  // namespace alert

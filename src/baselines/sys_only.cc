@@ -1,0 +1,68 @@
+#include "src/baselines/sys_only.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+SysOnlyScheduler::SysOnlyScheduler(const ConfigSpace& space, const Goals& goals)
+    : space_(space), goals_(goals), model_(space.FastestTraditionalModel()),
+      candidate_(-1),
+      latency_ratio_(/*initial_state=*/1.0, /*initial_variance=*/0.1,
+                     /*process_noise=*/1e-3, /*measurement_noise=*/1e-3) {
+  if (model_ < 0) {
+    // No traditional candidate (anytime-only set): fix the full anytime network.
+    model_ = space.AnytimeModel();
+  }
+  ALERT_CHECK(model_ >= 0);
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    const Candidate& c = space_.candidate(ci);
+    if (c.model_index == model_) {
+      candidate_ = ci;  // last stage wins for anytime fallback
+    }
+  }
+  ALERT_CHECK(candidate_ >= 0);
+}
+
+SchedulingDecision SysOnlyScheduler::Decide(const InferenceRequest& request) {
+  // Minimize energy subject to the predicted latency meeting the deadline; ignore
+  // accuracy and energy budgets (the scheme has no actuator for them).
+  const double ratio = latency_ratio_.state();
+  int best_power = -1;
+  Joules best_energy = std::numeric_limits<double>::infinity();
+  for (int pi = 0; pi < space_.num_powers(); ++pi) {
+    const Seconds predicted = ratio * space_.ProfileLatency(model_, pi);
+    if (predicted > request.deadline) {
+      continue;
+    }
+    const Watts p_inf = space_.InferencePower(model_, pi);
+    const Watts p_idle = idle_power_.PredictIdlePower(p_inf);
+    const Seconds period = request.period > 0.0 ? request.period : request.deadline;
+    const Joules energy = p_inf * predicted + p_idle * std::max(0.0, period - predicted);
+    if (energy < best_energy) {
+      best_energy = energy;
+      best_power = pi;
+    }
+  }
+  if (best_power < 0) {
+    // Even the maximum cap is predicted to miss: race at full power.
+    best_power = space_.default_power_index();
+  }
+  SchedulingDecision d;
+  d.candidate = space_.candidate(candidate_);
+  d.power_index = best_power;
+  d.power_cap = space_.cap(best_power);
+  return d;
+}
+
+void SysOnlyScheduler::Observe(const SchedulingDecision& decision, const Measurement& m) {
+  const Seconds profile =
+      space_.ProfileLatency(decision.candidate.model_index, decision.power_index);
+  latency_ratio_.Update(m.xi_anchor_time / (m.xi_anchor_fraction * profile));
+  if (m.period > m.latency + 1e-9 && m.inference_power > 0.0) {
+    idle_power_.Update(m.idle_power, m.inference_power);
+  }
+}
+
+}  // namespace alert

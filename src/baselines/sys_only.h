@@ -1,0 +1,40 @@
+// System-only adaptation (Table 3 "Sys-only"), modeled on CALOREE [63] / POET [38].
+//
+// The DNN is fixed — the fastest traditional candidate, "to avoid latency violations"
+// (Section 5.1) — and a feedback power controller minimizes energy under the soft
+// real-time constraint.  The controller predicts latency with a Kalman filter over the
+// observed-vs-profiled latency ratio (the mechanism the paper attributes to [63]) and
+// selects the lowest-energy cap whose predicted latency meets the deadline.  It knows
+// nothing about accuracy or energy *budgets*: accuracy constraints go unmet whenever
+// the fixed DNN is below the goal, which is the paper's headline criticism.
+#ifndef SRC_BASELINES_SYS_ONLY_H_
+#define SRC_BASELINES_SYS_ONLY_H_
+
+#include "src/core/config_space.h"
+#include "src/core/goals.h"
+#include "src/core/scheduler.h"
+#include "src/estimator/idle_power_filter.h"
+#include "src/estimator/kalman.h"
+
+namespace alert {
+
+class SysOnlyScheduler final : public Scheduler {
+ public:
+  SysOnlyScheduler(const ConfigSpace& space, const Goals& goals);
+
+  SchedulingDecision Decide(const InferenceRequest& request) override;
+  void Observe(const SchedulingDecision& decision, const Measurement& m) override;
+  std::string_view name() const override { return "Sys-only"; }
+
+ private:
+  const ConfigSpace& space_;
+  Goals goals_;
+  int model_;          // fixed fastest traditional model
+  int candidate_;      // its candidate index
+  KalmanFilter1d latency_ratio_;  // observed/profiled latency
+  IdlePowerFilter idle_power_;
+};
+
+}  // namespace alert
+
+#endif  // SRC_BASELINES_SYS_ONLY_H_

@@ -1,0 +1,30 @@
+// Lightweight invariant-checking macros.
+//
+// ALERT_CHECK aborts on violation in every build type; it guards API contracts whose
+// violation would silently corrupt an experiment (e.g. an out-of-range configuration
+// index).  ALERT_DCHECK compiles away in NDEBUG builds and guards hot-path internal
+// invariants.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ALERT_CHECK(cond)                                                          \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      std::fprintf(stderr, "ALERT_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                         \
+      std::abort();                                                                \
+    }                                                                              \
+  } while (false)
+
+#ifdef NDEBUG
+#define ALERT_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define ALERT_DCHECK(cond) ALERT_CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,35 @@
+// Gaussian distribution math used by ALERT's probabilistic estimators.
+//
+// ALERT models the global slowdown factor xi as N(mu, sigma^2) and needs, per candidate
+// configuration: the probability that a scaled Gaussian falls below a deadline (Eq. 6 of
+// the paper), expectations of step functions of Gaussians (Eqs. 7 and 13), and Gaussian
+// quantiles for the worst-case-percentile energy estimate (Eq. 12).
+#ifndef SRC_COMMON_GAUSSIAN_H_
+#define SRC_COMMON_GAUSSIAN_H_
+
+namespace alert {
+
+// Standard normal probability density at x.
+double StandardNormalPdf(double x);
+
+// Standard normal CDF: P(Z <= x).
+double StandardNormalCdf(double x);
+
+// CDF of N(mean, stddev^2) at x.  For stddev == 0 degenerates to the step function.
+double NormalCdf(double x, double mean, double stddev);
+
+// Inverse standard normal CDF (quantile function).  `p` must lie in (0, 1).
+// Uses Acklam's rational approximation refined by one Halley step; absolute error is
+// below 1e-9 over the full domain.
+double StandardNormalQuantile(double p);
+
+// Quantile of N(mean, stddev^2).
+double NormalQuantile(double p, double mean, double stddev);
+
+// E[X | X <= upper] * P(X <= upper) contribution helpers for a Gaussian X.
+// Returns the mean of the Gaussian truncated to (-inf, upper].
+double TruncatedNormalMeanBelow(double mean, double stddev, double upper);
+
+}  // namespace alert
+
+#endif  // SRC_COMMON_GAUSSIAN_H_

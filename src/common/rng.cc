@@ -1,0 +1,99 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace alert {
+namespace {
+
+// SplitMix64: used only to expand the user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x1ULL;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  ALERT_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  ALERT_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(NextU64() % span);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Marsaglia polar method: produces two independent standard normals per round.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return mean + stddev * (u * factor);
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+double Rng::Exponential(double rate) {
+  ALERT_DCHECK(rate > 0.0);
+  // Inversion; 1 - NextDouble() avoids log(0).
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(uint64_t stream) {
+  // Mix a fresh draw with the stream id so that forks with different ids diverge even
+  // when taken from identical parent states.
+  const uint64_t base = NextU64();
+  return Rng(base ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+}
+
+}  // namespace alert

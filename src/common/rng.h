@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator draws from an explicitly seeded Rng so that
+// experiments are exactly reproducible and so that the same environment trace can be
+// replayed against every scheduler under comparison.  The generator is xoshiro256++
+// (Blackman & Vigna), seeded through SplitMix64; both are tiny, fast, and well studied.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace alert {
+
+// A deterministic, forkable random number generator.
+//
+// Fork() derives an independent stream, which lets callers hand out per-component
+// generators (contention process, input stream, noise, ...) from one experiment seed
+// without correlating the streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 random bits.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int UniformInt(int lo, int hi);
+
+  // Gaussian with the given mean and standard deviation (Marsaglia polar method).
+  double Normal(double mean, double stddev);
+
+  // Log-normal: exp(N(mu, sigma^2)).  Note mu/sigma parameterize the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Derives an independent generator; `stream` disambiguates multiple forks from the
+  // same parent state.
+  Rng Fork(uint64_t stream);
+
+ private:
+  std::array<uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace alert
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,125 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::span<const double> values, double q) {
+  ALERT_CHECK(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, q);
+}
+
+double PercentileSorted(std::span<const double> sorted, double q) {
+  ALERT_CHECK(!sorted.empty());
+  ALERT_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BoxplotStats ComputeBoxplot(std::span<const double> values) {
+  ALERT_CHECK(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  BoxplotStats s;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p10 = PercentileSorted(sorted, 0.10);
+  s.p25 = PercentileSorted(sorted, 0.25);
+  s.median = PercentileSorted(sorted, 0.50);
+  s.p75 = PercentileSorted(sorted, 0.75);
+  s.p90 = PercentileSorted(sorted, 0.90);
+  double sum = 0.0;
+  for (double v : sorted) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.count = sorted.size();
+  return s;
+}
+
+double HarmonicMean(std::span<const double> values) {
+  ALERT_CHECK(!values.empty());
+  double denom = 0.0;
+  for (double v : values) {
+    ALERT_CHECK(v > 0.0);
+    denom += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / denom;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(num_bins)),
+      counts_(num_bins, 0) {
+  ALERT_CHECK(hi > lo);
+  ALERT_CHECK(num_bins > 0);
+}
+
+void Histogram::Add(double x) {
+  double pos = (x - lo_) / bin_width_;
+  long idx = static_cast<long>(std::floor(pos));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(size_t i) const { return lo_ + bin_width_ * static_cast<double>(i); }
+
+double Histogram::bin_hi(size_t i) const { return bin_lo(i) + bin_width_; }
+
+double Histogram::bin_center(size_t i) const { return bin_lo(i) + 0.5 * bin_width_; }
+
+double Histogram::Fraction(size_t i) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+}  // namespace alert

@@ -1,0 +1,91 @@
+// Streaming and batch statistics used by the experiment harness and estimators.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alert {
+
+// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile of a sample with linear interpolation between order statistics.
+// `q` in [0, 1].  The input need not be sorted; the function copies and sorts.
+double Percentile(std::span<const double> values, double q);
+
+// Like Percentile() but assumes `sorted` is already ascending (no copy).
+double PercentileSorted(std::span<const double> sorted, double q);
+
+// The five-number-plus summary used to reproduce the paper's boxplot figures (Figs. 4/5):
+// whiskers at the 10th/90th percentiles, box at 25th/75th, center line at the median.
+struct BoxplotStats {
+  double min = 0.0;
+  double p10 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+};
+
+BoxplotStats ComputeBoxplot(std::span<const double> values);
+
+// Harmonic mean of strictly positive values; used for Table 4/5 bottom rows.
+// Non-positive entries are rejected with a check failure.
+double HarmonicMean(std::span<const double> values);
+
+// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> values);
+
+// Uniform-bin histogram over [lo, hi]; samples outside the range are clamped into the
+// first/last bin.  Used to reproduce the xi-distribution figure (Fig. 11).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_bins);
+
+  void Add(double x);
+
+  size_t num_bins() const { return counts_.size(); }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+  double bin_center(size_t i) const;
+  size_t count(size_t i) const { return counts_[i]; }
+  size_t total() const { return total_; }
+  // Fraction of all samples in bin i (0 if the histogram is empty).
+  double Fraction(size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,76 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ALERT_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  ALERT_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_rule = [&](std::ostringstream& out) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << '+' << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto render_row = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+
+  std::ostringstream out;
+  render_rule(out);
+  render_row(out, headers_);
+  render_rule(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_rule(out);
+    } else {
+      render_row(out, row);
+    }
+  }
+  render_rule(out);
+  return out.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatWithViolations(double v, int precision, int violations) {
+  std::string s = FormatDouble(v, precision);
+  if (violations > 0) {
+    s += "^" + std::to_string(violations);
+  }
+  return s;
+}
+
+}  // namespace alert

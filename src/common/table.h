@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's tables or figures as text; this
+// helper keeps the column alignment logic in one place.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace alert {
+
+// A simple left-padded text table.  Columns are sized to their widest cell.
+class TextTable {
+ public:
+  // `headers` fixes the column count; rows with a different arity are rejected.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next added row.
+  void AddSeparator();
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+// Fixed-precision double formatting helpers for table cells.
+std::string FormatDouble(double v, int precision);
+// Formats `v` with `precision` digits and appends a violation-count superscript when
+// `violations > 0`, mirroring the paper's Table 4 notation (e.g. "0.76^19").
+std::string FormatWithViolations(double v, int precision, int violations);
+
+}  // namespace alert
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,27 @@
+// Unit conventions shared across the ALERT library.
+//
+// Physical quantities are carried as plain doubles with aliased names; the alias documents
+// the unit at API boundaries.  Conventions:
+//   * time    — seconds
+//   * power   — watts
+//   * energy  — joules
+//   * accuracy — fraction in [0, 1] (top-5 accuracy for image tasks, word-prediction
+//     accuracy for sentence prediction)
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+namespace alert {
+
+using Seconds = double;
+using Watts = double;
+using Joules = double;
+
+inline constexpr Seconds kMillisecond = 1e-3;
+inline constexpr Seconds kMicrosecond = 1e-6;
+
+// Converts seconds to milliseconds for display purposes.
+inline constexpr double ToMillis(Seconds s) { return s * 1e3; }
+
+}  // namespace alert
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,111 @@
+#include "src/core/config_space.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace alert {
+
+ConfigSpace::ConfigSpace(const PlatformSimulator& sim, double profile_noise_sigma,
+                         uint64_t seed)
+    : sim_(&sim), caps_(sim.platform().PowerSettings()) {
+  const int num_models = static_cast<int>(sim.models().size());
+  const int num_powers = static_cast<int>(caps_.size());
+  ALERT_CHECK(num_models > 0 && num_powers > 0);
+
+  profile_latency_.resize(static_cast<size_t>(num_models * num_powers));
+  inference_power_.resize(static_cast<size_t>(num_models * num_powers));
+  Rng rng(seed ^ 0xa1e27ULL);
+  for (int m = 0; m < num_models; ++m) {
+    // Profiling error is systematic per model (measured once, reused for every input),
+    // with a small per-cap component.
+    const double model_noise =
+        profile_noise_sigma > 0.0 ? rng.LogNormal(0.0, profile_noise_sigma) : 1.0;
+    for (int p = 0; p < num_powers; ++p) {
+      const double cell_noise =
+          profile_noise_sigma > 0.0 ? rng.LogNormal(0.0, profile_noise_sigma * 0.3) : 1.0;
+      const size_t idx = static_cast<size_t>(m * num_powers + p);
+      profile_latency_[idx] =
+          sim.NominalLatency(m, caps_[static_cast<size_t>(p)]) * model_noise * cell_noise;
+      inference_power_[idx] = sim.InferencePower(m, caps_[static_cast<size_t>(p)]);
+    }
+  }
+
+  for (int m = 0; m < num_models; ++m) {
+    const DnnModel& model = sim.models()[static_cast<size_t>(m)];
+    if (model.is_anytime()) {
+      for (int k = 0; k < static_cast<int>(model.anytime_stages.size()); ++k) {
+        candidates_.push_back(Candidate{.model_index = m, .stage_limit = k});
+      }
+    } else {
+      candidates_.push_back(Candidate{.model_index = m, .stage_limit = -1});
+    }
+  }
+}
+
+const DnnModel& ConfigSpace::model(int model_index) const {
+  return sim_->model(model_index);
+}
+
+const Candidate& ConfigSpace::candidate(int candidate_index) const {
+  ALERT_CHECK(candidate_index >= 0 && candidate_index < num_candidates());
+  return candidates_[static_cast<size_t>(candidate_index)];
+}
+
+Seconds ConfigSpace::ProfileLatency(int model_index, int power_index) const {
+  ALERT_DCHECK(model_index >= 0 && model_index < num_models());
+  ALERT_DCHECK(power_index >= 0 && power_index < num_powers());
+  return profile_latency_[static_cast<size_t>(model_index * num_powers() + power_index)];
+}
+
+Seconds ConfigSpace::CandidateProfileLatency(const Candidate& c, int power_index) const {
+  const Seconds full = ProfileLatency(c.model_index, power_index);
+  if (c.stage_limit < 0) {
+    return full;
+  }
+  const DnnModel& m = model(c.model_index);
+  ALERT_DCHECK(c.stage_limit < static_cast<int>(m.anytime_stages.size()));
+  return full * m.anytime_stages[static_cast<size_t>(c.stage_limit)].latency_fraction;
+}
+
+Watts ConfigSpace::InferencePower(int model_index, int power_index) const {
+  ALERT_DCHECK(model_index >= 0 && model_index < num_models());
+  ALERT_DCHECK(power_index >= 0 && power_index < num_powers());
+  return inference_power_[static_cast<size_t>(model_index * num_powers() + power_index)];
+}
+
+double ConfigSpace::CandidateAccuracy(const Candidate& c) const {
+  const DnnModel& m = model(c.model_index);
+  if (c.stage_limit < 0) {
+    return m.accuracy;
+  }
+  return m.anytime_stages[static_cast<size_t>(c.stage_limit)].accuracy;
+}
+
+int ConfigSpace::FastestTraditionalModel() const {
+  int best = -1;
+  Seconds best_latency = std::numeric_limits<double>::infinity();
+  for (int m = 0; m < num_models(); ++m) {
+    if (model(m).is_anytime()) {
+      continue;
+    }
+    const Seconds lat = ProfileLatency(m, default_power_index());
+    if (lat < best_latency) {
+      best_latency = lat;
+      best = m;
+    }
+  }
+  return best;
+}
+
+int ConfigSpace::AnytimeModel() const {
+  for (int m = 0; m < num_models(); ++m) {
+    if (model(m).is_anytime()) {
+      return m;
+    }
+  }
+  return -1;
+}
+
+}  // namespace alert

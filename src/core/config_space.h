@@ -1,0 +1,88 @@
+// The joint DNN x power-cap configuration space and its offline profiles.
+//
+// A *candidate* is what a scheduler can actually commit to for one input: a model, an
+// anytime stage limit (traditional networks have none), and a power cap.  Anytime
+// networks contribute one candidate per output stage — ALERT can decide up front to
+// stop early to save energy (Section 3.5) — so the decision space is
+//   (#traditional + #anytime-stages) x #power-caps.
+//
+// Profiles (t_prof, inference power) are what offline profiling on the platform would
+// record: latency at each cap with no contention, averaged over inputs.  An optional
+// lognormal perturbation models profiling error for robustness studies.
+#ifndef SRC_CORE_CONFIG_SPACE_H_
+#define SRC_CORE_CONFIG_SPACE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/dnn/model.h"
+#include "src/sim/simulator.h"
+
+namespace alert {
+
+// A model together with an anytime stage limit; power is picked separately.
+struct Candidate {
+  int model_index = 0;
+  // -1 for traditional networks; otherwise the 0-based index of the last stage the
+  // network is allowed to run to.
+  int stage_limit = -1;
+};
+
+// A full configuration: candidate + power setting.
+struct Configuration {
+  Candidate candidate;
+  int power_index = 0;
+};
+
+class ConfigSpace {
+ public:
+  // `sim` must outlive the space.  `profile_noise_sigma` > 0 adds a systematic
+  // lognormal perturbation to each profiled cell (seeded by `seed`).
+  explicit ConfigSpace(const PlatformSimulator& sim, double profile_noise_sigma = 0.0,
+                       uint64_t seed = 0);
+
+  int num_models() const { return static_cast<int>(sim_->models().size()); }
+  int num_powers() const { return static_cast<int>(caps_.size()); }
+  int num_candidates() const { return static_cast<int>(candidates_.size()); }
+  int num_configurations() const { return num_candidates() * num_powers(); }
+
+  const std::vector<Watts>& caps() const { return caps_; }
+  Watts cap(int power_index) const { return caps_[static_cast<size_t>(power_index)]; }
+  int default_power_index() const { return num_powers() - 1; }
+
+  const DnnModel& model(int model_index) const;
+  const Candidate& candidate(int candidate_index) const;
+  std::span<const Candidate> candidates() const { return candidates_; }
+
+  // Full-network profiled latency of a model at a cap.
+  Seconds ProfileLatency(int model_index, int power_index) const;
+  // Profiled latency of a candidate's run (stage-limited for anytime candidates).
+  Seconds CandidateProfileLatency(const Candidate& c, int power_index) const;
+  // Profiled average draw while the model runs at the cap.
+  Watts InferencePower(int model_index, int power_index) const;
+
+  // Final accuracy a candidate delivers when it completes in time.
+  double CandidateAccuracy(const Candidate& c) const;
+
+  // Index (into models) of the fastest traditional model, or -1 if none.  "Fastest" is
+  // by profile latency at the default (max) cap.
+  int FastestTraditionalModel() const;
+  // Index of the (first) anytime model, or -1 if none.
+  int AnytimeModel() const;
+
+  const PlatformSimulator& simulator() const { return *sim_; }
+  const PlatformSpec& platform() const { return sim_->platform(); }
+
+ private:
+  const PlatformSimulator* sim_;
+  std::vector<Watts> caps_;
+  std::vector<Candidate> candidates_;
+  // Row-major [model][power].
+  std::vector<Seconds> profile_latency_;
+  std::vector<Watts> inference_power_;
+};
+
+}  // namespace alert
+
+#endif  // SRC_CORE_CONFIG_SPACE_H_

@@ -1,0 +1,89 @@
+#include "src/core/estimates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/gaussian.h"
+
+namespace alert {
+
+double ProbMeetDeadline(const XiBelief& xi, Seconds profile_latency, Seconds deadline) {
+  ALERT_DCHECK(profile_latency > 0.0);
+  // t = xi * t_prof ~ N(mu * t_prof, (sigma * t_prof)^2).
+  return NormalCdf(deadline, xi.mean * profile_latency, xi.stddev * profile_latency);
+}
+
+double ExpectedAccuracyTraditional(const XiBelief& xi, Seconds profile_latency,
+                                   Seconds deadline, double model_accuracy,
+                                   double q_fail) {
+  const double pr = ProbMeetDeadline(xi, profile_latency, deadline);
+  return pr * model_accuracy + (1.0 - pr) * q_fail;
+}
+
+double ExpectedAccuracyAnytime(const XiBelief& xi, Seconds full_profile_latency,
+                               std::span<const AnytimeStage> stages, int stage_limit,
+                               Seconds deadline, double q_fail) {
+  ALERT_CHECK(!stages.empty());
+  const int last =
+      stage_limit < 0 ? static_cast<int>(stages.size()) - 1
+                      : std::min(stage_limit, static_cast<int>(stages.size()) - 1);
+  // Stage k completes by the deadline iff xi * frac_k * t_prof <= T.  All stages share
+  // the same xi, so P(stage k done) = Pr[xi <= T / (frac_k t_prof)], decreasing in k.
+  // The delivered output is the last completed stage (Eq. 13):
+  //   E[q] = sum_k q_k (P(k done) - P(k+1 done)) + q_fail (1 - P(0 done)).
+  double expected = 0.0;
+  double p_next = 0.0;  // P(stage k+1 done); none beyond `last`
+  for (int k = last; k >= 0; --k) {
+    const double frac = stages[static_cast<size_t>(k)].latency_fraction;
+    const double p_k = ProbMeetDeadline(xi, frac * full_profile_latency, deadline);
+    ALERT_DCHECK(p_k >= p_next - 1e-12);
+    expected += stages[static_cast<size_t>(k)].accuracy * (p_k - p_next);
+    p_next = p_k;
+  }
+  expected += q_fail * (1.0 - p_next);  // p_next now holds P(stage 0 done)
+  return expected;
+}
+
+Seconds ExpectedRuntime(const XiBelief& xi, Seconds profile_latency, Seconds cutoff) {
+  const double mean = xi.mean * profile_latency;
+  const double stddev = xi.stddev * profile_latency;
+  if (stddev == 0.0) {
+    return std::min(mean, cutoff);
+  }
+  // E[min(X, c)] = Phi(z) E[X | X <= c] + (1 - Phi(z)) c,  z = (c - mean) / stddev.
+  const double z = (cutoff - mean) / stddev;
+  const double p_below = StandardNormalCdf(z);
+  if (p_below <= 1e-12) {
+    return cutoff;
+  }
+  const double mean_below = TruncatedNormalMeanBelow(mean, stddev, cutoff);
+  const double value = p_below * mean_below + (1.0 - p_below) * cutoff;
+  // The truncated mean can be slightly negative for very wide beliefs; keep physical.
+  return std::clamp(value, 0.0, cutoff);
+}
+
+Joules EstimateEnergy(const XiBelief& xi, Seconds run_profile_latency,
+                      Watts inference_power, Watts idle_power_estimate, Seconds period,
+                      Seconds cutoff, bool stop_at_cutoff, double percentile) {
+  ALERT_DCHECK(run_profile_latency > 0.0);
+  Seconds run = 0.0;
+  if (percentile > 0.0 && xi.stddev > 0.0) {
+    // Eq. 12: charge the Pr_th-percentile latency instead of the mean.
+    const double t_pct =
+        NormalQuantile(percentile, xi.mean * run_profile_latency,
+                       xi.stddev * run_profile_latency);
+    run = std::max(0.0, t_pct);
+    if (stop_at_cutoff) {
+      run = std::min(run, cutoff);
+    }
+  } else {
+    run = stop_at_cutoff ? ExpectedRuntime(xi, run_profile_latency, cutoff)
+                         : xi.mean * run_profile_latency;
+  }
+  // Eq. 9: inference draw while running, tracked idle draw for the period remainder.
+  const Seconds idle_time = std::max(0.0, period - run);
+  return inference_power * run + idle_power_estimate * idle_time;
+}
+
+}  // namespace alert

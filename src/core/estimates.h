@@ -1,0 +1,57 @@
+// ALERT's probabilistic per-configuration estimates (Section 3.4).
+//
+// The global slowdown belief xi ~ N(mu, sigma^2) induces, for every configuration, a
+// latency distribution t = xi * t_prof.  From it these functions derive:
+//   * the probability of completing by the deadline (Eq. 6),
+//   * the expected delivered accuracy, treating the accuracy-vs-latency step function
+//     exactly (Eq. 7 for traditional networks, Eq. 13's ladder for anytime networks),
+//   * the expected energy over the input period (Eq. 9), or its worst-case-percentile
+//     variant when a probabilistic guarantee Pr_th is requested (Eq. 12).
+//
+// Passing sigma = 0 degenerates every estimate to the mean-only scheme the paper calls
+// ALERT* (Fig. 10 ablation).
+#ifndef SRC_CORE_ESTIMATES_H_
+#define SRC_CORE_ESTIMATES_H_
+
+#include <span>
+
+#include "src/common/units.h"
+#include "src/dnn/model.h"
+
+namespace alert {
+
+// Belief over the global slowdown factor.
+struct XiBelief {
+  double mean = 1.0;
+  double stddev = 0.0;  // 0 => deterministic (ALERT*)
+};
+
+// Eq. 6: Pr[xi * profile_latency <= deadline].
+double ProbMeetDeadline(const XiBelief& xi, Seconds profile_latency, Seconds deadline);
+
+// Eq. 7: expected accuracy of a traditional network under the deadline step function.
+double ExpectedAccuracyTraditional(const XiBelief& xi, Seconds profile_latency,
+                                   Seconds deadline, double model_accuracy, double q_fail);
+
+// Eq. 13: expected accuracy of an anytime network allowed to run to `stage_limit`
+// (inclusive), delivering the last stage completed by the deadline.
+// `full_profile_latency` is the full-network profiled latency.
+double ExpectedAccuracyAnytime(const XiBelief& xi, Seconds full_profile_latency,
+                               std::span<const AnytimeStage> stages, int stage_limit,
+                               Seconds deadline, double q_fail);
+
+// E[min(xi * profile_latency, cutoff)]: expected execution time when the run is stopped
+// at `cutoff` (deadline kill / anytime stop).
+Seconds ExpectedRuntime(const XiBelief& xi, Seconds profile_latency, Seconds cutoff);
+
+// Eq. 9 (percentile == 0) / Eq. 12 (percentile in (0,1)): expected energy over one
+// period.  `run_profile_latency` is the profiled latency of the work actually scheduled
+// (stage-limited for anytime candidates); execution stops at min(run, period-deadline
+// cutoff) when `stop_at_cutoff`.
+Joules EstimateEnergy(const XiBelief& xi, Seconds run_profile_latency,
+                      Watts inference_power, Watts idle_power_estimate, Seconds period,
+                      Seconds cutoff, bool stop_at_cutoff, double percentile);
+
+}  // namespace alert
+
+#endif  // SRC_CORE_ESTIMATES_H_

@@ -1,0 +1,73 @@
+// User-specified requirements (Section 3.1).
+//
+// ALERT meets constraints in two of the three dimensions {latency, accuracy, energy}
+// while optimizing the third:
+//   * kMaximizeAccuracy — Eq. 1: max q s.t. energy <= budget and latency <= deadline.
+//   * kMinimizeEnergy   — Eq. 2: min e s.t. accuracy >= goal and latency <= deadline.
+//   * kMinimizeLatency  — the mode the paper omits as "a trivial extension of the
+//     discussed techniques": min t s.t. accuracy >= goal and energy <= budget.  The
+//     deadline field then only sizes the input period (idle-energy accounting).
+#ifndef SRC_CORE_GOALS_H_
+#define SRC_CORE_GOALS_H_
+
+#include <string_view>
+
+#include "src/common/units.h"
+
+namespace alert {
+
+enum class GoalMode : int {
+  kMinimizeEnergy = 0,
+  kMaximizeAccuracy = 1,
+  kMinimizeLatency = 2,
+};
+
+constexpr std::string_view GoalModeName(GoalMode m) {
+  switch (m) {
+    case GoalMode::kMinimizeEnergy:
+      return "MinimizeEnergy";
+    case GoalMode::kMaximizeAccuracy:
+      return "MinimizeError";
+    case GoalMode::kMinimizeLatency:
+      return "MinimizeLatency";
+  }
+  return "?";
+}
+
+struct Goals {
+  GoalMode mode = GoalMode::kMinimizeEnergy;
+
+  // Latency constraint: per-input deadline (image tasks) or per-word budget share
+  // (sentence tasks; the harness's deadline policy turns it into per-input deadlines).
+  // In kMinimizeLatency mode it is only the accounting period.
+  Seconds deadline = 0.0;
+
+  // Accuracy constraint, used when mode != kMaximizeAccuracy.
+  double accuracy_goal = 0.0;
+
+  // Energy constraint per input period (joules), used when mode != kMinimizeEnergy.
+  Joules energy_budget = 0.0;
+
+  // Optional probabilistic guarantee Pr_th (Eqs. 10-12).  0 disables the explicit
+  // threshold: ALERT then uses full mathematical expectations (the paper's default).
+  double prob_threshold = 0.0;
+
+  bool Valid() const {
+    if (deadline <= 0.0) {
+      return false;
+    }
+    switch (mode) {
+      case GoalMode::kMinimizeEnergy:
+        return accuracy_goal > 0.0 && accuracy_goal <= 1.0;
+      case GoalMode::kMaximizeAccuracy:
+        return energy_budget > 0.0;
+      case GoalMode::kMinimizeLatency:
+        return accuracy_goal > 0.0 && accuracy_goal <= 1.0 && energy_budget > 0.0;
+    }
+    return false;
+  }
+};
+
+}  // namespace alert
+
+#endif  // SRC_CORE_GOALS_H_

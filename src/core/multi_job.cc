@@ -1,0 +1,75 @@
+#include "src/core/multi_job.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+MultiJobCoordinator::MultiJobCoordinator(std::vector<JobSpec> jobs,
+                                         Watts total_power_budget)
+    : total_power_budget_(total_power_budget) {
+  ALERT_CHECK(!jobs.empty());
+  ALERT_CHECK(total_power_budget > 0.0);
+  for (JobSpec& spec : jobs) {
+    ALERT_CHECK(spec.space != nullptr);
+    Job job;
+    job.name = std::move(spec.name);
+    job.space = spec.space;
+    job.scheduler =
+        std::make_unique<AlertScheduler>(*spec.space, spec.goals, spec.options);
+    jobs_.push_back(std::move(job));
+  }
+}
+
+AlertScheduler& MultiJobCoordinator::job(int index) {
+  ALERT_CHECK(index >= 0 && index < num_jobs());
+  return *jobs_[static_cast<size_t>(index)].scheduler;
+}
+
+const AlertScheduler& MultiJobCoordinator::job(int index) const {
+  ALERT_CHECK(index >= 0 && index < num_jobs());
+  return *jobs_[static_cast<size_t>(index)].scheduler;
+}
+
+const std::string& MultiJobCoordinator::job_name(int index) const {
+  ALERT_CHECK(index >= 0 && index < num_jobs());
+  return jobs_[static_cast<size_t>(index)].name;
+}
+
+std::vector<SchedulingDecision> MultiJobCoordinator::DecideRound(
+    const std::vector<InferenceRequest>& requests) {
+  ALERT_CHECK(requests.size() == jobs_.size());
+
+  // Pass 1: unconstrained desires.
+  std::vector<SchedulingDecision> decisions(jobs_.size());
+  Watts desired_total = 0.0;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    jobs_[j].scheduler->set_power_limit(std::numeric_limits<double>::infinity());
+    decisions[j] = jobs_[j].scheduler->Decide(requests[j]);
+    desired_total += decisions[j].power_cap;
+  }
+  if (desired_total <= total_power_budget_ + 1e-9) {
+    return decisions;
+  }
+
+  // Pass 2: scale every job's limit proportionally to its desire and let each job
+  // re-optimize its full (DNN, power) choice for the power it actually gets.
+  const double scale = total_power_budget_ / desired_total;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    jobs_[j].scheduler->set_power_limit(decisions[j].power_cap * scale);
+    decisions[j] = jobs_[j].scheduler->Decide(requests[j]);
+  }
+  return decisions;
+}
+
+void MultiJobCoordinator::ObserveRound(const std::vector<SchedulingDecision>& decisions,
+                                       const std::vector<Measurement>& measurements) {
+  ALERT_CHECK(decisions.size() == jobs_.size());
+  ALERT_CHECK(measurements.size() == jobs_.size());
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    jobs_[j].scheduler->Observe(decisions[j], measurements[j]);
+  }
+}
+
+}  // namespace alert

@@ -1,0 +1,66 @@
+// Coordinating concurrent inference jobs (Section 3.6's future-work extension).
+//
+// The paper's ALERT manages one inference job.  This coordinator runs K ALERT
+// instances — one per job, each with its own goals and candidate family — under a
+// single shared package power budget.  Per round:
+//
+//   1. every job decides unconstrained and reports the cap it would like;
+//   2. if the sum of desired caps fits the budget, the desires stand;
+//   3. otherwise each job's limit is scaled proportionally to its desire
+//      (one re-decision pass under the scaled limits — each job re-optimizes its
+//      DNN choice for the power it actually gets, which is the coordination the
+//      paper's No-coord baseline lacks);
+//   4. measurements feed back into each job's own filters; the global-slowdown
+//      mechanism is untouched, exactly as the paper anticipates ("we expect the main
+//      idea of ALERT ... to still apply").
+#ifndef SRC_CORE_MULTI_JOB_H_
+#define SRC_CORE_MULTI_JOB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/alert_scheduler.h"
+
+namespace alert {
+
+struct JobSpec {
+  std::string name;
+  const ConfigSpace* space = nullptr;  // must outlive the coordinator
+  Goals goals;
+  AlertOptions options;
+};
+
+class MultiJobCoordinator {
+ public:
+  MultiJobCoordinator(std::vector<JobSpec> jobs, Watts total_power_budget);
+
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  Watts total_power_budget() const { return total_power_budget_; }
+
+  // Decides one configuration per job such that the sum of their power caps does not
+  // exceed the shared budget.  `requests` is indexed by job.
+  std::vector<SchedulingDecision> DecideRound(
+      const std::vector<InferenceRequest>& requests);
+
+  // Feeds each job's measurement back to its scheduler.
+  void ObserveRound(const std::vector<SchedulingDecision>& decisions,
+                    const std::vector<Measurement>& measurements);
+
+  AlertScheduler& job(int index);
+  const AlertScheduler& job(int index) const;
+  const std::string& job_name(int index) const;
+
+ private:
+  struct Job {
+    std::string name;
+    const ConfigSpace* space;
+    std::unique_ptr<AlertScheduler> scheduler;
+  };
+  std::vector<Job> jobs_;
+  Watts total_power_budget_;
+};
+
+}  // namespace alert
+
+#endif  // SRC_CORE_MULTI_JOB_H_

@@ -1,0 +1,57 @@
+// The scheduler interface shared by ALERT and every baseline scheme.
+//
+// The harness drives the loop of Section 3.2 for each input n:
+//   1. the deadline policy produces the (possibly adjusted) goal for n,
+//   2. the scheduler picks a configuration (Decide),
+//   3. the platform executes it (PlatformSimulator::Execute),
+//   4. the scheduler ingests the measurement (Observe) — feedback for n+1.
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <string_view>
+
+#include "src/common/units.h"
+#include "src/core/config_space.h"
+#include "src/sim/simulator.h"
+
+namespace alert {
+
+struct InferenceRequest {
+  int input_index = 0;
+  Seconds deadline = 0.0;  // already adjusted for shared-budget dynamics
+  Seconds period = 0.0;    // accounting period (usually == deadline)
+};
+
+struct SchedulingDecision {
+  Candidate candidate;
+  int power_index = 0;
+  Watts power_cap = 0.0;
+
+  // Expands into the platform request for this input.  Anytime networks stop at the
+  // deadline and deliver their latest output; traditional networks run to completion —
+  // a late result is worthless (Eq. 3) but its full latency is observed, which is what
+  // feeds the slowdown filter (the Fig. 9 latency panel shows such overruns).
+  ExecRequest ToExecRequest(const InferenceRequest& request) const {
+    return ExecRequest{
+        .model_index = candidate.model_index,
+        .power_cap = power_cap,
+        .deadline = request.deadline,
+        .period = request.period,
+        .max_anytime_stage = candidate.stage_limit,
+        .stop_at_deadline = candidate.stage_limit >= 0,
+    };
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual SchedulingDecision Decide(const InferenceRequest& request) = 0;
+  virtual void Observe(const SchedulingDecision& decision, const Measurement& m) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_CORE_SCHEDULER_H_

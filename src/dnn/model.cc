@@ -1,0 +1,27 @@
+#include "src/dnn/model.h"
+
+#include <cmath>
+
+namespace alert {
+
+double TaskRandomGuessAccuracy(TaskId task) {
+  switch (task) {
+    case TaskId::kImageClassification:
+      // Top-5 random guess over the 1000 ImageNet classes.
+      return 5.0 / 1000.0;
+    case TaskId::kSentencePrediction:
+      // Uniform guess over a 10k-word vocabulary.
+      return 1.0 / 10000.0;
+    case TaskId::kQuestionAnswering:
+      // Random answer span almost never matches.
+      return 1.0 / 1000.0;
+  }
+  return 0.0;
+}
+
+double PerplexityFromAccuracy(double accuracy) {
+  // Monotone decreasing map; see header for the calibration targets.
+  return std::exp(6.0 - 4.2 * accuracy);
+}
+
+}  // namespace alert

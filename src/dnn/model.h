@@ -1,0 +1,97 @@
+// DNN model descriptors.
+//
+// ALERT treats a DNN as a black box characterized by an offline profile: a reference
+// latency per platform (measured at the maximum power cap with no co-runners), a final
+// accuracy, a peak power demand, and — for anytime networks — a ladder of intermediate
+// outputs (Eq. 13 of the paper).  The descriptor below captures exactly that interface;
+// actual "inference" is performed by the platform simulator (src/sim), which samples a
+// latency/energy/accuracy outcome from the descriptor plus the environment state.
+#ifndef SRC_DNN_MODEL_H_
+#define SRC_DNN_MODEL_H_
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+
+namespace alert {
+
+// One intermediate output of an anytime DNN: output k becomes available once
+// `latency_fraction` of the full-network latency has elapsed and carries `accuracy`.
+// Stages are stored in ascending latency_fraction order; the last stage has
+// latency_fraction == 1.0 and accuracy equal to the model's final accuracy.
+struct AnytimeStage {
+  double latency_fraction = 1.0;
+  double accuracy = 0.0;
+};
+
+// Offline profile of one DNN.
+struct DnnModel {
+  std::string name;
+  TaskId task = TaskId::kImageClassification;
+  // Position within its family, 0 = smallest/fastest.  Used for display and for the
+  // baselines that must pick "the fastest traditional DNN".
+  int family_rank = 0;
+
+  // Final-output accuracy in [0, 1].  For image classification this is top-5 accuracy;
+  // for sentence prediction, next-word prediction accuracy.
+  double accuracy = 0.0;
+
+  // Reference latency per platform: seconds per input at the maximum power cap with no
+  // contention.  NaN marks platforms the model cannot run on (e.g. out-of-memory on the
+  // embedded board, Fig. 4 caption).
+  std::array<Seconds, kNumPlatforms> ref_latency{};
+
+  // Peak package draw as a fraction of the platform's saturation power.  Small networks
+  // cannot saturate a generous power cap, which is exactly what makes joint model/power
+  // selection profitable.
+  double power_demand_frac = 1.0;
+
+  // How strongly this model reacts to each contention type relative to the global
+  // multiplier (1.0 = exactly the global factor).  Non-uniform values make the paper's
+  // "global slowdown factor" a deliberate approximation, as it is on real hardware.
+  double memory_sensitivity = 1.0;
+  double compute_sensitivity = 1.0;
+
+  // Empty for traditional DNNs.
+  std::vector<AnytimeStage> anytime_stages;
+
+  bool is_anytime() const { return !anytime_stages.empty(); }
+
+  bool SupportsPlatform(PlatformId p) const {
+    return !std::isnan(ref_latency[static_cast<int>(p)]);
+  }
+
+  Seconds ref_latency_on(PlatformId p) const { return ref_latency[static_cast<int>(p)]; }
+
+  // Sensitivity multiplier exponent for the given contention type.
+  double ContentionSensitivity(ContentionType c) const {
+    switch (c) {
+      case ContentionType::kNone:
+        return 0.0;
+      case ContentionType::kMemory:
+        return memory_sensitivity;
+      case ContentionType::kCompute:
+        return compute_sensitivity;
+    }
+    return 0.0;
+  }
+};
+
+// Accuracy of a fallback answer when inference misses its deadline entirely (Eq. 3):
+// a random guess.  Top-5 guessing over the 1000 ImageNet classes; uniform vocabulary
+// guess for sentence prediction; span-guess for QA.
+double TaskRandomGuessAccuracy(TaskId task);
+
+// The paper's NLP experiments report perplexity (Fig. 10).  The simulator works in
+// word-prediction accuracy; this monotone map converts a delivered accuracy into the
+// perplexity scale used for reporting.  Calibrated so the evaluation RNN family spans
+// roughly 115-180 perplexity and a random guess ~400, matching Fig. 10's axis.
+double PerplexityFromAccuracy(double accuracy);
+
+}  // namespace alert
+
+#endif  // SRC_DNN_MODEL_H_

@@ -1,0 +1,233 @@
+#include "src/dnn/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace alert {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// Per-platform latency scaling relative to the CPU2 (server) reference column for the
+// image networks.  The embedded board cannot hold the image models (Fig. 4 caption).
+constexpr double kImgCpu1Scale = 3.4;
+constexpr double kImgGpuScale = 0.085;
+
+// Builds an image classifier from its CPU2 reference latency.
+DnnModel MakeImageNet(std::string name, int rank, double top5_error_pct, Seconds cpu2_lat,
+                      double demand_frac) {
+  DnnModel m;
+  m.name = std::move(name);
+  m.task = TaskId::kImageClassification;
+  m.family_rank = rank;
+  m.accuracy = 1.0 - top5_error_pct / 100.0;
+  m.ref_latency = {kNan, cpu2_lat * kImgCpu1Scale, cpu2_lat, cpu2_lat * kImgGpuScale};
+  m.power_demand_frac = demand_frac;
+  // Larger networks are more memory-bound: they suffer more under memory contention.
+  m.memory_sensitivity = 0.9 + 0.25 * std::min(1.0, cpu2_lat / 0.25);
+  m.compute_sensitivity = 1.0;
+  return m;
+}
+
+}  // namespace
+
+std::vector<DnnModel> BuildImageNetZoo() {
+  // (name, top-5 error %, CPU2 latency s).  Calibrated to Fig. 2: latency span
+  // 0.015-0.27 s (18x), error span 4.0-31.2% (7.8x).  Peak power demand grows with
+  // network size, giving the >20x energy span quoted in Section 2.1.
+  struct Entry {
+    const char* name;
+    double err;
+    double lat;
+  };
+  static constexpr Entry kEntries[] = {
+      {"mobilenet_v1_025_128", 31.2, 0.015}, {"mobilenet_v1_025_160", 28.8, 0.018},
+      {"mobilenet_v1_025_192", 27.2, 0.022}, {"mobilenet_v1_025_224", 25.9, 0.026},
+      {"mobilenet_v1_050_128", 25.1, 0.021}, {"mobilenet_v1_050_160", 22.7, 0.026},
+      {"mobilenet_v1_050_192", 21.1, 0.032}, {"mobilenet_v1_050_224", 20.0, 0.038},
+      {"mobilenet_v1_075_128", 22.1, 0.027}, {"mobilenet_v1_075_160", 19.7, 0.034},
+      {"mobilenet_v1_075_192", 18.1, 0.042}, {"mobilenet_v1_075_224", 17.2, 0.050},
+      {"mobilenet_v1_100_128", 19.9, 0.033}, {"mobilenet_v1_100_160", 17.5, 0.042},
+      {"mobilenet_v1_100_192", 16.2, 0.052}, {"mobilenet_v1_100_224", 15.2, 0.062},
+      {"mobilenet_v2_100_224", 14.0, 0.058}, {"mobilenet_v2_140_224", 12.5, 0.072},
+      {"inception_v1", 13.5, 0.065},         {"inception_v2", 11.9, 0.075},
+      {"inception_v3", 8.8, 0.118},          {"inception_v4", 7.2, 0.155},
+      {"inception_resnet_v2", 6.9, 0.160},   {"resnet_v1_50", 9.2, 0.095},
+      {"resnet_v1_101", 8.2, 0.135},         {"resnet_v1_152", 7.8, 0.165},
+      {"resnet_v2_50", 8.9, 0.098},          {"resnet_v2_101", 8.0, 0.140},
+      {"resnet_v2_152", 7.6, 0.170},         {"resnet_v2_200", 7.3, 0.210},
+      {"vgg_16", 10.1, 0.200},               {"vgg_19", 10.0, 0.220},
+      {"nasnet_mobile", 8.1, 0.080},         {"nasnet_large", 4.0, 0.270},
+      {"pnasnet_mobile", 7.9, 0.078},        {"pnasnet_large", 4.2, 0.250},
+      {"densenet_121", 8.3, 0.105},          {"densenet_169", 7.7, 0.130},
+      {"densenet_201", 7.3, 0.155},          {"squeezenet", 19.7, 0.035},
+      {"shufflenet_v1", 16.8, 0.040},        {"efficientnet_b0", 6.7, 0.090},
+  };
+  std::vector<DnnModel> zoo;
+  zoo.reserve(std::size(kEntries));
+  int rank = 0;
+  for (const Entry& e : kEntries) {
+    const double demand = std::clamp(0.80 + 1.0 * e.lat, 0.80, 1.0);
+    zoo.push_back(MakeImageNet(e.name, rank++, e.err, e.lat, demand));
+  }
+  ALERT_CHECK(zoo.size() == 42);
+  return zoo;
+}
+
+DnnModel BuildVgg16() { return MakeImageNet("vgg_16", 0, 10.1, 0.200, 0.92); }
+
+DnnModel BuildResNet50() { return MakeImageNet("resnet_v1_50", 0, 7.0, 0.103, 0.93); }
+
+DnnModel BuildRnn() {
+  // NLP1: per-word step cost of a 2-layer LSTM language model.  Runs everywhere,
+  // including the embedded board (the only task that fits there, Fig. 4).
+  DnnModel m;
+  m.name = "rnn_lm";
+  m.task = TaskId::kSentencePrediction;
+  m.family_rank = 0;
+  m.accuracy = 0.301;
+  m.ref_latency = {0.0127 * 3.5, 0.0127, 0.0127 * 0.45, 0.0127 * 0.18};
+  m.power_demand_frac = 0.62;
+  m.memory_sensitivity = 1.1;
+  m.compute_sensitivity = 1.0;
+  return m;
+}
+
+DnnModel BuildBert() {
+  DnnModel m;
+  m.name = "bert_base_squad";
+  m.task = TaskId::kQuestionAnswering;
+  m.family_rank = 0;
+  m.accuracy = 0.881;  // F1 treated as accuracy
+  m.ref_latency = {kNan, 3.9, 1.1, 0.12};
+  m.power_demand_frac = 1.0;
+  m.memory_sensitivity = 1.15;
+  m.compute_sensitivity = 1.0;
+  return m;
+}
+
+std::vector<DnnModel> BuildSparseResNetFamily() {
+  // Five sparsified ResNet variants.  CPU1 reference latencies chosen so the largest
+  // (~68 ms) sits near the Fig. 9 operating point; other platforms scale as the image
+  // zoo does (CPU2 ~ CPU1/3.4, GPU ~ CPU1/40).
+  struct Entry {
+    const char* name;
+    Seconds cpu1_lat;
+    double top5_acc;
+  };
+  static constexpr Entry kEntries[] = {
+      {"sparse_resnet_xs", 0.012, 0.886}, {"sparse_resnet_s", 0.020, 0.910},
+      {"sparse_resnet_m", 0.032, 0.927},  {"sparse_resnet_l", 0.047, 0.939},
+      {"sparse_resnet_xl", 0.068, 0.949},
+  };
+  std::vector<DnnModel> family;
+  int rank = 0;
+  for (const Entry& e : kEntries) {
+    DnnModel m;
+    m.name = e.name;
+    m.task = TaskId::kImageClassification;
+    m.family_rank = rank;
+    m.accuracy = e.top5_acc;
+    m.ref_latency = {kNan, e.cpu1_lat, e.cpu1_lat / 3.4, e.cpu1_lat / 40.0};
+    m.power_demand_frac = 0.82 + 0.04 * rank;
+    m.memory_sensitivity = 0.95 + 0.05 * rank;
+    m.compute_sensitivity = 1.0;
+    family.push_back(std::move(m));
+    ++rank;
+  }
+  return family;
+}
+
+DnnModel BuildDepthNestAnytime() {
+  // Depth-nested anytime network [5]: five exits.  Each exit is slightly less accurate
+  // than the traditional Sparse-ResNet of comparable latency (Section 3.5: anytime DNNs
+  // "generally sacrifice accuracy for flexibility").
+  DnnModel m;
+  m.name = "depth_nest_anytime";
+  m.task = TaskId::kImageClassification;
+  m.family_rank = 5;
+  m.accuracy = 0.943;
+  const Seconds cpu1_lat = 0.064;
+  m.ref_latency = {kNan, cpu1_lat, cpu1_lat / 3.4, cpu1_lat / 40.0};
+  m.power_demand_frac = 0.93;
+  m.memory_sensitivity = 1.12;
+  m.compute_sensitivity = 1.0;
+  m.anytime_stages = {
+      {0.22, 0.883}, {0.38, 0.906}, {0.58, 0.924}, {0.79, 0.935}, {1.00, 0.943},
+  };
+  return m;
+}
+
+std::vector<DnnModel> BuildRnnFamily() {
+  // Five width variants of the NLP1 language model; per-word reference latencies.
+  struct Entry {
+    const char* name;
+    Seconds cpu1_lat;
+    double word_acc;
+  };
+  static constexpr Entry kEntries[] = {
+      {"rnn_w128", 0.0026, 0.214}, {"rnn_w224", 0.0041, 0.243}, {"rnn_w320", 0.0060, 0.266},
+      {"rnn_w448", 0.0088, 0.285}, {"rnn_w640", 0.0127, 0.301},
+  };
+  std::vector<DnnModel> family;
+  int rank = 0;
+  for (const Entry& e : kEntries) {
+    DnnModel m;
+    m.name = e.name;
+    m.task = TaskId::kSentencePrediction;
+    m.family_rank = rank;
+    m.accuracy = e.word_acc;
+    m.ref_latency = {e.cpu1_lat * 3.5, e.cpu1_lat, e.cpu1_lat * 0.45, e.cpu1_lat * 0.18};
+    m.power_demand_frac = 0.55 + 0.05 * rank;
+    m.memory_sensitivity = 1.0 + 0.04 * rank;
+    m.compute_sensitivity = 1.0;
+    family.push_back(std::move(m));
+    ++rank;
+  }
+  return family;
+}
+
+DnnModel BuildWidthNestAnytime() {
+  // Width-nested anytime RNN [5]: the hidden state is sliced so narrower sub-networks
+  // produce earlier (less accurate) predictions.
+  DnnModel m;
+  m.name = "width_nest_anytime";
+  m.task = TaskId::kSentencePrediction;
+  m.family_rank = 5;
+  m.accuracy = 0.298;
+  const Seconds cpu1_lat = 0.0120;
+  m.ref_latency = {cpu1_lat * 3.5, cpu1_lat, cpu1_lat * 0.45, cpu1_lat * 0.18};
+  m.power_demand_frac = 0.70;
+  m.memory_sensitivity = 1.12;
+  m.compute_sensitivity = 1.0;
+  m.anytime_stages = {
+      {0.25, 0.210}, {0.42, 0.240}, {0.62, 0.262}, {0.81, 0.281}, {1.00, 0.298},
+  };
+  return m;
+}
+
+std::vector<DnnModel> BuildEvaluationSet(TaskId task, DnnSetChoice choice) {
+  ALERT_CHECK(task == TaskId::kImageClassification || task == TaskId::kSentencePrediction);
+  std::vector<DnnModel> traditional;
+  DnnModel anytime;
+  if (task == TaskId::kImageClassification) {
+    traditional = BuildSparseResNetFamily();
+    anytime = BuildDepthNestAnytime();
+  } else {
+    traditional = BuildRnnFamily();
+    anytime = BuildWidthNestAnytime();
+  }
+  std::vector<DnnModel> set;
+  if (choice != DnnSetChoice::kAnytimeOnly) {
+    set = std::move(traditional);
+  }
+  if (choice != DnnSetChoice::kTraditionalOnly) {
+    set.push_back(std::move(anytime));
+  }
+  return set;
+}
+
+}  // namespace alert

@@ -1,0 +1,64 @@
+// Model-zoo builders.
+//
+// Three groups of models appear in the paper:
+//   1. The 42 TF-slim ImageNet classifiers of the Section 2 study (Fig. 2).
+//   2. Profiling singletons: VGG16 (IMG1), ResNet50 (IMG2), an RNN language model
+//      (NLP1) and BERT (NLP2), used for the latency-variance study (Figs. 3-5).
+//   3. The evaluation candidate families of Table 3: a Sparse-ResNet traditional family
+//      plus a Depth-Nest anytime network for image classification, and an RNN width
+//      family plus a Width-Nest anytime network for sentence prediction.
+//
+// Profiles are synthetic but calibrated to the ratios the paper reports: the 42-network
+// zoo spans ~18x latency, ~7.8x top-5 error, and >20x energy (Section 2.1); anytime
+// networks trade a small accuracy loss for output flexibility (Section 3.5).
+#ifndef SRC_DNN_ZOO_H_
+#define SRC_DNN_ZOO_H_
+
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/dnn/model.h"
+
+namespace alert {
+
+// Which DNN candidates a scheduler may pick from (Table 3 scheme column).
+enum class DnnSetChoice : int {
+  kTraditionalOnly = 0,  // ALERT-Trad
+  kAnytimeOnly = 1,      // ALERT-Any / App-only / No-coord
+  kBoth = 2,             // ALERT default
+};
+
+constexpr std::string_view DnnSetName(DnnSetChoice c) {
+  switch (c) {
+    case DnnSetChoice::kTraditionalOnly:
+      return "Trad";
+    case DnnSetChoice::kAnytimeOnly:
+      return "Any";
+    case DnnSetChoice::kBoth:
+      return "Both";
+  }
+  return "?";
+}
+
+// The 42 ImageNet classification networks of Fig. 2 (TF-slim zoo).
+std::vector<DnnModel> BuildImageNetZoo();
+
+// Profiling singletons (Table 2).
+DnnModel BuildVgg16();     // IMG1
+DnnModel BuildResNet50();  // IMG2
+DnnModel BuildRnn();       // NLP1 (per-word cost of the largest evaluation RNN)
+DnnModel BuildBert();      // NLP2
+
+// Evaluation families (Table 3).
+std::vector<DnnModel> BuildSparseResNetFamily();  // 5 traditional image classifiers
+DnnModel BuildDepthNestAnytime();                 // anytime image classifier
+std::vector<DnnModel> BuildRnnFamily();           // 5 traditional word predictors
+DnnModel BuildWidthNestAnytime();                 // anytime word predictor
+
+// Assembles the candidate set for an evaluation task.  Models are ordered smallest to
+// largest with the anytime network (if included) last.
+std::vector<DnnModel> BuildEvaluationSet(TaskId task, DnnSetChoice choice);
+
+}  // namespace alert
+
+#endif  // SRC_DNN_ZOO_H_

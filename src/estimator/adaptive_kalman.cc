@@ -1,0 +1,52 @@
+#include "src/estimator/adaptive_kalman.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+AdaptiveKalmanFilter::AdaptiveKalmanFilter(const AdaptiveKalmanParams& params)
+    : params_(params), mean_(params.initial_mean), variance_(params.initial_variance),
+      gain_(params.initial_gain), process_noise_(params.initial_process_noise) {
+  ALERT_CHECK(params.measurement_noise > 0.0);
+  ALERT_CHECK(params.initial_process_noise > 0.0);
+  ALERT_CHECK(params.forgetting_factor >= 0.0 && params.forgetting_factor <= 1.0);
+}
+
+void AdaptiveKalmanFilter::Update(double observation) {
+  // Eq. 5, in the paper's order.  State held across steps: mu, sigma^2 (prior
+  // variance), K, Q, and the previous innovation y.
+  const double y = observation - mean_;
+
+  // Q(n): adaptive process noise from the previous gain-scaled innovation, bounded by
+  // Q(0).  See the header for the max-vs-cap discrepancy.
+  const double innovation_term = gain_ * last_innovation_;
+  const double blended = params_.forgetting_factor * process_noise_ +
+                         (1.0 - params_.forgetting_factor) * innovation_term * innovation_term;
+  process_noise_ = params_.literal_max_variant
+                       ? std::max(params_.initial_process_noise, blended)
+                       : std::min(params_.initial_process_noise, blended);
+
+  // sigma^2(n) = (1 - K(n-1)) sigma^2(n-1) + Q(n): prior variance for this step
+  // (posterior of the previous step plus fresh process noise).
+  variance_ = (1.0 - gain_) * variance_ + process_noise_;
+
+  // K(n) = sigma^2(n) / (sigma^2(n) + R).
+  gain_ = variance_ / (variance_ + params_.measurement_noise);
+
+  // mu(n) = mu(n-1) + K(n) y(n).
+  mean_ += gain_ * y;
+
+  last_innovation_ = y;
+  ++num_updates_;
+}
+
+double AdaptiveKalmanFilter::stddev() const { return std::sqrt(variance_); }
+
+double AdaptiveKalmanFilter::predictive_stddev() const {
+  return std::sqrt(variance_ + params_.measurement_noise);
+}
+
+}  // namespace alert

@@ -1,0 +1,24 @@
+#include "src/estimator/ewma.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+EwmaEstimator::EwmaEstimator(double alpha, double initial_mean)
+    : alpha_(alpha), mean_(initial_mean) {
+  ALERT_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void EwmaEstimator::Update(double observation) {
+  // West's incremental EW mean/variance: variance first (uses the pre-update mean).
+  const double delta = observation - mean_;
+  variance_ = (1.0 - alpha_) * (variance_ + alpha_ * delta * delta);
+  mean_ += alpha_ * delta;
+  ++num_updates_;
+}
+
+double EwmaEstimator::stddev() const { return std::sqrt(variance_); }
+
+}  // namespace alert

@@ -1,0 +1,34 @@
+// Exponentially weighted moving average estimator with variance tracking.
+//
+// A simpler alternative to the adaptive Kalman filter, kept as an ablation contender
+// and as a building block for coarse telemetry.  Unlike Eq. 5's filter it has no
+// volatility-adaptive gain: the fixed alpha trades responsiveness against smoothing
+// once, at construction.
+#ifndef SRC_ESTIMATOR_EWMA_H_
+#define SRC_ESTIMATOR_EWMA_H_
+
+namespace alert {
+
+class EwmaEstimator {
+ public:
+  // `alpha` in (0, 1]: weight of the newest observation.
+  explicit EwmaEstimator(double alpha = 0.2, double initial_mean = 1.0);
+
+  void Update(double observation);
+
+  double mean() const { return mean_; }
+  // EW variance of the observations around the EW mean.
+  double variance() const { return variance_; }
+  double stddev() const;
+  int num_updates() const { return num_updates_; }
+
+ private:
+  double alpha_;
+  double mean_;
+  double variance_ = 0.0;
+  int num_updates_ = 0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_ESTIMATOR_EWMA_H_

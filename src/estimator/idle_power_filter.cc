@@ -1,0 +1,28 @@
+#include "src/estimator/idle_power_filter.h"
+
+#include "src/common/check.h"
+
+namespace alert {
+
+IdlePowerFilter::IdlePowerFilter(const IdlePowerFilterParams& params)
+    : params_(params), ratio_(params.initial_ratio), variance_(params.initial_variance) {
+  ALERT_CHECK(params.measurement_noise > 0.0);
+}
+
+void IdlePowerFilter::Update(Watts idle_power, Watts inference_power) {
+  ALERT_CHECK(inference_power > 0.0);
+  const double observation = idle_power / inference_power;
+  // Eq. 8: W(n) = (M(n-1)+S) / (M(n-1)+S+V);  M(n) = (1-W(n))(M(n-1)+S);
+  //        phi(n) = phi(n-1) + W(n) (obs - phi(n-1)).
+  const double prior = variance_ + params_.process_noise;
+  gain_ = prior / (prior + params_.measurement_noise);
+  variance_ = (1.0 - gain_) * prior;
+  ratio_ += gain_ * (observation - ratio_);
+  ++num_updates_;
+}
+
+Watts IdlePowerFilter::PredictIdlePower(Watts inference_power) const {
+  return ratio_ * inference_power;
+}
+
+}  // namespace alert

@@ -1,0 +1,47 @@
+// Idle-power ratio tracking (Eq. 8).
+//
+// ALERT cannot assume a single system-idle power: co-located jobs keep drawing power
+// between inference inputs.  This filter tracks phi = (inference-idle power) /
+// (inference power of the last-used configuration); the energy estimate (Eq. 9) then
+// charges phi * p_ij for the idle remainder of each period.
+#ifndef SRC_ESTIMATOR_IDLE_POWER_FILTER_H_
+#define SRC_ESTIMATOR_IDLE_POWER_FILTER_H_
+
+#include "src/common/units.h"
+
+namespace alert {
+
+struct IdlePowerFilterParams {
+  double initial_ratio = 0.25;      // phi(0)
+  double initial_variance = 0.01;   // M(0)
+  double process_noise = 1e-4;      // S
+  double measurement_noise = 1e-3;  // V
+};
+
+class IdlePowerFilter {
+ public:
+  explicit IdlePowerFilter(const IdlePowerFilterParams& params = {});
+
+  // Feeds one observation: measured idle power and the inference power of the
+  // configuration that produced it.
+  void Update(Watts idle_power, Watts inference_power);
+
+  // Estimated idle/inference power ratio phi.
+  double ratio() const { return ratio_; }
+  // Predicted idle power if a configuration with `inference_power` is used next.
+  Watts PredictIdlePower(Watts inference_power) const;
+
+  double gain() const { return gain_; }
+  int num_updates() const { return num_updates_; }
+
+ private:
+  IdlePowerFilterParams params_;
+  double ratio_;
+  double variance_;  // M(n)
+  double gain_ = 0.0;
+  int num_updates_ = 0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_ESTIMATOR_IDLE_POWER_FILTER_H_

@@ -1,0 +1,30 @@
+#include "src/estimator/kalman.h"
+
+#include "src/common/check.h"
+
+namespace alert {
+
+KalmanFilter1d::KalmanFilter1d(double initial_state, double initial_variance,
+                               double process_noise, double measurement_noise)
+    : state_(initial_state), variance_(initial_variance), process_noise_(process_noise),
+      measurement_noise_(measurement_noise) {
+  ALERT_CHECK(initial_variance >= 0.0);
+  ALERT_CHECK(process_noise >= 0.0);
+  ALERT_CHECK(measurement_noise > 0.0);
+}
+
+void KalmanFilter1d::Update(double observation) {
+  // Predict: random-walk state model.
+  const double prior_variance = variance_ + process_noise_;
+  // Update.
+  const double gain = prior_variance / (prior_variance + measurement_noise_);
+  state_ += gain * (observation - state_);
+  variance_ = (1.0 - gain) * prior_variance;
+  ++num_updates_;
+}
+
+double KalmanFilter1d::predictive_variance() const {
+  return variance_ + process_noise_ + measurement_noise_;
+}
+
+}  // namespace alert

@@ -1,0 +1,37 @@
+// Classic scalar Kalman filter (fixed noise parameters).
+//
+// Used by the system-level baseline controllers (the paper's Sys-only scheme follows
+// CALOREE [63], whose feedback scheduler "predicts inference latency based on Kalman
+// Filter") and as the fixed-Q comparison point for the adaptive-filter ablation.
+#ifndef SRC_ESTIMATOR_KALMAN_H_
+#define SRC_ESTIMATOR_KALMAN_H_
+
+namespace alert {
+
+class KalmanFilter1d {
+ public:
+  // `process_noise` (Q) and `measurement_noise` (R) are variances.
+  KalmanFilter1d(double initial_state, double initial_variance, double process_noise,
+                 double measurement_noise);
+
+  // Incorporates one observation of the (random-walk) state.
+  void Update(double observation);
+
+  double state() const { return state_; }
+  // Posterior estimate variance.
+  double variance() const { return variance_; }
+  // Variance of the next observation prediction (posterior + Q + R).
+  double predictive_variance() const;
+  int num_updates() const { return num_updates_; }
+
+ private:
+  double state_;
+  double variance_;
+  double process_noise_;
+  double measurement_noise_;
+  int num_updates_ = 0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_ESTIMATOR_KALMAN_H_

@@ -1,0 +1,57 @@
+#include "src/estimator/sliding_window.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace alert {
+
+SlidingWindow::SlidingWindow(size_t capacity) : capacity_(capacity) {
+  ALERT_CHECK(capacity > 0);
+  values_.reserve(capacity);
+}
+
+void SlidingWindow::Add(double x) {
+  if (values_.size() < capacity_) {
+    values_.push_back(x);
+  } else {
+    values_[next_] = x;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+double SlidingWindow::mean() const {
+  ALERT_CHECK(!values_.empty());
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double SlidingWindow::variance() const {
+  ALERT_CHECK(!values_.empty());
+  const double m = mean();
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += (v - m) * (v - m);
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double SlidingWindow::min() const {
+  ALERT_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SlidingWindow::max() const {
+  ALERT_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SlidingWindow::Percentile(double q) const {
+  return alert::Percentile(values_, q);
+}
+
+}  // namespace alert

@@ -1,0 +1,42 @@
+// Fixed-capacity sliding-window statistics.
+//
+// Retains the last N observations in a ring buffer and answers mean / variance /
+// min / max / percentile queries over them.  Used for windowed tail estimates
+// (e.g. empirical worst-case-in-window latency, the soft-WCET a hard-real-time
+// deployment would need, Section 3.6's discussion) and as an ablation contender
+// against the Kalman estimators.
+#ifndef SRC_ESTIMATOR_SLIDING_WINDOW_H_
+#define SRC_ESTIMATOR_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace alert {
+
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(size_t capacity);
+
+  void Add(double x);
+
+  size_t size() const { return values_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return values_.size() == capacity_; }
+
+  // All of the below require a non-empty window.
+  double mean() const;
+  double variance() const;  // population variance over the window
+  double min() const;
+  double max() const;
+  // Linear-interpolated quantile, q in [0, 1].
+  double Percentile(double q) const;
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;  // ring position
+  std::vector<double> values_;
+};
+
+}  // namespace alert
+
+#endif  // SRC_ESTIMATOR_SLIDING_WINDOW_H_

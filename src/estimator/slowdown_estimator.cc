@@ -1,0 +1,27 @@
+#include "src/estimator/slowdown_estimator.h"
+
+#include "src/common/check.h"
+
+namespace alert {
+
+SlowdownEstimator::SlowdownEstimator(const AdaptiveKalmanParams& params)
+    : filter_(params) {}
+
+void SlowdownEstimator::Observe(Seconds anchor_time, double anchor_fraction,
+                                Seconds profile_latency, bool censored) {
+  ALERT_CHECK(anchor_fraction > 0.0);
+  ALERT_CHECK(profile_latency > 0.0);
+  const double ratio = anchor_time / (anchor_fraction * profile_latency);
+  filter_.Update(ratio);
+  history_.push_back(ratio);
+  if (censored) {
+    ++num_censored_;
+  }
+}
+
+double SlowdownEstimator::variance() const {
+  const double s = filter_.predictive_stddev();
+  return s * s;
+}
+
+}  // namespace alert

@@ -1,0 +1,50 @@
+// Global slowdown factor estimation (Idea 1, Section 3.3/3.4).
+//
+// The estimator consumes one observation per completed inference — the ratio of the
+// observed completion time to the profiled time of the *executed* configuration — and
+// exposes the N(mu, sigma^2) belief over xi that all per-configuration predictions are
+// derived from.  Because the ratio is configuration-independent, history from any
+// recently-used configuration informs predictions for all |D| x |P| of them.
+#ifndef SRC_ESTIMATOR_SLOWDOWN_ESTIMATOR_H_
+#define SRC_ESTIMATOR_SLOWDOWN_ESTIMATOR_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/estimator/adaptive_kalman.h"
+
+namespace alert {
+
+class SlowdownEstimator {
+ public:
+  explicit SlowdownEstimator(const AdaptiveKalmanParams& params = {});
+
+  // Records one completion anchor: `anchor_time` is when the anchor event (stage exit
+  // or full completion) happened; `anchor_fraction` the fraction of full-network work
+  // it represents; `profile_latency` the full-network profiled latency of the executed
+  // configuration.  Censored observations (nothing completed before the cutoff) are
+  // lower bounds on xi and are fed through as-is — conservative by construction.
+  void Observe(Seconds anchor_time, double anchor_fraction, Seconds profile_latency,
+               bool censored);
+
+  double mean() const { return filter_.mean(); }
+  double stddev() const { return filter_.predictive_stddev(); }
+  double variance() const;
+
+  int num_observations() const { return filter_.num_updates(); }
+  int num_censored() const { return num_censored_; }
+
+  // All raw xi observations, for the Fig. 11 distribution study.
+  const std::vector<double>& history() const { return history_; }
+
+  const AdaptiveKalmanFilter& filter() const { return filter_; }
+
+ private:
+  AdaptiveKalmanFilter filter_;
+  std::vector<double> history_;
+  int num_censored_ = 0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_ESTIMATOR_SLOWDOWN_ESTIMATOR_H_

@@ -1,0 +1,64 @@
+#include "src/harness/constraint_grid.h"
+
+#include "src/common/check.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+
+Seconds BaseDeadline(TaskId task, PlatformId platform) {
+  const DnnModel anytime = task == TaskId::kImageClassification ? BuildDepthNestAnytime()
+                                                                : BuildWidthNestAnytime();
+  ALERT_CHECK(anytime.SupportsPlatform(platform));
+  // Default setting == maximum power cap, where speed == 1, so the reference latency is
+  // the mean latency (noise is mean ~1).
+  return anytime.ref_latency_on(platform);
+}
+
+const std::vector<double>& DeadlineMultipliers() {
+  static const std::vector<double> kMultipliers = {0.4, 0.6, 0.8, 1.0, 1.4, 2.0};
+  return kMultipliers;
+}
+
+const std::vector<double>& AccuracyGoalsFor(TaskId task) {
+  static const std::vector<double> kImage = {0.870, 0.885, 0.900, 0.910, 0.920, 0.930};
+  static const std::vector<double> kNlp = {0.200, 0.220, 0.240, 0.255, 0.270, 0.285};
+  return task == TaskId::kImageClassification ? kImage : kNlp;
+}
+
+const std::vector<double>& EnergyBudgetFractions() {
+  static const std::vector<double> kFractions = {0.35, 0.50, 0.65, 0.80, 0.95, 1.10};
+  return kFractions;
+}
+
+std::vector<Goals> BuildConstraintGrid(GoalMode mode, TaskId task, PlatformId platform) {
+  const Seconds base = BaseDeadline(task, platform);
+  const PlatformSpec& spec = GetPlatform(platform);
+  // Reference power for sizing energy budgets: running flat-out at the maximum cap.
+  const Watts p_ref = spec.cap_max + spec.base_power;
+
+  std::vector<Goals> grid;
+  for (double mult : DeadlineMultipliers()) {
+    const Seconds deadline = mult * base;
+    if (mode == GoalMode::kMinimizeEnergy) {
+      for (double acc : AccuracyGoalsFor(task)) {
+        Goals g;
+        g.mode = mode;
+        g.deadline = deadline;
+        g.accuracy_goal = acc;
+        grid.push_back(g);
+      }
+    } else {
+      for (double frac : EnergyBudgetFractions()) {
+        Goals g;
+        g.mode = mode;
+        g.deadline = deadline;
+        g.energy_budget = frac * p_ref * deadline;
+        grid.push_back(g);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace alert

@@ -1,0 +1,35 @@
+// Constraint-setting grids (Table 3).
+//
+// Each Table 4 cell averages over "35-40 combinations of latency, accuracy, and energy
+// constraints".  Following Table 3:
+//   * latency constraints span 0.4x-2x the mean latency of the largest anytime DNN at
+//     the default setting without contention;
+//   * accuracy constraints span the range achievable by the candidate families;
+//   * energy budgets span the feasible power-cap range of the machine.
+// The grid fixes 6 deadline values x 6 second-dimension values = 36 settings.
+#ifndef SRC_HARNESS_CONSTRAINT_GRID_H_
+#define SRC_HARNESS_CONSTRAINT_GRID_H_
+
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/goals.h"
+
+namespace alert {
+
+// Mean latency of the largest anytime DNN at the default power setting, no contention
+// (per-input for images; per-word for sentence prediction).
+Seconds BaseDeadline(TaskId task, PlatformId platform);
+
+// The 36-setting grid for one cell.
+std::vector<Goals> BuildConstraintGrid(GoalMode mode, TaskId task, PlatformId platform);
+
+// The deadline multipliers / accuracy goals / energy-budget fractions the grid uses
+// (exposed for tests and benches).
+const std::vector<double>& DeadlineMultipliers();
+const std::vector<double>& AccuracyGoalsFor(TaskId task);
+const std::vector<double>& EnergyBudgetFractions();
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_CONSTRAINT_GRID_H_

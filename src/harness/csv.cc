@@ -1,0 +1,136 @@
+#include "src/harness/csv.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace alert {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool WriteTraceCsv(const std::string& path, const EnvironmentTrace& trace) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(), "# task=%d platform=%d contention=%d sentences=%d\n",
+               static_cast<int>(trace.task), static_cast<int>(trace.platform),
+               static_cast<int>(trace.contention), trace.has_sentences() ? 1 : 0);
+  std::fprintf(f.get(),
+               "input,contention_multiplier,contention_active,extra_idle_power,"
+               "input_factor,noise_multiplier,tail_multiplier,drift_multiplier,"
+               "sentence,word\n");
+  for (int n = 0; n < trace.num_inputs(); ++n) {
+    const ExecutionContext& c = trace.inputs[static_cast<size_t>(n)];
+    const int sentence =
+        trace.has_sentences() ? trace.sentence_of_input[static_cast<size_t>(n)] : -1;
+    const int word =
+        trace.has_sentences() ? trace.word_in_sentence[static_cast<size_t>(n)] : -1;
+    std::fprintf(f.get(), "%d,%.17g,%d,%.17g,%.17g,%.17g,%.17g,%.17g,%d,%d\n", n,
+                 c.contention_multiplier, c.contention_active ? 1 : 0,
+                 c.extra_idle_power, c.input_factor, c.noise_multiplier,
+                 c.tail_multiplier, c.drift_multiplier, sentence, word);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool ReadTraceCsv(const std::string& path, EnvironmentTrace* trace) {
+  File f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr || trace == nullptr) {
+    return false;
+  }
+  int task = 0;
+  int platform = 0;
+  int contention = 0;
+  int sentences = 0;
+  if (std::fscanf(f.get(), "# task=%d platform=%d contention=%d sentences=%d\n", &task,
+                  &platform, &contention, &sentences) != 4) {
+    return false;
+  }
+  *trace = EnvironmentTrace{};
+  trace->task = static_cast<TaskId>(task);
+  trace->platform = static_cast<PlatformId>(platform);
+  trace->contention = static_cast<ContentionType>(contention);
+
+  // Skip the header line.
+  char header[512];
+  if (std::fgets(header, sizeof(header), f.get()) == nullptr) {
+    return false;
+  }
+
+  int n = 0;
+  double cm = 0.0;
+  int active = 0;
+  double idle = 0.0;
+  double input_factor = 0.0;
+  double noise = 0.0;
+  double tail = 0.0;
+  double drift = 0.0;
+  int sentence = -1;
+  int word = -1;
+  int max_sentence = -1;
+  while (std::fscanf(f.get(), "%d,%lf,%d,%lf,%lf,%lf,%lf,%lf,%d,%d\n", &n, &cm, &active,
+                     &idle, &input_factor, &noise, &tail, &drift, &sentence,
+                     &word) == 10) {
+    ExecutionContext c;
+    c.contention_multiplier = cm;
+    c.contention_active = active != 0;
+    c.contention = trace->contention;
+    c.extra_idle_power = idle;
+    c.input_factor = input_factor;
+    c.noise_multiplier = noise;
+    c.tail_multiplier = tail;
+    c.drift_multiplier = drift;
+    trace->inputs.push_back(c);
+    if (sentences != 0) {
+      trace->sentence_of_input.push_back(sentence);
+      trace->word_in_sentence.push_back(word);
+      max_sentence = std::max(max_sentence, sentence);
+    }
+  }
+  if (sentences != 0) {
+    // Rebuild per-sentence lengths from the word indices.
+    trace->sentence_length.assign(static_cast<size_t>(max_sentence + 1), 0);
+    for (size_t i = 0; i < trace->sentence_of_input.size(); ++i) {
+      ++trace->sentence_length[static_cast<size_t>(trace->sentence_of_input[i])];
+    }
+    trace->num_sentences = max_sentence + 1;
+  }
+  return !trace->inputs.empty();
+}
+
+bool WriteRunCsv(const std::string& path, const RunResult& result) {
+  if (result.records.empty()) {
+    return false;
+  }
+  File f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(), "# scheme=%s\n", result.scheme.c_str());
+  std::fprintf(f.get(),
+               "input,model,stage_limit,power_cap,latency,deadline,period,energy,"
+               "accuracy,deadline_met,delivered_stage,violated\n");
+  for (size_t n = 0; n < result.records.size(); ++n) {
+    const InputRecord& r = result.records[n];
+    std::fprintf(f.get(), "%zu,%d,%d,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%d,%d,%d\n", n,
+                 r.decision.candidate.model_index, r.decision.candidate.stage_limit,
+                 r.decision.power_cap, r.measurement.latency, r.measurement.deadline,
+                 r.measurement.period, r.measurement.energy, r.measurement.accuracy,
+                 r.measurement.deadline_met ? 1 : 0, r.measurement.delivered_stage,
+                 r.violated ? 1 : 0);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+}  // namespace alert

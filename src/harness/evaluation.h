@@ -1,0 +1,67 @@
+// Cell evaluation: the Table 4 / Table 5 / Fig. 7 / Fig. 8 accounting.
+//
+// One *cell* is (platform x task x contention x goal mode).  Evaluating a cell means:
+//   for every constraint setting in the Table 3 grid:
+//     1. find OracleStatic (best single configuration; skip the setting if even it
+//        cannot keep violations under 10% — nothing to normalize against);
+//     2. run every scheme with fresh feedback state over the identical trace;
+//     3. a scheme with > 10% input violations is charged a *violated setting* and its
+//        metric is excluded from the average (Table 4's superscript convention);
+//     4. otherwise accumulate metric(scheme)/metric(OracleStatic).
+//
+// The metric is average energy per input for energy-minimization cells and average
+// error for error-minimization cells (perplexity scale for the NLP task, as in
+// Fig. 10).
+#ifndef SRC_HARNESS_EVALUATION_H_
+#define SRC_HARNESS_EVALUATION_H_
+
+#include <span>
+#include <vector>
+
+#include "src/harness/constraint_grid.h"
+#include "src/harness/experiment.h"
+#include "src/harness/schemes.h"
+#include "src/harness/static_oracle.h"
+
+namespace alert {
+
+struct CellSpec {
+  TaskId task = TaskId::kImageClassification;
+  PlatformId platform = PlatformId::kCpu1;
+  ContentionType contention = ContentionType::kNone;
+  GoalMode mode = GoalMode::kMinimizeEnergy;
+  ExperimentOptions options;
+};
+
+struct SchemeCellStats {
+  SchemeId scheme = SchemeId::kAlert;
+  int usable_settings = 0;    // settings where OracleStatic was feasible
+  int violated_settings = 0;  // scheme exceeded 10% violations
+  double mean_normalized = 0.0;  // mean of metric/static over non-violated settings
+  double mean_raw = 0.0;         // mean raw metric over non-violated settings
+  std::vector<double> normalized_values;  // per non-violated setting (Fig. 8 whiskers)
+  std::vector<double> raw_values;
+};
+
+struct CellResult {
+  CellSpec spec;
+  int total_settings = 0;
+  int skipped_settings = 0;  // OracleStatic infeasible
+  std::vector<SchemeCellStats> schemes;
+  std::vector<double> static_raw_values;  // OracleStatic metric per usable setting
+  double static_mean_raw = 0.0;
+
+  const SchemeCellStats* Find(SchemeId id) const;
+};
+
+// The metric a cell reports for one run (energy, error, or perplexity).
+double MetricValue(GoalMode mode, TaskId task, const RunResult& result);
+
+// Evaluates one cell for the given schemes.  `threads` > 1 parallelizes across
+// constraint settings.
+CellResult EvaluateCell(const CellSpec& spec, std::span<const SchemeId> schemes,
+                        int threads = 0);
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_EVALUATION_H_

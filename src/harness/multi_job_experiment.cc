@@ -1,0 +1,151 @@
+#include "src/harness/multi_job_experiment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/dnn/model.h"
+
+namespace alert {
+namespace {
+
+// How strongly one job's utilization slows the others (compute contention between
+// co-located inference jobs on the same package).
+constexpr double kCrossJobPressure = 0.30;
+
+}  // namespace
+
+MultiJobExperiment::MultiJobExperiment(PlatformId platform,
+                                       std::vector<MultiJobSpec> jobs, int num_rounds,
+                                       uint64_t seed)
+    : platform_(platform), specs_(std::move(jobs)), num_rounds_(num_rounds) {
+  ALERT_CHECK(!specs_.empty());
+  ALERT_CHECK(num_rounds_ > 0);
+  for (size_t j = 0; j < specs_.size(); ++j) {
+    ExperimentOptions options;
+    options.num_inputs = num_rounds_;
+    options.seed = seed ^ (specs_[j].seed + 0x9e37 * (j + 1));
+    experiments_.push_back(std::make_unique<Experiment>(
+        specs_[j].task, platform_, ContentionType::kNone, options));
+  }
+}
+
+const Stack& MultiJobExperiment::stack(int job) const {
+  return experiments_[static_cast<size_t>(job)]->stack(specs_[static_cast<size_t>(job)].dnn_set);
+}
+
+MultiJobResult MultiJobExperiment::RunCoordinated(Watts power_budget) {
+  return Run(power_budget, /*coordinated=*/true);
+}
+
+MultiJobResult MultiJobExperiment::RunUncoordinated(Watts power_budget) {
+  return Run(power_budget, /*coordinated=*/false);
+}
+
+MultiJobResult MultiJobExperiment::Run(Watts power_budget, bool coordinated) {
+  const size_t k = specs_.size();
+
+  // Build one scheduler per job (fresh state), wrapped in a coordinator when asked.
+  std::vector<JobSpec> job_specs;
+  for (size_t j = 0; j < k; ++j) {
+    JobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    spec.space = &stack(static_cast<int>(j)).space();
+    spec.goals = specs_[j].goals;
+    job_specs.push_back(std::move(spec));
+  }
+  MultiJobCoordinator coordinator(std::move(job_specs), power_budget);
+
+  MultiJobResult result;
+  result.per_job.resize(k);
+  std::vector<double> sum_energy(k, 0.0);
+  std::vector<double> sum_accuracy(k, 0.0);
+  std::vector<double> sum_latency(k, 0.0);
+  std::vector<int> violations(k, 0);
+  std::vector<int> misses(k, 0);
+
+  // Previous-round utilization per job drives cross-job slowdown this round.
+  std::vector<double> utilization(k, 0.0);
+  int overshoot_rounds = 0;
+  double cap_sum_total = 0.0;
+
+  for (int n = 0; n < num_rounds_; ++n) {
+    std::vector<InferenceRequest> requests(k);
+    for (size_t j = 0; j < k; ++j) {
+      requests[j].input_index = n;
+      requests[j].deadline = specs_[j].goals.deadline;
+      requests[j].period = specs_[j].goals.deadline;
+    }
+
+    std::vector<SchedulingDecision> decisions;
+    if (coordinated) {
+      decisions = coordinator.DecideRound(requests);
+    } else {
+      // Each job decides as if it owned the whole budget.
+      decisions.resize(k);
+      for (size_t j = 0; j < k; ++j) {
+        coordinator.job(static_cast<int>(j))
+            .set_power_limit(std::numeric_limits<double>::infinity());
+        decisions[j] = coordinator.job(static_cast<int>(j)).Decide(requests[j]);
+      }
+    }
+
+    Watts cap_sum = 0.0;
+    for (const SchedulingDecision& d : decisions) {
+      cap_sum += d.power_cap;
+    }
+    cap_sum_total += cap_sum;
+    overshoot_rounds += cap_sum > power_budget + 1e-9 ? 1 : 0;
+
+    std::vector<Measurement> measurements(k);
+    std::vector<double> new_utilization(k, 0.0);
+    for (size_t j = 0; j < k; ++j) {
+      // Cross-job pressure: other jobs' previous utilization slows this one.
+      double other_pressure = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        if (i != j) {
+          other_pressure += utilization[i];
+        }
+      }
+      ExecutionContext ctx =
+          experiments_[j]->trace().inputs[static_cast<size_t>(n)];
+      ctx.contention = ContentionType::kCompute;
+      ctx.contention_active = other_pressure > 0.01;
+      ctx.contention_multiplier = 1.0 + kCrossJobPressure * other_pressure;
+
+      const Measurement m = stack(static_cast<int>(j))
+                                .simulator()
+                                .Execute(decisions[j].ToExecRequest(requests[j]), ctx);
+      measurements[j] = m;
+      new_utilization[j] = std::min(1.0, m.latency / std::max(m.period, 1e-9));
+
+      sum_energy[j] += m.energy;
+      sum_accuracy[j] += m.accuracy;
+      sum_latency[j] += m.latency;
+      violations[j] += Experiment::Violates(specs_[j].goals, m) ? 1 : 0;
+      misses[j] += m.deadline_met ? 0 : 1;
+    }
+    coordinator.ObserveRound(decisions, measurements);
+    utilization = new_utilization;
+  }
+
+  for (size_t j = 0; j < k; ++j) {
+    RunResult& r = result.per_job[j];
+    r.scheme = coordinated ? "Coordinated" : "Uncoordinated";
+    r.num_inputs = num_rounds_;
+    const double count = static_cast<double>(num_rounds_);
+    r.avg_energy = sum_energy[j] / count;
+    r.avg_accuracy = sum_accuracy[j] / count;
+    r.avg_error = 1.0 - r.avg_accuracy;
+    r.avg_perplexity = PerplexityFromAccuracy(r.avg_accuracy);
+    r.avg_latency = sum_latency[j] / count;
+    r.violation_fraction = violations[j] / count;
+    r.deadline_miss_fraction = misses[j] / count;
+  }
+  result.budget_overshoot_fraction =
+      static_cast<double>(overshoot_rounds) / static_cast<double>(num_rounds_);
+  result.avg_total_cap = cap_sum_total / static_cast<double>(num_rounds_);
+  return result;
+}
+
+}  // namespace alert

@@ -1,0 +1,59 @@
+// Harness for concurrent inference jobs sharing one platform (Section 3.6 extension).
+//
+// K jobs run side by side on the same machine.  Each job has its own input stream and
+// goals; the jobs contend with each other: while job j computes, every other job sees a
+// compute-contention slowdown proportional to j's utilization in the previous round.
+// The experiment compares the MultiJobCoordinator against uncoordinated ALERT instances
+// that each assume they own the whole package budget.
+#ifndef SRC_HARNESS_MULTI_JOB_EXPERIMENT_H_
+#define SRC_HARNESS_MULTI_JOB_EXPERIMENT_H_
+
+#include <vector>
+
+#include "src/core/multi_job.h"
+#include "src/harness/experiment.h"
+
+namespace alert {
+
+struct MultiJobSpec {
+  TaskId task = TaskId::kImageClassification;
+  Goals goals;
+  DnnSetChoice dnn_set = DnnSetChoice::kBoth;
+  uint64_t seed = 1;
+};
+
+struct MultiJobResult {
+  std::vector<RunResult> per_job;
+  // Fraction of rounds where the sum of applied power caps exceeded the budget.
+  double budget_overshoot_fraction = 0.0;
+  // Average of the summed power caps across rounds.
+  Watts avg_total_cap = 0.0;
+};
+
+class MultiJobExperiment {
+ public:
+  // All jobs run on `platform` for `num_rounds` inputs each.
+  MultiJobExperiment(PlatformId platform, std::vector<MultiJobSpec> jobs, int num_rounds,
+                     uint64_t seed);
+
+  // Runs with the coordinator sharing `power_budget` across jobs.
+  MultiJobResult RunCoordinated(Watts power_budget);
+
+  // Runs K independent ALERT instances, each oblivious to the others (no shared
+  // budget): the multi-tenant version of the paper's No-coord pathology.
+  MultiJobResult RunUncoordinated(Watts power_budget);
+
+  const Stack& stack(int job) const;
+
+ private:
+  MultiJobResult Run(Watts power_budget, bool coordinated);
+
+  PlatformId platform_;
+  std::vector<MultiJobSpec> specs_;
+  int num_rounds_;
+  std::vector<std::unique_ptr<Experiment>> experiments_;  // one trace per job
+};
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_MULTI_JOB_EXPERIMENT_H_

@@ -1,0 +1,46 @@
+// Minimal data-parallel loop for embarrassingly parallel experiment sweeps.
+#ifndef SRC_HARNESS_PARALLEL_H_
+#define SRC_HARNESS_PARALLEL_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace alert {
+
+// Invokes fn(i) for every i in [0, count) across up to `max_threads` worker threads
+// (hardware concurrency by default).  fn must be safe to call concurrently for
+// distinct i.  Indices are handed out dynamically, so uneven work is balanced.
+inline void ParallelFor(int count, const std::function<void(int)>& fn,
+                        int max_threads = 0) {
+  if (count <= 0) {
+    return;
+  }
+  int threads = max_threads > 0 ? max_threads
+                                : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  threads = std::min(threads, count);
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& th : pool) {
+    th.join();
+  }
+}
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_PARALLEL_H_

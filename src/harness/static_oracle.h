@@ -1,0 +1,34 @@
+// OracleStatic (Table 3): the best single configuration for a whole trace.
+//
+// Represents "the best results without dynamic adaptation": an exhaustive offline sweep
+// over every (candidate, power) configuration, executed against the full trace with
+// perfect hindsight.  A configuration is admissible only when it violates the goals on
+// *no* input: a static deployment holds for the duration, so it must cover the trace's
+// worst case (adaptive schemes, by contrast, get the 10%-of-inputs allowance).  Among
+// admissible configurations the one with the best objective wins.  When nothing is
+// admissible the least-violating configuration is returned and flagged, so callers can
+// exclude the setting from normalized averages (the paper's Fig. 6 marks such settings
+// with an infinity symbol).
+#ifndef SRC_HARNESS_STATIC_ORACLE_H_
+#define SRC_HARNESS_STATIC_ORACLE_H_
+
+#include "src/harness/experiment.h"
+
+namespace alert {
+
+struct StaticOracleResult {
+  Configuration config;
+  RunResult result;
+  bool feasible = false;  // some configuration kept violations <= 10%
+};
+
+// The Table 4 ">10% of all inputs" allowance, applied uniformly to every scheme,
+// OracleStatic included.
+inline constexpr double kViolationThreshold = 0.10;
+
+StaticOracleResult FindStaticOracle(const Experiment& experiment, const Stack& stack,
+                                    const Goals& goals);
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_STATIC_ORACLE_H_

@@ -1,0 +1,40 @@
+// Per-input ground-truth environment state.
+//
+// An EnvironmentTrace (src/workload) pre-draws one ExecutionContext per input so the
+// identical environment can be replayed against every scheduler under comparison.  The
+// simulator combines these factors with the chosen (model, power cap) to produce the
+// true latency/energy/accuracy outcome.
+#ifndef SRC_SIM_EXECUTION_CONTEXT_H_
+#define SRC_SIM_EXECUTION_CONTEXT_H_
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+
+namespace alert {
+
+struct ExecutionContext {
+  // Config-independent contention multiplier (>= 1; 1 when no co-runner is active).
+  // Models apply it through their per-type sensitivity, so the "global" factor is an
+  // approximation, as on real hardware.
+  double contention_multiplier = 1.0;
+  bool contention_active = false;
+  ContentionType contention = ContentionType::kNone;
+
+  // Extra package draw while inference is idle but the co-runner is active.
+  Watts extra_idle_power = 0.0;
+
+  // Input-dependent size factor (sentence length effects, image decode variance).
+  double input_factor = 1.0;
+
+  // Per-input latency noise (lognormal draw) and rare straggler multiplier (1 = none).
+  double noise_multiplier = 1.0;
+  double tail_multiplier = 1.0;
+
+  // Slow, autocorrelated platform drift (thermal/DVFS wander); ~1.0 on stable
+  // platforms, wandering +-20% on laptop-class hardware.
+  double drift_multiplier = 1.0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_SIM_EXECUTION_CONTEXT_H_

@@ -1,0 +1,145 @@
+#include "src/sim/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace alert {
+
+double PowerCurve::SpeedAt(Watts cap) const {
+  if (cap >= cap_sat) {
+    return 1.0;
+  }
+  if (cap <= cap_min) {
+    return speed_min;
+  }
+  const double x = (cap - cap_min) / (cap_sat - cap_min);
+  return speed_min + (1.0 - speed_min) * std::pow(x, gamma);
+}
+
+std::vector<Watts> PlatformSpec::PowerSettings() const {
+  std::vector<Watts> caps;
+  for (Watts c = cap_min; c <= cap_max + 1e-9; c += cap_step) {
+    caps.push_back(c);
+  }
+  return caps;
+}
+
+int PlatformSpec::DefaultPowerIndex() const {
+  return static_cast<int>(PowerSettings().size()) - 1;
+}
+
+double PlatformSpec::MeanContentionSlowdown(ContentionType c) const {
+  switch (c) {
+    case ContentionType::kNone:
+      return 1.0;
+    case ContentionType::kMemory:
+      return memory_contention_slowdown;
+    case ContentionType::kCompute:
+      return compute_contention_slowdown;
+  }
+  return 1.0;
+}
+
+const PlatformSpec& GetPlatform(PlatformId id) {
+  static const PlatformSpec kEmbedded = [] {
+    PlatformSpec p;
+    p.id = PlatformId::kEmbedded;
+    p.name = "Embedded";
+    p.cap_min = 2.0;
+    p.cap_max = 6.0;
+    p.cap_step = 0.5;
+    p.curve = {.cap_min = 2.0, .cap_sat = 5.5, .speed_min = 0.55, .gamma = 2.0};
+    p.base_power = 0.8;
+    p.idle_power = 0.4;
+    p.profile_noise_sigma = 0.05;
+    p.tail_probability = 0.006;
+    p.tail_extra_mean = 0.6;
+    p.drift_sigma = 0.26;
+    p.drift_corr_inputs = 60.0;
+    p.memory_contention_slowdown = 1.8;
+    p.compute_contention_slowdown = 1.5;
+    p.contention_idle_power = 1.0;
+    p.contention_noise_sigma = 0.18;
+    return p;
+  }();
+  static const PlatformSpec kCpu1 = [] {
+    PlatformSpec p;
+    p.id = PlatformId::kCpu1;
+    p.name = "CPU1";
+    p.cap_min = 10.0;
+    p.cap_max = 35.0;
+    p.cap_step = 2.5;  // the paper's laptop interval (Section 4)
+    p.curve = {.cap_min = 10.0, .cap_sat = 30.0, .speed_min = 0.45, .gamma = 2.2};
+    p.base_power = 4.0;
+    p.idle_power = 2.5;
+    p.profile_noise_sigma = 0.035;
+    p.tail_probability = 0.006;
+    p.tail_extra_mean = 0.5;
+    p.drift_sigma = 0.22;
+    p.drift_corr_inputs = 80.0;
+    p.memory_contention_slowdown = 1.65;
+    p.compute_contention_slowdown = 1.38;
+    p.contention_idle_power = 6.0;
+    p.contention_noise_sigma = 0.11;
+    return p;
+  }();
+  static const PlatformSpec kCpu2 = [] {
+    PlatformSpec p;
+    p.id = PlatformId::kCpu2;
+    p.name = "CPU2";
+    p.cap_min = 40.0;
+    p.cap_max = 100.0;
+    p.cap_step = 5.0;  // the paper's server interval (Section 4); Fig. 3 sweeps 2 W steps
+    p.curve = {.cap_min = 40.0, .cap_sat = 84.0, .speed_min = 0.5, .gamma = 2.3};
+    p.base_power = 15.0;
+    p.idle_power = 5.0;
+    p.profile_noise_sigma = 0.025;
+    p.tail_probability = 0.005;
+    p.tail_extra_mean = 0.5;
+    p.drift_sigma = 0.12;
+    p.drift_corr_inputs = 80.0;
+    p.memory_contention_slowdown = 1.5;
+    p.compute_contention_slowdown = 1.3;
+    p.contention_idle_power = 12.0;
+    p.contention_noise_sigma = 0.10;
+    return p;
+  }();
+  static const PlatformSpec kGpu = [] {
+    PlatformSpec p;
+    p.id = PlatformId::kGpu;
+    p.name = "GPU";
+    p.cap_min = 80.0;
+    p.cap_max = 250.0;
+    p.cap_step = 5.0;  // power-frequency lookup table granularity (Section 4)
+    p.curve = {.cap_min = 80.0, .cap_sat = 225.0, .speed_min = 0.55, .gamma = 1.8};
+    p.base_power = 25.0;
+    p.idle_power = 14.0;
+    // The paper observes far lower fluctuation on the GPU than on CPUs (Section 5.2).
+    p.profile_noise_sigma = 0.010;
+    p.tail_probability = 0.002;
+    p.tail_extra_mean = 0.3;
+    p.drift_sigma = 0.012;
+    p.drift_corr_inputs = 100.0;
+    p.memory_contention_slowdown = 1.12;
+    p.compute_contention_slowdown = 1.08;
+    p.contention_idle_power = 20.0;
+    p.contention_noise_sigma = 0.03;
+    return p;
+  }();
+  switch (id) {
+    case PlatformId::kEmbedded:
+      return kEmbedded;
+    case PlatformId::kCpu1:
+      return kCpu1;
+    case PlatformId::kCpu2:
+      return kCpu2;
+    case PlatformId::kGpu:
+      return kGpu;
+  }
+  ALERT_CHECK(false);
+  return kCpu1;
+}
+
+}  // namespace alert

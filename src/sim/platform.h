@@ -1,0 +1,92 @@
+// Hardware platform models (Table 1).
+//
+// The paper actuates power through RAPL caps on CPUs and a frequency table on the GPU.
+// This module models what the controller experiences through those knobs:
+//
+//   * cap -> speed: a saturating, convex curve.  Speed gains concentrate near the
+//     saturation cap, which — combined with idle power — reproduces the non-monotone
+//     period-energy curve of Fig. 3 (energy minimum at the lowest cap, interior maximum
+//     around two-thirds of the range, race-to-idle winning at high caps).
+//   * package draw: follows the cap until the model's own peak demand saturates it.
+//   * base power: uncapped platform power, present whether or not inference runs.
+//   * idle power: package draw while inference-idle; co-runners inflate it.
+//
+// All numbers are synthetic but calibrated to the paper's reported ratios: on CPU2 the
+// 100 W cap is ~2x faster than 40 W, and the most energy-hungry cap (~64 W) costs ~1.3x
+// the least (40 W) for the Fig. 3 periodic-input scenario.
+#ifndef SRC_SIM_PLATFORM_H_
+#define SRC_SIM_PLATFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+
+namespace alert {
+
+// Saturating cap->speed curve.  Speed is relative to the saturation cap (1.0 at or
+// above `cap_sat`); below, speed interpolates from `speed_min` with convexity `gamma`
+// (> 1 concentrates gains near saturation).
+struct PowerCurve {
+  Watts cap_min = 0.0;
+  Watts cap_sat = 0.0;
+  double speed_min = 0.5;
+  double gamma = 2.0;
+
+  // Monotone non-decreasing in `cap`; clamped to [speed_min, 1].
+  double SpeedAt(Watts cap) const;
+};
+
+// Static description of one platform.
+struct PlatformSpec {
+  PlatformId id = PlatformId::kCpu1;
+  std::string name;
+
+  // Settable power caps: cap_min, cap_min + cap_step, ..., cap_max (RAPL granularity on
+  // CPUs; the quantized power<->frequency lookup table on the GPU).
+  Watts cap_min = 0.0;
+  Watts cap_max = 0.0;
+  Watts cap_step = 0.0;
+
+  PowerCurve curve;
+
+  Watts base_power = 0.0;  // uncapped always-on draw (uncore, memory, fans, ...)
+  Watts idle_power = 0.0;  // package draw while inference-idle, no co-runner
+
+  // Latency noise model (no contention): lognormal sigma plus rare stragglers.
+  double profile_noise_sigma = 0.03;
+  double tail_probability = 0.01;
+  double tail_extra_mean = 0.8;  // straggler multiplier = 1 + Exp(mean = tail_extra_mean)
+
+  // Slow platform drift (thermal throttling, DVFS governor wander, background OS
+  // activity): an Ornstein-Uhlenbeck process on the log-latency scale.  Laptops and
+  // embedded boards drift a lot; the desktop GPU barely at all — which is exactly why
+  // the paper's static oracle loses so much more ground on CPUs than on the GPU
+  // (Table 4: ~0.64 vs ~0.97 normalized).  A feedback scheduler tracks the drift; a
+  // static configuration must provision for its whole range.
+  double drift_sigma = 0.0;        // stationary stddev of log drift
+  double drift_corr_inputs = 80.0; // correlation length, in inputs
+
+  // Contention behaviour: mean latency multiplier while the co-runner is active, the
+  // extra package draw it causes while inference is idle, and the extra latency noise.
+  double memory_contention_slowdown = 1.5;
+  double compute_contention_slowdown = 1.3;
+  Watts contention_idle_power = 5.0;
+  double contention_noise_sigma = 0.10;
+
+  // All settable caps, ascending.
+  std::vector<Watts> PowerSettings() const;
+
+  // Index of the default ("system default") setting: the maximum cap.
+  int DefaultPowerIndex() const;
+
+  double MeanContentionSlowdown(ContentionType c) const;
+};
+
+// Returns the immutable spec for one of the Table 1 platforms.
+const PlatformSpec& GetPlatform(PlatformId id);
+
+}  // namespace alert
+
+#endif  // SRC_SIM_PLATFORM_H_

@@ -1,0 +1,26 @@
+#include "src/sim/power_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alert {
+
+PowerManager::PowerManager(const PlatformSpec& spec)
+    : spec_(spec), current_cap_(spec.cap_max) {}
+
+Watts PowerManager::SetCap(Watts requested) {
+  current_cap_ = Quantize(requested);
+  return current_cap_;
+}
+
+Watts PowerManager::Quantize(Watts requested) const {
+  const Watts clamped = std::clamp(requested, spec_.cap_min, spec_.cap_max);
+  const double steps = std::round((clamped - spec_.cap_min) / spec_.cap_step);
+  return std::min(spec_.cap_min + steps * spec_.cap_step, spec_.cap_max);
+}
+
+int PowerManager::NumSettings() const {
+  return static_cast<int>(spec_.PowerSettings().size());
+}
+
+}  // namespace alert

@@ -1,0 +1,38 @@
+// RAPL-style power-cap actuation.
+//
+// On real hardware ALERT writes MSR_PKG_POWER_LIMIT (CPUs) or picks the nearest entry
+// of a power->frequency lookup table built via NVML (GPUs).  This class models that
+// actuation layer: requested caps are clamped to the platform's feasible range and
+// quantized to the platform's settable granularity, and the actually-applied cap is
+// what the simulator executes with — exactly the mismatch a controller must tolerate.
+#ifndef SRC_SIM_POWER_MANAGER_H_
+#define SRC_SIM_POWER_MANAGER_H_
+
+#include "src/common/units.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+
+class PowerManager {
+ public:
+  explicit PowerManager(const PlatformSpec& spec);
+
+  // Requests a cap; returns the cap actually applied (clamped + quantized).
+  Watts SetCap(Watts requested);
+
+  Watts current_cap() const { return current_cap_; }
+
+  // The quantization a request would experience, without changing state.
+  Watts Quantize(Watts requested) const;
+
+  // Number of discrete settings available.
+  int NumSettings() const;
+
+ private:
+  const PlatformSpec& spec_;
+  Watts current_cap_;
+};
+
+}  // namespace alert
+
+#endif  // SRC_SIM_POWER_MANAGER_H_

@@ -1,0 +1,67 @@
+// Per-input deadline assignment (step 2 of the ALERT workflow, Section 3.2).
+//
+// Image classification uses a fixed per-input deadline (periodic sensor inputs).
+// Sentence prediction shares one deadline across all words of a sentence: a slow word
+// shrinks the time available to the rest of the sentence, which is exactly the dynamic
+// requirement variation ALERT's goal-adjustment step targets.  The policy is part of
+// the harness so that every scheme faces identical per-input deadlines.
+#ifndef SRC_WORKLOAD_DEADLINE_POLICY_H_
+#define SRC_WORKLOAD_DEADLINE_POLICY_H_
+
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/workload/trace.h"
+
+namespace alert {
+
+class DeadlinePolicy {
+ public:
+  virtual ~DeadlinePolicy() = default;
+
+  // Deadline for input n, given everything completed so far.
+  virtual Seconds DeadlineFor(int input_index) = 0;
+
+  // Accounting period for idle energy for input n (usually == its deadline).
+  virtual Seconds PeriodFor(int input_index) = 0;
+
+  // Informs the policy of the completed input's latency.
+  virtual void OnCompleted(int input_index, Seconds latency) = 0;
+};
+
+// Every input gets the same deadline and period.
+class FixedDeadlinePolicy final : public DeadlinePolicy {
+ public:
+  explicit FixedDeadlinePolicy(Seconds deadline);
+
+  Seconds DeadlineFor(int input_index) override;
+  Seconds PeriodFor(int input_index) override;
+  void OnCompleted(int input_index, Seconds latency) override;
+
+ private:
+  Seconds deadline_;
+};
+
+// Words of a sentence share budget = per_word_budget * sentence_length; each word's
+// deadline is the remaining budget divided by the remaining words, floored at a small
+// fraction of the nominal share (a sentence that overran its budget cannot recover —
+// the paper notes even the Oracle fails on such sentences).
+class SentenceSharedDeadlinePolicy final : public DeadlinePolicy {
+ public:
+  // `trace` must outlive the policy and must carry sentence structure.
+  SentenceSharedDeadlinePolicy(const EnvironmentTrace& trace, Seconds per_word_budget);
+
+  Seconds DeadlineFor(int input_index) override;
+  Seconds PeriodFor(int input_index) override;
+  void OnCompleted(int input_index, Seconds latency) override;
+
+ private:
+  const EnvironmentTrace& trace_;
+  Seconds per_word_budget_;
+  int current_sentence_ = -1;
+  Seconds elapsed_in_sentence_ = 0.0;
+};
+
+}  // namespace alert
+
+#endif  // SRC_WORKLOAD_DEADLINE_POLICY_H_

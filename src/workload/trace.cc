@@ -1,0 +1,152 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace alert {
+namespace {
+
+// Sentence lengths: lognormal around ~18 words, clamped to [3, 80]; mean ~= 20.
+constexpr double kSentenceLogMean = 2.89;  // ln(18)
+constexpr double kSentenceLogSigma = 0.45;
+
+// Contention phase durations (in inputs): exponential, clamped.
+constexpr double kPhaseOffMean = 130.0;
+constexpr double kPhaseOnMean = 150.0;
+constexpr int kPhaseMin = 60;
+constexpr int kPhaseMax = 400;
+
+int DrawPhaseLength(Rng& rng, double mean) {
+  const double raw = rng.Exponential(1.0 / mean);
+  return std::clamp(static_cast<int>(std::lround(raw)), kPhaseMin, kPhaseMax);
+}
+
+int DrawSentenceLength(Rng& rng) {
+  const double raw = rng.LogNormal(kSentenceLogMean, kSentenceLogSigma);
+  return std::clamp(static_cast<int>(std::lround(raw)), 3, 80);
+}
+
+}  // namespace
+
+double MeanSentenceLength() {
+  // E[lognormal] = exp(mu + sigma^2/2), before clamping (clamping barely moves it).
+  return std::exp(kSentenceLogMean + 0.5 * kSentenceLogSigma * kSentenceLogSigma);
+}
+
+EnvironmentTrace MakeEnvironmentTrace(TaskId task, PlatformId platform,
+                                      ContentionType contention,
+                                      const TraceOptions& options) {
+  ALERT_CHECK(options.num_inputs > 0);
+  const PlatformSpec& spec = GetPlatform(platform);
+
+  Rng root(options.seed);
+  Rng phase_rng = root.Fork(1);
+  Rng level_rng = root.Fork(2);
+  Rng input_rng = root.Fork(3);
+  Rng noise_rng = root.Fork(4);
+  Rng tail_rng = root.Fork(5);
+  Rng sentence_rng = root.Fork(6);
+  Rng drift_rng = root.Fork(7);
+
+  EnvironmentTrace trace;
+  trace.task = task;
+  trace.platform = platform;
+  trace.contention = contention;
+  trace.inputs.resize(static_cast<size_t>(options.num_inputs));
+
+  // --- Contention phase machine (or the scripted window). ---
+  std::vector<bool> active(static_cast<size_t>(options.num_inputs), false);
+  if (contention != ContentionType::kNone) {
+    if (options.contention_window.has_value()) {
+      const auto [first, last] = *options.contention_window;
+      for (int n = std::max(0, first); n < std::min(options.num_inputs, last); ++n) {
+        active[static_cast<size_t>(n)] = true;
+      }
+    } else {
+      bool on = false;
+      int n = 0;
+      // Start with a (possibly shortened) off phase so traces begin quiescent.
+      int remaining = DrawPhaseLength(phase_rng, kPhaseOffMean) / 2 + 1;
+      while (n < options.num_inputs) {
+        if (remaining == 0) {
+          on = !on;
+          remaining = DrawPhaseLength(phase_rng, on ? kPhaseOnMean : kPhaseOffMean);
+        }
+        active[static_cast<size_t>(n)] = on;
+        ++n;
+        --remaining;
+      }
+    }
+  }
+
+  const double mean_slowdown =
+      1.0 + (spec.MeanContentionSlowdown(contention) - 1.0) * options.contention_scale;
+
+  // --- Sentence structure for NLP. ---
+  const bool sentences = task == TaskId::kSentencePrediction;
+  if (sentences) {
+    trace.sentence_of_input.resize(static_cast<size_t>(options.num_inputs));
+    trace.word_in_sentence.resize(static_cast<size_t>(options.num_inputs));
+    int n = 0;
+    int sentence = 0;
+    while (n < options.num_inputs) {
+      const int len = DrawSentenceLength(sentence_rng);
+      const int take = std::min(len, options.num_inputs - n);
+      trace.sentence_length.push_back(take);
+      for (int w = 0; w < take; ++w) {
+        trace.sentence_of_input[static_cast<size_t>(n)] = sentence;
+        trace.word_in_sentence[static_cast<size_t>(n)] = w;
+        ++n;
+      }
+      ++sentence;
+    }
+    trace.num_sentences = sentence;
+  }
+
+  // --- Per-input draws. ---
+  for (int n = 0; n < options.num_inputs; ++n) {
+    ExecutionContext& ctx = trace.inputs[static_cast<size_t>(n)];
+    ctx.contention = contention;
+    ctx.contention_active = active[static_cast<size_t>(n)];
+    if (ctx.contention_active) {
+      // The co-runner's pressure wanders within a phase.
+      ctx.contention_multiplier = mean_slowdown * level_rng.LogNormal(0.0, 0.06);
+      ctx.contention_multiplier = std::max(1.0, ctx.contention_multiplier);
+      ctx.extra_idle_power = spec.contention_idle_power;
+    } else {
+      ctx.contention_multiplier = 1.0;
+      ctx.extra_idle_power = 0.0;
+    }
+
+    const double input_sigma = sentences ? 0.03 : 0.012;
+    ctx.input_factor = input_rng.LogNormal(0.0, input_sigma);
+
+    const double noise_sigma =
+        spec.profile_noise_sigma +
+        (ctx.contention_active ? spec.contention_noise_sigma : 0.0);
+    ctx.noise_multiplier = noise_rng.LogNormal(0.0, noise_sigma);
+
+    ctx.tail_multiplier = 1.0;
+    if (tail_rng.Bernoulli(spec.tail_probability)) {
+      ctx.tail_multiplier = 1.0 + tail_rng.Exponential(1.0 / spec.tail_extra_mean);
+    }
+  }
+
+  // --- Slow platform drift: an Ornstein-Uhlenbeck process on the log scale, with the
+  // platform's stationary sigma and correlation length.  Initialized from the
+  // stationary distribution so traces do not all start "cold".
+  if (spec.drift_sigma > 0.0) {
+    const double rho = std::exp(-1.0 / spec.drift_corr_inputs);
+    const double eps_sigma = spec.drift_sigma * std::sqrt(1.0 - rho * rho);
+    double x = drift_rng.Normal(0.0, spec.drift_sigma);
+    for (int n = 0; n < options.num_inputs; ++n) {
+      trace.inputs[static_cast<size_t>(n)].drift_multiplier = std::exp(x);
+      x = rho * x + drift_rng.Normal(0.0, eps_sigma);
+    }
+  }
+  return trace;
+}
+
+}  // namespace alert

@@ -1,0 +1,66 @@
+// Environment traces: the pre-drawn ground truth an experiment replays.
+//
+// To compare schedulers fairly (and to let the clairvoyant Oracle baselines "know the
+// future"), every experiment first materializes one EnvironmentTrace — the per-input
+// contention state, input-size factors, and noise draws — and then replays it against
+// every scheme.  Reproduces the Section 2.2 / Table 3 environments:
+//
+//   * Default:  no co-runner; small lognormal noise; rare stragglers.
+//   * Memory:   a STREAM-like co-runner that "repeatedly gets stopped and then started"
+//               (square-wave phases with random durations); large slowdown, extra noise,
+//               and extra idle-period power draw.
+//   * Compute:  a bodytrack-like co-runner; milder slowdown, same phase structure.
+//
+// For sentence prediction the trace also carries the sentence structure (inputs are
+// words; deadlines are shared per sentence, Section 3.2).
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/sim/execution_context.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+
+struct TraceOptions {
+  int num_inputs = 300;
+  uint64_t seed = 1;
+  // If set, contention is active exactly for inputs [first, second) instead of the
+  // stochastic phase machine (used by the Fig. 9 adaptation-trace experiment).
+  std::optional<std::pair<int, int>> contention_window;
+  // Scales the platform's mean contention slowdown (1.0 = Table 3 defaults).
+  double contention_scale = 1.0;
+};
+
+struct EnvironmentTrace {
+  TaskId task = TaskId::kImageClassification;
+  PlatformId platform = PlatformId::kCpu1;
+  ContentionType contention = ContentionType::kNone;
+
+  std::vector<ExecutionContext> inputs;
+
+  // Sentence structure; empty for fixed-deadline (image) tasks.
+  std::vector<int> sentence_of_input;   // sentence index for each input
+  std::vector<int> word_in_sentence;    // 0-based position within its sentence
+  std::vector<int> sentence_length;     // per sentence
+  int num_sentences = 0;
+
+  int num_inputs() const { return static_cast<int>(inputs.size()); }
+  bool has_sentences() const { return !sentence_of_input.empty(); }
+};
+
+// Draws a full trace.  Deterministic in (task, platform, contention, options.seed).
+EnvironmentTrace MakeEnvironmentTrace(TaskId task, PlatformId platform,
+                                      ContentionType contention, const TraceOptions& options);
+
+// Mean sentence length of the NLP input model (used to size per-word deadline budgets).
+double MeanSentenceLength();
+
+}  // namespace alert
+
+#endif  // SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/app_only.h"
+#include "src/baselines/no_coord.h"
+#include "src/baselines/oracle.h"
+#include "src/baselines/sys_only.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : models_(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim_(GetPlatform(PlatformId::kCpu1), models_), space_(sim_) {
+    contexts_.resize(16);  // quiet contexts
+  }
+
+  Goals MinEnergyGoals(Seconds deadline, double accuracy) const {
+    Goals g;
+    g.mode = GoalMode::kMinimizeEnergy;
+    g.deadline = deadline;
+    g.accuracy_goal = accuracy;
+    return g;
+  }
+
+  InferenceRequest Request(int n, Seconds deadline) const {
+    InferenceRequest r;
+    r.input_index = n;
+    r.deadline = deadline;
+    r.period = deadline;
+    return r;
+  }
+
+  std::vector<DnnModel> models_;
+  PlatformSimulator sim_;
+  ConfigSpace space_;
+  std::vector<ExecutionContext> contexts_;
+};
+
+// --- App-only ---
+
+TEST_F(BaselinesTest, AppOnlyAlwaysRunsAnytimeAtDefaultPower) {
+  AppOnlyScheduler s(space_);
+  for (int n = 0; n < 5; ++n) {
+    const auto d = s.Decide(Request(n, 0.05));
+    EXPECT_TRUE(space_.model(d.candidate.model_index).is_anytime());
+    EXPECT_EQ(d.candidate.stage_limit,
+              static_cast<int>(
+                  space_.model(d.candidate.model_index).anytime_stages.size()) -
+                  1);
+    EXPECT_EQ(d.power_index, space_.default_power_index());
+  }
+}
+
+TEST_F(BaselinesTest, AppOnlyRequiresAnytimeCandidate) {
+  auto trad =
+      BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kTraditionalOnly);
+  PlatformSimulator sim(GetPlatform(PlatformId::kCpu1), trad);
+  ConfigSpace space(sim);
+  EXPECT_DEATH(AppOnlyScheduler{space}, "anytime");
+}
+
+// --- Sys-only ---
+
+TEST_F(BaselinesTest, SysOnlyFixesFastestTraditionalModel) {
+  SysOnlyScheduler s(space_, MinEnergyGoals(0.08, 0.93));
+  const auto d = s.Decide(Request(0, 0.08));
+  EXPECT_EQ(d.candidate.model_index, space_.FastestTraditionalModel());
+  // The accuracy goal is ignored: the fixed fast model sits below 0.93.
+  EXPECT_LT(space_.CandidateAccuracy(d.candidate), 0.93);
+}
+
+TEST_F(BaselinesTest, SysOnlyRaisesPowerUnderSlowdown) {
+  SysOnlyScheduler s(space_, MinEnergyGoals(0.02, 0.8));
+  const auto calm = s.Decide(Request(0, 0.02));
+  // Feed observations showing a 2x slowdown.
+  for (int i = 0; i < 10; ++i) {
+    const auto d = s.Decide(Request(i, 0.02));
+    Measurement m;
+    m.xi_anchor_time =
+        2.0 * space_.ProfileLatency(d.candidate.model_index, d.power_index);
+    m.xi_anchor_fraction = 1.0;
+    m.latency = m.xi_anchor_time;
+    m.period = m.latency;
+    m.inference_power = 20.0;
+    m.idle_power = 6.0;
+    s.Observe(d, m);
+  }
+  const auto stressed = s.Decide(Request(11, 0.02));
+  EXPECT_GT(stressed.power_cap, calm.power_cap);
+}
+
+TEST_F(BaselinesTest, SysOnlyPicksLowEnergyCapWhenDeadlineLoose) {
+  SysOnlyScheduler s(space_, MinEnergyGoals(1.0, 0.8));
+  const auto d = s.Decide(Request(0, 1.0));
+  // With a loose deadline, the minimum-energy cap is at or near the bottom.
+  EXPECT_LE(d.power_cap, space_.cap(2));
+}
+
+// --- No-coord ---
+
+TEST_F(BaselinesTest, NoCoordUsesAnytimeWithStageAdaptation) {
+  NoCoordScheduler s(space_, MinEnergyGoals(0.05, 0.9));
+  const auto d = s.Decide(Request(0, 0.05));
+  EXPECT_TRUE(space_.model(d.candidate.model_index).is_anytime());
+}
+
+TEST_F(BaselinesTest, NoCoordAppSideCutsStagesUnderSlowdown) {
+  NoCoordScheduler s(space_, MinEnergyGoals(0.05, 0.9));
+  const auto calm = s.Decide(Request(0, 0.05));
+  for (int i = 0; i < 10; ++i) {
+    const auto d = s.Decide(Request(i, 0.05));
+    Measurement m;
+    const DnnModel& model = space_.model(d.candidate.model_index);
+    const double frac =
+        model.anytime_stages[static_cast<size_t>(std::max(d.candidate.stage_limit, 0))]
+            .latency_fraction;
+    m.xi_anchor_time =
+        2.5 * frac * space_.ProfileLatency(d.candidate.model_index, d.power_index);
+    m.xi_anchor_fraction = frac;
+    m.latency = m.xi_anchor_time;
+    m.period = m.latency;
+    m.inference_power = 20.0;
+    m.idle_power = 6.0;
+    s.Observe(d, m);
+  }
+  const auto stressed = s.Decide(Request(11, 0.05));
+  EXPECT_LT(stressed.candidate.stage_limit, calm.candidate.stage_limit);
+}
+
+// --- Oracle ---
+
+TEST_F(BaselinesTest, OracleMeetsConstraintsWithMinimalEnergy) {
+  const Goals goals = MinEnergyGoals(0.08, 0.92);
+  OracleScheduler oracle(space_, goals, contexts_);
+  const auto d = oracle.Decide(Request(0, 0.08));
+  const Measurement m = sim_.Execute(d.ToExecRequest(Request(0, 0.08)), contexts_[0]);
+  EXPECT_TRUE(m.deadline_met);
+  EXPECT_GE(m.accuracy, 0.92);
+
+  // No other feasible configuration is cheaper — exhaustive check.
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    for (int pi = 0; pi < space_.num_powers(); ++pi) {
+      SchedulingDecision alt;
+      alt.candidate = space_.candidate(ci);
+      alt.power_index = pi;
+      alt.power_cap = space_.cap(pi);
+      const Measurement am = sim_.Execute(alt.ToExecRequest(Request(0, 0.08)), contexts_[0]);
+      if (am.deadline_met && am.accuracy >= 0.92) {
+        EXPECT_GE(am.energy, m.energy - 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(BaselinesTest, OracleFallsBackGracefullyWhenInfeasible) {
+  const Goals goals = MinEnergyGoals(0.0005, 0.99);  // impossible deadline + accuracy
+  OracleScheduler oracle(space_, goals, contexts_);
+  const auto d = oracle.Decide(Request(0, 0.0005));
+  // Should still return something sane.
+  EXPECT_GE(d.candidate.model_index, 0);
+  EXPECT_LT(d.candidate.model_index, space_.num_models());
+}
+
+TEST_F(BaselinesTest, OracleBanksEnergyBudgetAcrossInputs) {
+  Goals goals;
+  goals.mode = GoalMode::kMaximizeAccuracy;
+  goals.deadline = 0.08;
+  goals.energy_budget = 1.3;
+  OracleScheduler oracle(space_, goals, contexts_);
+  // First input: spend below budget.
+  const auto d0 = oracle.Decide(Request(0, 0.08));
+  Measurement m0 = sim_.Execute(d0.ToExecRequest(Request(0, 0.08)), contexts_[0]);
+  oracle.Observe(d0, m0);
+  // Report an artificially cheap measurement to create surplus.
+  Measurement cheap = m0;
+  cheap.energy = 0.1;
+  oracle.Observe(d0, cheap);
+  // With banked surplus the oracle can afford configurations above the per-input
+  // budget; its pick should never be worse than without banking.
+  const auto d2 = oracle.Decide(Request(2, 0.08));
+  const Measurement m2 = sim_.Execute(d2.ToExecRequest(Request(2, 0.08)), contexts_[2]);
+  EXPECT_GE(m2.accuracy, 0.9);
+}
+
+TEST_F(BaselinesTest, OracleMaximizesAccuracyUnderBudget) {
+  Goals goals;
+  goals.mode = GoalMode::kMaximizeAccuracy;
+  goals.deadline = 0.08;
+  goals.energy_budget = 3.5;  // generous
+  OracleScheduler oracle(space_, goals, contexts_);
+  const auto d = oracle.Decide(Request(0, 0.08));
+  const Measurement m = sim_.Execute(d.ToExecRequest(Request(0, 0.08)), contexts_[0]);
+  // With a generous budget the oracle should reach the top of the accuracy range.
+  EXPECT_GE(m.accuracy, 0.945);
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,96 @@
+#include "src/common/gaussian.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(GaussianTest, StandardCdfKnownValues) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(StandardNormalCdf(-1.0), 0.15865525393145707, 1e-9);
+  EXPECT_NEAR(StandardNormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(StandardNormalCdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(GaussianTest, PdfKnownValues) {
+  EXPECT_NEAR(StandardNormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(StandardNormalPdf(1.0), 0.24197072451914337, 1e-12);
+}
+
+TEST(GaussianTest, CdfWithMeanAndStddev) {
+  EXPECT_NEAR(NormalCdf(5.0, 5.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(7.0, 5.0, 2.0), StandardNormalCdf(1.0), 1e-12);
+}
+
+TEST(GaussianTest, DegenerateCdfIsStepFunction) {
+  EXPECT_EQ(NormalCdf(4.999, 5.0, 0.0), 0.0);
+  EXPECT_EQ(NormalCdf(5.0, 5.0, 0.0), 1.0);
+  EXPECT_EQ(NormalCdf(5.001, 5.0, 0.0), 1.0);
+}
+
+TEST(GaussianTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999}) {
+    const double x = StandardNormalQuantile(p);
+    EXPECT_NEAR(StandardNormalCdf(x), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(GaussianTest, QuantileKnownValues) {
+  EXPECT_NEAR(StandardNormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(StandardNormalQuantile(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(StandardNormalQuantile(0.84134474606854293), 1.0, 1e-7);
+}
+
+TEST(GaussianTest, NormalQuantileScalesAndShifts) {
+  EXPECT_NEAR(NormalQuantile(0.975, 10.0, 2.0), 10.0 + 2.0 * 1.959963984540054, 1e-6);
+  EXPECT_EQ(NormalQuantile(0.3, 7.0, 0.0), 7.0);
+}
+
+TEST(GaussianTest, TruncatedMeanBelowIsBelowBothMeanAndBound) {
+  const double m = TruncatedNormalMeanBelow(0.0, 1.0, 0.5);
+  EXPECT_LT(m, 0.0);   // truncation pulls the mean down
+  EXPECT_LT(m, 0.5);
+}
+
+TEST(GaussianTest, TruncatedMeanApproachesMeanForLooseBound) {
+  EXPECT_NEAR(TruncatedNormalMeanBelow(2.0, 1.0, 100.0), 2.0, 1e-9);
+}
+
+TEST(GaussianTest, TruncatedMeanDegenerateSigma) {
+  EXPECT_EQ(TruncatedNormalMeanBelow(2.0, 0.0, 3.0), 2.0);
+}
+
+TEST(GaussianTest, TruncatedMeanTightBoundApproachesBound) {
+  // Essentially no mass below the bound: limit is the bound itself.
+  EXPECT_NEAR(TruncatedNormalMeanBelow(0.0, 1.0, -40.0), -40.0, 1e-6);
+}
+
+// Property sweep: CDF is monotone and quantile is its inverse on a grid.
+class GaussianPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GaussianPropertyTest, CdfMonotone) {
+  const double sigma = GetParam();
+  double prev = -1.0;
+  for (double x = -6.0; x <= 6.0; x += 0.25) {
+    const double c = NormalCdf(x, 0.0, sigma);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST_P(GaussianPropertyTest, QuantileRoundTrip) {
+  const double sigma = GetParam();
+  for (double p = 0.02; p < 1.0; p += 0.07) {
+    const double x = NormalQuantile(p, 1.5, sigma);
+    EXPECT_NEAR(NormalCdf(x, 1.5, sigma), p, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, GaussianPropertyTest,
+                         ::testing::Values(0.05, 0.3, 1.0, 4.0));
+
+}  // namespace
+}  // namespace alert

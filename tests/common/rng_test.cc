@@ -1,0 +1,145 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  // Must not get stuck at zero.
+  std::set<uint64_t> values;
+  for (int i = 0; i < 16; ++i) {
+    values.insert(rng.NextU64());
+  }
+  EXPECT_GT(values.size(), 10u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.5, 9.25);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 9.25);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.UniformInt(2, 6);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 6);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsExpOfNormal) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(RngTest, LogNormalMedianNearExpMu) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) {
+    xs.push_back(rng.LogNormal(1.0, 0.3));
+  }
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.08);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(55);
+  Rng p2(55);
+  Rng a = p1.Fork(9);
+  Rng b = p2.Fork(9);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,141 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.75), 7.5);
+}
+
+TEST(PercentileTest, SingleElement) {
+  std::vector<double> v = {4.2};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.9), 4.2);
+}
+
+TEST(BoxplotTest, OrderingInvariant) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) {
+    v.push_back(static_cast<double>(i));
+  }
+  const BoxplotStats b = ComputeBoxplot(v);
+  EXPECT_LE(b.min, b.p10);
+  EXPECT_LE(b.p10, b.p25);
+  EXPECT_LE(b.p25, b.median);
+  EXPECT_LE(b.median, b.p75);
+  EXPECT_LE(b.p75, b.p90);
+  EXPECT_LE(b.p90, b.max);
+  EXPECT_EQ(b.count, 100u);
+  EXPECT_NEAR(b.mean, 50.5, 1e-12);
+  EXPECT_NEAR(b.median, 50.5, 1e-12);
+}
+
+TEST(HarmonicMeanTest, KnownValue) {
+  std::vector<double> v = {1.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(HarmonicMean(v), 3.0 / (1.0 + 0.25 + 0.25));
+}
+
+TEST(HarmonicMeanTest, ConstantInput) {
+  std::vector<double> v = {2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(HarmonicMean(v), 2.5);
+}
+
+TEST(HarmonicMeanTest, DominatedBySmallValues) {
+  std::vector<double> v = {0.1, 100.0};
+  EXPECT_LT(HarmonicMean(v), 0.2);
+}
+
+TEST(MeanTest, EmptyIsZero) {
+  std::vector<double> v;
+  EXPECT_EQ(Mean(v), 0.0);
+}
+
+TEST(MeanTest, Basic) {
+  std::vector<double> v = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 9
+  h.Add(-5.0);   // clamped to bin 0
+  h.Add(50.0);   // clamped to bin 9
+  h.Add(5.0);    // bin 5
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.4);
+}
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 2.25);
+}
+
+TEST(HistogramTest, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_EQ(h.Fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,64 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t({"a", "b"});
+  t.AddRow({"xxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  const std::string out = t.Render();
+  // Every rendered line has the same length.
+  size_t line_len = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t nl = out.find('\n', pos);
+    const size_t len = nl - pos;
+    if (line_len == 0) {
+      line_len = len;
+    }
+    EXPECT_EQ(len, line_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTableTest, SeparatorAddsRule) {
+  TextTable t({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // header rule + top + bottom + separator = 4 rules
+  size_t rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatWithViolationsTest, SuperscriptOnlyWhenViolated) {
+  EXPECT_EQ(FormatWithViolations(0.76, 2, 19), "0.76^19");
+  EXPECT_EQ(FormatWithViolations(0.76, 2, 0), "0.76");
+}
+
+}  // namespace
+}  // namespace alert

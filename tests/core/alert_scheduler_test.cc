@@ -1,0 +1,274 @@
+#include "src/core/alert_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+class AlertSchedulerTest : public ::testing::Test {
+ protected:
+  AlertSchedulerTest()
+      : models_(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim_(GetPlatform(PlatformId::kCpu1), models_), space_(sim_) {}
+
+  Goals MinEnergyGoals(Seconds deadline, double accuracy) const {
+    Goals g;
+    g.mode = GoalMode::kMinimizeEnergy;
+    g.deadline = deadline;
+    g.accuracy_goal = accuracy;
+    return g;
+  }
+
+  Goals MinErrorGoals(Seconds deadline, Joules budget) const {
+    Goals g;
+    g.mode = GoalMode::kMaximizeAccuracy;
+    g.deadline = deadline;
+    g.energy_budget = budget;
+    return g;
+  }
+
+  InferenceRequest Request(Seconds deadline) const {
+    InferenceRequest r;
+    r.input_index = 0;
+    r.deadline = deadline;
+    r.period = deadline;
+    return r;
+  }
+
+  // Feeds the filter a stream of identical ratios to settle mu at `ratio` with a
+  // calm (small) variance.
+  static void Settle(AlertScheduler& s, const ConfigSpace& space, double ratio, int n) {
+    for (int i = 0; i < n; ++i) {
+      SchedulingDecision d;
+      d.candidate = space.candidate(0);
+      d.power_index = space.default_power_index();
+      d.power_cap = space.cap(d.power_index);
+      Measurement m;
+      m.xi_anchor_time =
+          ratio * space.ProfileLatency(d.candidate.model_index, d.power_index);
+      m.xi_anchor_fraction = 1.0;
+      m.xi_censored = false;
+      m.latency = m.xi_anchor_time;
+      m.period = m.latency;  // no idle: skip the idle filter
+      m.inference_power = 30.0;
+      m.idle_power = 6.0;
+      s.Observe(d, m);
+    }
+  }
+
+  std::vector<DnnModel> models_;
+  PlatformSimulator sim_;
+  ConfigSpace space_;
+};
+
+TEST_F(AlertSchedulerTest, RejectsInvalidGoals) {
+  Goals g;  // deadline unset
+  EXPECT_DEATH(AlertScheduler(space_, g), "Valid");
+}
+
+TEST_F(AlertSchedulerTest, MeetsAccuracyGoalInChoice) {
+  const Goals goals = MinEnergyGoals(0.08, 0.92);
+  AlertScheduler s(space_, goals);
+  Settle(s, space_, 1.0, 30);
+  const SchedulingDecision d = s.Decide(Request(0.08));
+  EXPECT_GE(space_.CandidateAccuracy(d.candidate), 0.92);
+}
+
+TEST_F(AlertSchedulerTest, LowerAccuracyGoalAllowsCheaperConfig) {
+  AlertScheduler strict(space_, MinEnergyGoals(0.08, 0.93));
+  AlertScheduler loose(space_, MinEnergyGoals(0.08, 0.87));
+  Settle(strict, space_, 1.0, 30);
+  Settle(loose, space_, 1.0, 30);
+  const auto d_strict = strict.Decide(Request(0.08));
+  const auto d_loose = loose.Decide(Request(0.08));
+  const auto e_strict = strict.Estimate(
+      Configuration{d_strict.candidate, d_strict.power_index}, 0.08, 0.08);
+  const auto e_loose =
+      loose.Estimate(Configuration{d_loose.candidate, d_loose.power_index}, 0.08, 0.08);
+  EXPECT_LE(e_loose.expected_energy, e_strict.expected_energy + 1e-9);
+}
+
+TEST_F(AlertSchedulerTest, SlowdownShiftsToFasterOrSaferConfig) {
+  const Goals goals = MinEnergyGoals(0.08, 0.92);
+  AlertScheduler s(space_, goals);
+  Settle(s, space_, 1.0, 30);
+  const SchedulingDecision calm = s.Decide(Request(0.08));
+  const Seconds calm_latency =
+      space_.CandidateProfileLatency(calm.candidate, calm.power_index);
+
+  AlertScheduler slow(space_, goals);
+  Settle(slow, space_, 1.8, 30);
+  const SchedulingDecision stressed = slow.Decide(Request(0.08));
+  const Seconds stressed_latency =
+      space_.CandidateProfileLatency(stressed.candidate, stressed.power_index);
+  // Under a believed 1.8x slowdown the chosen configuration must be nominally faster.
+  EXPECT_LT(stressed_latency, calm_latency);
+}
+
+TEST_F(AlertSchedulerTest, Section34Example_VarianceFlipsChoice) {
+  // The paper's worked example: under low variance pick the larger DNN (higher expected
+  // accuracy); under high variance the smaller DNN's completion probability wins.
+  const Goals goals = MinErrorGoals(0.08, 1e9);  // budget loose: pure accuracy
+  AlertScheduler calm(space_, goals);
+  Settle(calm, space_, 1.0, 60);  // variance collapses
+  const auto d_calm = calm.Decide(Request(0.08));
+  const double acc_calm = space_.CandidateAccuracy(d_calm.candidate);
+
+  AlertScheduler shaky(space_, goals);
+  // Alternate fast/slow observations: mu ~ 1.25, variance high.
+  for (int i = 0; i < 40; ++i) {
+    Settle(shaky, space_, i % 2 == 0 ? 0.9 : 1.6, 1);
+  }
+  const auto d_shaky = shaky.Decide(Request(0.08));
+  const double acc_shaky = space_.CandidateAccuracy(d_shaky.candidate);
+  EXPECT_LT(acc_shaky, acc_calm);
+}
+
+TEST_F(AlertSchedulerTest, VolatilityPrefersAnytimeOverTraditional) {
+  // Section 3.5: under high variance the anytime DNN's expected accuracy beats a
+  // traditional DNN of similar size, because it degrades gracefully.
+  const Goals goals = MinErrorGoals(0.08, 1e9);
+  AlertScheduler shaky(space_, goals);
+  for (int i = 0; i < 40; ++i) {
+    Settle(shaky, space_, i % 2 == 0 ? 0.8 : 1.9, 1);
+  }
+  const auto d = shaky.Decide(Request(0.08));
+  EXPECT_TRUE(space_.model(d.candidate.model_index).is_anytime());
+}
+
+TEST_F(AlertSchedulerTest, EnergyBudgetConstrainsChoice) {
+  // A tight budget forces a configuration whose estimated energy fits.
+  const Goals tight = MinErrorGoals(0.08, 0.9);
+  AlertScheduler s(space_, tight);
+  Settle(s, space_, 1.0, 30);
+  const auto d = s.Decide(Request(0.08));
+  const auto est = s.Estimate(Configuration{d.candidate, d.power_index}, 0.08, 0.08);
+  EXPECT_LE(est.expected_energy, 0.9 + 1e-9);
+}
+
+TEST_F(AlertSchedulerTest, FallbackPrefersAccuracyAmongSafeConfigs) {
+  // Impossible accuracy goal: nothing is feasible, so the latency > accuracy > power
+  // hierarchy kicks in — the pick should still be a high-accuracy config that meets
+  // the deadline, not simply the fastest one.
+  const Goals goals = MinEnergyGoals(0.08, 0.999);
+  AlertScheduler s(space_, goals);
+  Settle(s, space_, 1.0, 30);
+  const auto d = s.Decide(Request(0.08));
+  const auto est = s.Estimate(Configuration{d.candidate, d.power_index}, 0.08, 0.08);
+  EXPECT_GT(est.prob_deadline, 0.95);
+  EXPECT_GT(space_.CandidateAccuracy(d.candidate), 0.92);
+}
+
+TEST_F(AlertSchedulerTest, ProbThresholdRejectsRiskyConfigs) {
+  Goals goals = MinErrorGoals(0.08, 1e9);
+  goals.prob_threshold = 0.999;
+  AlertScheduler s(space_, goals);
+  // Moderate volatility.
+  for (int i = 0; i < 40; ++i) {
+    Settle(s, space_, i % 2 == 0 ? 0.9 : 1.4, 1);
+  }
+  const auto d = s.Decide(Request(0.08));
+  const auto est = s.Estimate(Configuration{d.candidate, d.power_index}, 0.08, 0.08);
+  EXPECT_GE(est.prob_deadline, 0.999 - 1e-6);
+}
+
+TEST_F(AlertSchedulerTest, OverheadCompensationTightensDeadline) {
+  Goals goals = MinErrorGoals(0.08, 1e9);
+  AlertOptions with_overhead;
+  with_overhead.scheduler_overhead = 0.02;
+  AlertScheduler compensated(space_, goals, with_overhead);
+  AlertScheduler plain(space_, goals);
+  Settle(compensated, space_, 1.0, 40);
+  Settle(plain, space_, 1.0, 40);
+  const auto d_comp = compensated.Decide(Request(0.08));
+  const auto d_plain = plain.Decide(Request(0.08));
+  // The compensated scheduler plans for an earlier effective deadline, so its chosen
+  // run must be nominally no slower.
+  EXPECT_LE(space_.CandidateProfileLatency(d_comp.candidate, d_comp.power_index),
+            space_.CandidateProfileLatency(d_plain.candidate, d_plain.power_index) + 1e-12);
+}
+
+TEST_F(AlertSchedulerTest, MeanOnlyVariantIgnoresVariance) {
+  AlertOptions star;
+  star.use_variance = false;
+  AlertScheduler s(space_, MinErrorGoals(0.08, 1e9), star);
+  for (int i = 0; i < 40; ++i) {
+    Settle(s, space_, i % 2 == 0 ? 0.8 : 1.2, 1);
+  }
+  EXPECT_EQ(s.xi_belief().stddev, 0.0);
+}
+
+TEST_F(AlertSchedulerTest, ObserveUpdatesSlowdownFilter) {
+  AlertScheduler s(space_, MinEnergyGoals(0.08, 0.9));
+  EXPECT_EQ(s.slowdown_estimator().num_observations(), 0);
+  Settle(s, space_, 1.4, 5);
+  EXPECT_EQ(s.slowdown_estimator().num_observations(), 5);
+  EXPECT_NEAR(s.xi_belief().mean, 1.4, 0.1);
+}
+
+TEST_F(AlertSchedulerTest, ObserveUpdatesIdleFilterOnlyWithIdleTime) {
+  AlertScheduler s(space_, MinEnergyGoals(0.08, 0.9));
+  SchedulingDecision d;
+  d.candidate = space_.candidate(0);
+  d.power_index = 0;
+  d.power_cap = space_.cap(0);
+  Measurement m;
+  m.latency = 0.05;
+  m.period = 0.05;  // no idle time
+  m.inference_power = 30.0;
+  m.idle_power = 6.0;
+  m.xi_anchor_time = 0.05;
+  m.xi_anchor_fraction = 1.0;
+  s.Observe(d, m);
+  EXPECT_EQ(s.idle_power_filter().num_updates(), 0);
+  m.period = 0.08;  // idle time present
+  s.Observe(d, m);
+  EXPECT_EQ(s.idle_power_filter().num_updates(), 1);
+}
+
+TEST_F(AlertSchedulerTest, DynamicGoalUpdate) {
+  AlertScheduler s(space_, MinEnergyGoals(0.08, 0.88));
+  Settle(s, space_, 1.0, 30);
+  const auto d_before = s.Decide(Request(0.08));
+  Goals harder = MinEnergyGoals(0.08, 0.94);
+  s.set_goals(harder);
+  const auto d_after = s.Decide(Request(0.08));
+  EXPECT_GE(space_.CandidateAccuracy(d_after.candidate), 0.94);
+  EXPECT_LE(space_.CandidateAccuracy(d_before.candidate),
+            space_.CandidateAccuracy(d_after.candidate));
+}
+
+TEST_F(AlertSchedulerTest, EstimateExposesAllThreeQuantities) {
+  AlertScheduler s(space_, MinEnergyGoals(0.08, 0.9));
+  Settle(s, space_, 1.0, 20);
+  const auto est = s.Estimate(Configuration{space_.candidate(0), 5}, 0.08, 0.08);
+  EXPECT_GT(est.prob_deadline, 0.0);
+  EXPECT_LE(est.prob_deadline, 1.0);
+  EXPECT_GT(est.expected_accuracy, 0.0);
+  EXPECT_LT(est.expected_accuracy, 1.0);
+  EXPECT_GT(est.expected_energy, 0.0);
+}
+
+TEST_F(AlertSchedulerTest, MinimizeEnergyPicksCheapestFeasible) {
+  // Exhaustive cross-check of the selection rule against a manual argmin.
+  const Goals goals = MinEnergyGoals(0.08, 0.9);
+  AlertScheduler s(space_, goals);
+  Settle(s, space_, 1.1, 30);
+  const auto d = s.Decide(Request(0.08));
+  const auto chosen = s.Estimate(Configuration{d.candidate, d.power_index}, 0.08, 0.08);
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    for (int pi = 0; pi < space_.num_powers(); ++pi) {
+      const auto est = s.Estimate(Configuration{space_.candidate(ci), pi}, 0.08, 0.08);
+      if (est.expected_accuracy >= goals.accuracy_goal) {
+        EXPECT_GE(est.expected_energy, chosen.expected_energy - 1e-9)
+            << "candidate " << ci << " power " << pi;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,129 @@
+#include "src/core/config_space.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+class ConfigSpaceTest : public ::testing::Test {
+ protected:
+  ConfigSpaceTest()
+      : models_(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim_(GetPlatform(PlatformId::kCpu1), models_), space_(sim_) {}
+
+  std::vector<DnnModel> models_;
+  PlatformSimulator sim_;
+  ConfigSpace space_;
+};
+
+TEST_F(ConfigSpaceTest, CandidateExpansion) {
+  // 5 traditional + 5 anytime stages = 10 candidates; 11 power settings on CPU1.
+  EXPECT_EQ(space_.num_models(), 6);
+  EXPECT_EQ(space_.num_candidates(), 10);
+  EXPECT_EQ(space_.num_powers(), 11);
+  EXPECT_EQ(space_.num_configurations(), 110);
+}
+
+TEST_F(ConfigSpaceTest, TraditionalCandidatesHaveNoStageLimit) {
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    const Candidate& c = space_.candidate(ci);
+    if (!space_.model(c.model_index).is_anytime()) {
+      EXPECT_EQ(c.stage_limit, -1);
+    } else {
+      EXPECT_GE(c.stage_limit, 0);
+    }
+  }
+}
+
+TEST_F(ConfigSpaceTest, AnytimeStagesEnumeratedInOrder) {
+  int prev_stage = -1;
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    const Candidate& c = space_.candidate(ci);
+    if (space_.model(c.model_index).is_anytime()) {
+      EXPECT_EQ(c.stage_limit, prev_stage + 1);
+      prev_stage = c.stage_limit;
+    }
+  }
+  EXPECT_EQ(prev_stage, 4);
+}
+
+TEST_F(ConfigSpaceTest, ProfileLatencyMatchesSimulatorNominal) {
+  for (int m = 0; m < space_.num_models(); ++m) {
+    for (int p = 0; p < space_.num_powers(); ++p) {
+      EXPECT_DOUBLE_EQ(space_.ProfileLatency(m, p),
+                       sim_.NominalLatency(m, space_.cap(p)));
+    }
+  }
+}
+
+TEST_F(ConfigSpaceTest, StageLimitedProfileLatency) {
+  // Find the anytime model and its stage-2 candidate.
+  const int any = space_.AnytimeModel();
+  ASSERT_GE(any, 0);
+  const DnnModel& m = space_.model(any);
+  const Candidate c{any, 2};
+  EXPECT_DOUBLE_EQ(space_.CandidateProfileLatency(c, 3),
+                   space_.ProfileLatency(any, 3) * m.anytime_stages[2].latency_fraction);
+}
+
+TEST_F(ConfigSpaceTest, CandidateAccuracy) {
+  const int any = space_.AnytimeModel();
+  const DnnModel& m = space_.model(any);
+  EXPECT_DOUBLE_EQ(space_.CandidateAccuracy(Candidate{any, 1}),
+                   m.anytime_stages[1].accuracy);
+  EXPECT_DOUBLE_EQ(space_.CandidateAccuracy(Candidate{0, -1}), space_.model(0).accuracy);
+}
+
+TEST_F(ConfigSpaceTest, FastestTraditionalIsRankZero) {
+  const int fastest = space_.FastestTraditionalModel();
+  ASSERT_GE(fastest, 0);
+  EXPECT_EQ(space_.model(fastest).family_rank, 0);
+  EXPECT_FALSE(space_.model(fastest).is_anytime());
+}
+
+TEST_F(ConfigSpaceTest, AnytimeModelFound) {
+  const int any = space_.AnytimeModel();
+  ASSERT_GE(any, 0);
+  EXPECT_TRUE(space_.model(any).is_anytime());
+}
+
+TEST_F(ConfigSpaceTest, DefaultPowerIsMaxCap) {
+  EXPECT_DOUBLE_EQ(space_.cap(space_.default_power_index()), 35.0);
+}
+
+TEST(ConfigSpaceNoAnytimeTest, AnytimeLookupReturnsMinusOne) {
+  auto models =
+      BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kTraditionalOnly);
+  PlatformSimulator sim(GetPlatform(PlatformId::kCpu1), models);
+  ConfigSpace space(sim);
+  EXPECT_EQ(space.AnytimeModel(), -1);
+  EXPECT_EQ(space.num_candidates(), 5);
+}
+
+TEST(ConfigSpacePerturbationTest, ProfileNoiseIsSystematicAndSeeded) {
+  auto models = BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth);
+  PlatformSimulator sim(GetPlatform(PlatformId::kCpu1), models);
+  ConfigSpace clean(sim, 0.0, 1);
+  ConfigSpace noisy_a(sim, 0.05, 1);
+  ConfigSpace noisy_b(sim, 0.05, 1);
+  ConfigSpace noisy_c(sim, 0.05, 2);
+  int differs_from_clean = 0;
+  int differs_across_seeds = 0;
+  for (int m = 0; m < clean.num_models(); ++m) {
+    for (int p = 0; p < clean.num_powers(); ++p) {
+      EXPECT_DOUBLE_EQ(noisy_a.ProfileLatency(m, p), noisy_b.ProfileLatency(m, p));
+      differs_from_clean +=
+          noisy_a.ProfileLatency(m, p) != clean.ProfileLatency(m, p) ? 1 : 0;
+      differs_across_seeds +=
+          noisy_a.ProfileLatency(m, p) != noisy_c.ProfileLatency(m, p) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(differs_from_clean, 50);
+  EXPECT_GT(differs_across_seeds, 50);
+}
+
+}  // namespace
+}  // namespace alert

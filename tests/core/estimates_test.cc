@@ -1,0 +1,181 @@
+#include "src/core/estimates.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/gaussian.h"
+
+namespace alert {
+namespace {
+
+TEST(ProbMeetDeadlineTest, MatchesClosedForm) {
+  const XiBelief xi{1.2, 0.1};
+  const double prof = 0.05;
+  const double deadline = 0.07;
+  const double expected = StandardNormalCdf((deadline - 1.2 * prof) / (0.1 * prof));
+  EXPECT_NEAR(ProbMeetDeadline(xi, prof, deadline), expected, 1e-12);
+}
+
+TEST(ProbMeetDeadlineTest, DeterministicBelief) {
+  const XiBelief xi{1.0, 0.0};
+  EXPECT_EQ(ProbMeetDeadline(xi, 0.05, 0.06), 1.0);
+  EXPECT_EQ(ProbMeetDeadline(xi, 0.05, 0.04), 0.0);
+}
+
+TEST(ProbMeetDeadlineTest, MonotoneInDeadline) {
+  const XiBelief xi{1.0, 0.2};
+  double prev = 0.0;
+  for (double t = 0.01; t < 0.2; t += 0.01) {
+    const double p = ProbMeetDeadline(xi, 0.05, t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ProbMeetDeadlineTest, MonotoneDecreasingInProfileLatency) {
+  const XiBelief xi{1.0, 0.2};
+  double prev = 1.0;
+  for (double prof = 0.01; prof < 0.2; prof += 0.01) {
+    const double p = ProbMeetDeadline(xi, prof, 0.08);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ExpectedAccuracyTraditionalTest, LimitsAtExtremes) {
+  // Certain to meet: full model accuracy.  Certain to miss: random guess.
+  EXPECT_NEAR(ExpectedAccuracyTraditional({1.0, 0.0}, 0.05, 1.0, 0.93, 0.005), 0.93,
+              1e-12);
+  EXPECT_NEAR(ExpectedAccuracyTraditional({1.0, 0.0}, 0.05, 0.01, 0.93, 0.005), 0.005,
+              1e-12);
+}
+
+TEST(ExpectedAccuracyTraditionalTest, InterpolatesWithProbability) {
+  const XiBelief xi{1.0, 0.1};
+  const double pr = ProbMeetDeadline(xi, 0.05, 0.0525);
+  const double expected = pr * 0.9 + (1.0 - pr) * 0.005;
+  EXPECT_NEAR(ExpectedAccuracyTraditional(xi, 0.05, 0.0525, 0.9, 0.005), expected, 1e-12);
+}
+
+class AnytimeAccuracyTest : public ::testing::Test {
+ protected:
+  const std::vector<AnytimeStage> stages_ = {
+      {0.25, 0.80}, {0.50, 0.88}, {0.75, 0.92}, {1.00, 0.95}};
+  const double q_fail_ = 0.005;
+};
+
+TEST_F(AnytimeAccuracyTest, CertainCompletionGivesFinalAccuracy) {
+  EXPECT_NEAR(ExpectedAccuracyAnytime({1.0, 0.0}, 0.05, stages_, -1, 1.0, q_fail_), 0.95,
+              1e-12);
+}
+
+TEST_F(AnytimeAccuracyTest, DeadlineBetweenStagesPicksLastCompleted) {
+  // Deterministic belief, deadline at 0.6 * full latency: stage 1 (0.50) delivered.
+  EXPECT_NEAR(ExpectedAccuracyAnytime({1.0, 0.0}, 0.05, stages_, -1, 0.03, q_fail_), 0.88,
+              1e-12);
+}
+
+TEST_F(AnytimeAccuracyTest, ImpossibleDeadlineGivesRandomGuess) {
+  EXPECT_NEAR(ExpectedAccuracyAnytime({1.0, 0.0}, 0.05, stages_, -1, 0.001, q_fail_),
+              q_fail_, 1e-12);
+}
+
+TEST_F(AnytimeAccuracyTest, StageLimitCapsAccuracy) {
+  // With a generous deadline but stage limit 1, accuracy capped at stage 1's.
+  EXPECT_NEAR(ExpectedAccuracyAnytime({1.0, 0.0}, 0.05, stages_, 1, 1.0, q_fail_), 0.88,
+              1e-12);
+}
+
+TEST_F(AnytimeAccuracyTest, ProbabilisticMixtureIsWithinBounds) {
+  const XiBelief xi{1.0, 0.3};
+  const double q = ExpectedAccuracyAnytime(xi, 0.05, stages_, -1, 0.04, q_fail_);
+  EXPECT_GT(q, q_fail_);
+  EXPECT_LT(q, 0.95);
+}
+
+TEST_F(AnytimeAccuracyTest, MatchesManualMixture) {
+  const XiBelief xi{1.0, 0.2};
+  const double prof = 0.05;
+  const double deadline = 0.04;
+  // P(stage k done) = Phi((T/(frac_k * prof) - mu) / sigma).
+  auto stage_prob = [&](double frac) {
+    return StandardNormalCdf((deadline / (frac * prof) - xi.mean) / xi.stddev);
+  };
+  const double p0 = stage_prob(0.25);
+  const double p1 = stage_prob(0.50);
+  const double p2 = stage_prob(0.75);
+  const double p3 = stage_prob(1.00);
+  const double expected = 0.95 * p3 + 0.92 * (p2 - p3) + 0.88 * (p1 - p2) +
+                          0.80 * (p0 - p1) + q_fail_ * (1.0 - p0);
+  EXPECT_NEAR(ExpectedAccuracyAnytime(xi, prof, stages_, -1, deadline, q_fail_), expected,
+              1e-12);
+}
+
+TEST_F(AnytimeAccuracyTest, MoreVolatilityLowersExpectedAccuracyNearBoundary) {
+  // Near the completion boundary, higher variance means lower expected accuracy —
+  // the mechanism behind ALERT's conservative picks (Section 3.4).
+  const double calm =
+      ExpectedAccuracyAnytime({1.0, 0.05}, 0.05, stages_, -1, 0.052, q_fail_);
+  const double volatile_env =
+      ExpectedAccuracyAnytime({1.0, 0.40}, 0.05, stages_, -1, 0.052, q_fail_);
+  EXPECT_GT(calm, volatile_env);
+}
+
+TEST(ExpectedRuntimeTest, DeterministicMinimum) {
+  EXPECT_DOUBLE_EQ(ExpectedRuntime({1.0, 0.0}, 0.05, 0.04), 0.04);
+  EXPECT_DOUBLE_EQ(ExpectedRuntime({1.0, 0.0}, 0.05, 0.06), 0.05);
+}
+
+TEST(ExpectedRuntimeTest, BoundedByCutoffAndMean) {
+  const XiBelief xi{1.0, 0.3};
+  const double r = ExpectedRuntime(xi, 0.05, 0.055);
+  EXPECT_LE(r, 0.055);
+  EXPECT_LE(r, 1.0 * 0.05 + 1e-12);  // E[min(X,c)] <= E[X]
+  EXPECT_GT(r, 0.0);
+}
+
+TEST(ExpectedRuntimeTest, LooseCutoffApproachesMean) {
+  const XiBelief xi{1.2, 0.1};
+  EXPECT_NEAR(ExpectedRuntime(xi, 0.05, 10.0), 0.06, 1e-6);
+}
+
+TEST(EstimateEnergyTest, ExpectationDecomposition) {
+  const XiBelief xi{1.0, 0.0};
+  // run = 0.05, period = 0.1, inference 30 W, idle 6 W.
+  const double e = EstimateEnergy(xi, 0.05, 30.0, 6.0, 0.1, 0.1, true, 0.0);
+  EXPECT_NEAR(e, 30.0 * 0.05 + 6.0 * 0.05, 1e-12);
+}
+
+TEST(EstimateEnergyTest, NoIdleWhenRunFillsPeriod) {
+  const XiBelief xi{2.0, 0.0};
+  const double e = EstimateEnergy(xi, 0.05, 30.0, 6.0, 0.08, 0.08, true, 0.0);
+  EXPECT_NEAR(e, 30.0 * 0.08, 1e-12);  // capped at cutoff, no idle time
+}
+
+TEST(EstimateEnergyTest, PercentileIsMoreConservative) {
+  // Eq. 12: charging the 95th-percentile latency yields a higher energy estimate than
+  // the mean when inference power exceeds idle power.
+  const XiBelief xi{1.0, 0.2};
+  const double mean_e = EstimateEnergy(xi, 0.05, 30.0, 6.0, 0.2, 0.2, true, 0.0);
+  const double pct_e = EstimateEnergy(xi, 0.05, 30.0, 6.0, 0.2, 0.2, true, 0.95);
+  EXPECT_GT(pct_e, mean_e);
+}
+
+TEST(EstimateEnergyTest, PercentileReducesToMeanWhenDeterministic) {
+  const XiBelief xi{1.0, 0.0};
+  const double a = EstimateEnergy(xi, 0.05, 30.0, 6.0, 0.2, 0.2, true, 0.0);
+  const double b = EstimateEnergy(xi, 0.05, 30.0, 6.0, 0.2, 0.2, true, 0.95);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(EstimateEnergyTest, UnstoppedRunUsesFullMean) {
+  const XiBelief xi{2.0, 0.0};
+  // Not stopped at the cutoff: the job runs to its full expected latency.
+  const double e = EstimateEnergy(xi, 0.05, 30.0, 6.0, 0.08, 0.08, false, 0.0);
+  EXPECT_NEAR(e, 30.0 * 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace alert

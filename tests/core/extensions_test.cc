@@ -1,0 +1,252 @@
+// Tests for the beyond-the-paper extensions: the latency-minimization mode
+// (Section 3.1's omitted third objective), energy-budget pacing, external power
+// limits, and the multi-job coordinator (Section 3.6's future work).
+#include <gtest/gtest.h>
+
+#include "src/core/alert_scheduler.h"
+#include "src/core/multi_job.h"
+#include "src/dnn/zoo.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/multi_job_experiment.h"
+#include "src/harness/schemes.h"
+
+namespace alert {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest()
+      : models_(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim_(GetPlatform(PlatformId::kCpu1), models_), space_(sim_) {}
+
+  InferenceRequest Request(Seconds deadline) const {
+    InferenceRequest r;
+    r.input_index = 0;
+    r.deadline = deadline;
+    r.period = deadline;
+    return r;
+  }
+
+  std::vector<DnnModel> models_;
+  PlatformSimulator sim_;
+  ConfigSpace space_;
+};
+
+// --- Latency-minimization mode ---
+
+TEST_F(ExtensionsTest, LatencyModeRequiresBothConstraints) {
+  Goals g;
+  g.mode = GoalMode::kMinimizeLatency;
+  g.deadline = 0.1;
+  g.accuracy_goal = 0.9;
+  EXPECT_FALSE(g.Valid());  // energy budget missing
+  g.energy_budget = 2.0;
+  EXPECT_TRUE(g.Valid());
+}
+
+TEST_F(ExtensionsTest, LatencyModePicksFastestCompliantConfig) {
+  Goals g;
+  g.mode = GoalMode::kMinimizeLatency;
+  g.deadline = 0.2;  // period only
+  g.accuracy_goal = 0.92;
+  g.energy_budget = 1e9;  // unconstrained energy
+  AlertScheduler s(space_, g);
+  const auto d = s.Decide(Request(0.2));
+  // Must satisfy the accuracy floor...
+  EXPECT_GE(space_.CandidateAccuracy(d.candidate), 0.92);
+  // ...and be the fastest such option: the smallest compliant model at a high cap.
+  const Seconds chosen = space_.CandidateProfileLatency(d.candidate, d.power_index);
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    for (int pi = 0; pi < space_.num_powers(); ++pi) {
+      if (space_.CandidateAccuracy(space_.candidate(ci)) >= 0.92) {
+        EXPECT_GE(space_.CandidateProfileLatency(space_.candidate(ci), pi),
+                  chosen - 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(ExtensionsTest, LatencyModeEnergyBudgetForcesSlower) {
+  Goals loose;
+  loose.mode = GoalMode::kMinimizeLatency;
+  loose.deadline = 0.2;
+  loose.accuracy_goal = 0.9;
+  loose.energy_budget = 1e9;
+  Goals tight = loose;
+  tight.energy_budget = 1.0;
+  AlertScheduler s_loose(space_, loose);
+  AlertScheduler s_tight(space_, tight);
+  const auto d_loose = s_loose.Decide(Request(0.2));
+  const auto d_tight = s_tight.Decide(Request(0.2));
+  EXPECT_GE(space_.CandidateProfileLatency(d_tight.candidate, d_tight.power_index),
+            space_.CandidateProfileLatency(d_loose.candidate, d_loose.power_index));
+}
+
+TEST_F(ExtensionsTest, LatencyModeEndToEnd) {
+  ExperimentOptions options;
+  options.num_inputs = 150;
+  options.seed = 23;
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                options);
+  Goals g;
+  g.mode = GoalMode::kMinimizeLatency;
+  g.deadline = 0.12;
+  g.accuracy_goal = 0.9;
+  g.energy_budget = 35.0 * g.deadline;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), g);
+  const RunResult r = ex.Run(stack, alert, g);
+  EXPECT_GE(r.avg_accuracy, 0.88);
+  EXPECT_LE(r.avg_energy, g.energy_budget * 1.05);
+  // Latency mode should be faster than energy-minimization under the same floor.
+  Goals energy_goals = g;
+  energy_goals.mode = GoalMode::kMinimizeEnergy;
+  AlertScheduler saver(stack.space(), energy_goals);
+  const RunResult r_saver = ex.Run(stack, saver, energy_goals);
+  EXPECT_LT(r.avg_latency, r_saver.avg_latency);
+}
+
+TEST_F(ExtensionsTest, OracleSupportsLatencyMode) {
+  ExperimentOptions options;
+  options.num_inputs = 100;
+  options.seed = 29;
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                options);
+  Goals g;
+  g.mode = GoalMode::kMinimizeLatency;
+  g.deadline = 0.12;
+  g.accuracy_goal = 0.9;
+  g.energy_budget = 35.0 * g.deadline;
+  auto oracle = MakeScheduler(SchemeId::kOracle, ex, g);
+  const RunResult r = ex.Run(ex.stack(DnnSetChoice::kBoth), *oracle, g);
+  EXPECT_GE(r.avg_accuracy, 0.9);
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), g);
+  const RunResult r_alert = ex.Run(stack, alert, g);
+  // The clairvoyant oracle is at least as fast as ALERT on fixed deadlines.
+  EXPECT_LE(r.avg_latency, r_alert.avg_latency + 1e-9);
+}
+
+// --- Energy-budget pacing ---
+
+TEST_F(ExtensionsTest, PacingImprovesAccuracyUnderBindingBudget) {
+  ExperimentOptions options;
+  options.num_inputs = 400;
+  options.seed = 31;
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                options);
+  Goals g;
+  g.mode = GoalMode::kMaximizeAccuracy;
+  g.deadline = 1.0 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  g.energy_budget = 22.0 * g.deadline;  // binding envelope
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+
+  AlertScheduler plain(stack.space(), g);
+  AlertOptions paced_options;
+  paced_options.pace_energy_budget = true;
+  AlertScheduler paced(stack.space(), g, paced_options);
+
+  const RunResult r_plain = ex.Run(stack, plain, g);
+  const RunResult r_paced = ex.Run(stack, paced, g);
+  // Pacing spends banked surplus for accuracy while keeping the average within budget.
+  EXPECT_LE(r_paced.avg_energy, g.energy_budget * 1.01);
+  EXPECT_GE(r_paced.avg_accuracy, r_plain.avg_accuracy - 1e-9);
+}
+
+// --- External power limit ---
+
+TEST_F(ExtensionsTest, PowerLimitCapsChosenConfiguration) {
+  Goals g;
+  g.mode = GoalMode::kMaximizeAccuracy;
+  g.deadline = 0.05;
+  g.energy_budget = 1e9;
+  AlertScheduler s(space_, g);
+  s.set_power_limit(20.0);
+  const auto d = s.Decide(Request(0.05));
+  EXPECT_LE(d.power_cap, 20.0 + 1e-9);
+}
+
+TEST_F(ExtensionsTest, ImpossiblePowerLimitFallsBackToLowestCap) {
+  Goals g;
+  g.mode = GoalMode::kMaximizeAccuracy;
+  g.deadline = 0.05;
+  g.energy_budget = 1e9;
+  AlertScheduler s(space_, g);
+  s.set_power_limit(1.0);  // below every settable cap
+  const auto d = s.Decide(Request(0.05));
+  EXPECT_DOUBLE_EQ(d.power_cap, space_.cap(0));
+}
+
+// --- Multi-job coordination ---
+
+TEST_F(ExtensionsTest, CoordinatorRespectsSharedBudget) {
+  auto models2 = BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth);
+  PlatformSimulator sim2(GetPlatform(PlatformId::kCpu1), models2);
+  ConfigSpace space2(sim2);
+
+  Goals g;
+  g.mode = GoalMode::kMaximizeAccuracy;
+  g.deadline = 0.08;
+  g.energy_budget = 1e9;
+  std::vector<JobSpec> jobs;
+  for (int j = 0; j < 2; ++j) {
+    JobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    spec.space = j == 0 ? &space_ : &space2;
+    spec.goals = g;
+    jobs.push_back(std::move(spec));
+  }
+  // Budget of 40 W for two jobs that would each like 35 W.
+  MultiJobCoordinator coordinator(std::move(jobs), 40.0);
+  std::vector<InferenceRequest> requests(2, Request(0.08));
+  const auto decisions = coordinator.DecideRound(requests);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_LE(decisions[0].power_cap + decisions[1].power_cap, 40.0 + 1e-9);
+}
+
+TEST_F(ExtensionsTest, CoordinatorGeneroudBudgetLeavesDesiresAlone) {
+  auto models2 = BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth);
+  PlatformSimulator sim2(GetPlatform(PlatformId::kCpu1), models2);
+  ConfigSpace space2(sim2);
+  Goals g;
+  g.mode = GoalMode::kMaximizeAccuracy;
+  g.deadline = 0.08;
+  g.energy_budget = 1e9;
+  std::vector<JobSpec> jobs(2);
+  jobs[0] = {.name = "a", .space = &space_, .goals = g, .options = {}};
+  jobs[1] = {.name = "b", .space = &space2, .goals = g, .options = {}};
+  MultiJobCoordinator coordinator(std::move(jobs), 500.0);
+  std::vector<InferenceRequest> requests(2, Request(0.08));
+  const auto decisions = coordinator.DecideRound(requests);
+  // With a huge budget both jobs get their unconstrained desire (max accuracy at
+  // whatever cap they wanted).
+  EXPECT_GE(space_.CandidateAccuracy(decisions[0].candidate), 0.94);
+}
+
+TEST(MultiJobExperimentTest, CoordinationBeatsUncoordinatedOnBudgetCompliance) {
+  MultiJobSpec a;
+  a.task = TaskId::kImageClassification;
+  a.goals.mode = GoalMode::kMaximizeAccuracy;
+  a.goals.deadline = 1.5 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu2);
+  a.goals.energy_budget = 1e9;
+  a.seed = 1;
+  MultiJobSpec b = a;
+  b.seed = 2;
+
+  MultiJobExperiment ex(PlatformId::kCpu2, {a, b}, /*num_rounds=*/150, /*seed=*/3);
+  const Watts budget = 130.0;
+  const MultiJobResult coordinated = ex.RunCoordinated(budget);
+  const MultiJobResult uncoordinated = ex.RunUncoordinated(budget);
+
+  EXPECT_EQ(coordinated.budget_overshoot_fraction, 0.0);
+  EXPECT_GT(uncoordinated.budget_overshoot_fraction, 0.5);
+  EXPECT_LE(coordinated.avg_total_cap, budget + 1e-9);
+  // Both jobs still function under coordination.
+  for (const RunResult& r : coordinated.per_job) {
+    EXPECT_GT(r.avg_accuracy, 0.85);
+    EXPECT_LT(r.deadline_miss_fraction, 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,105 @@
+// Robustness suites: the empirical-WCET hard-guarantee variant, and ALERT's tolerance
+// of systematic profiling error (the global slowdown factor absorbs profile bias —
+// the property that makes offline profiles reusable across deployments).
+#include <gtest/gtest.h>
+
+#include "src/core/alert_scheduler.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/experiment.h"
+
+namespace alert {
+namespace {
+
+Goals ImageGoals(GoalMode mode) {
+  Goals g;
+  g.mode = mode;
+  g.deadline = 1.25 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  g.accuracy_goal = 0.9;
+  g.energy_budget = 30.0 * g.deadline;
+  return g;
+}
+
+TEST(WcetModeTest, NearHardGuaranteesUnderContention) {
+  ExperimentOptions options;
+  options.num_inputs = 500;
+  options.seed = 99;
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                options);
+  const Goals goals = ImageGoals(GoalMode::kMinimizeEnergy);
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+
+  AlertOptions wcet_options;
+  wcet_options.wcet_window = 100;
+  AlertScheduler wcet(stack.space(), goals, wcet_options);
+  const RunResult r_wcet = ex.Run(stack, wcet, goals);
+
+  AlertScheduler probabilistic(stack.space(), goals);
+  const RunResult r_prob = ex.Run(stack, probabilistic, goals);
+
+  // The WCET variant misses (at most) as often as the probabilistic one and pays for
+  // it with at least as much energy.
+  EXPECT_LE(r_wcet.deadline_miss_fraction, r_prob.deadline_miss_fraction + 1e-9);
+  EXPECT_GE(r_wcet.avg_energy, r_prob.avg_energy * 0.98);
+  EXPECT_LT(r_wcet.deadline_miss_fraction, 0.02);
+}
+
+TEST(WcetModeTest, BeliefIsWindowMaximum) {
+  auto models = BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth);
+  PlatformSimulator sim(GetPlatform(PlatformId::kCpu1), models);
+  ConfigSpace space(sim);
+  AlertOptions options;
+  options.wcet_window = 4;
+  AlertScheduler s(space, ImageGoals(GoalMode::kMinimizeEnergy), options);
+
+  auto observe = [&](double ratio) {
+    SchedulingDecision d;
+    d.candidate = space.candidate(0);
+    d.power_index = 0;
+    d.power_cap = space.cap(0);
+    Measurement m;
+    m.xi_anchor_time = ratio * space.ProfileLatency(0, 0);
+    m.xi_anchor_fraction = 1.0;
+    m.latency = m.xi_anchor_time;
+    m.period = m.latency;
+    m.inference_power = 20.0;
+    m.idle_power = 6.0;
+    s.Observe(d, m);
+  };
+  observe(1.0);
+  observe(1.9);
+  observe(1.1);
+  EXPECT_NEAR(s.xi_belief().mean, 1.9, 1e-9);
+  EXPECT_EQ(s.xi_belief().stddev, 0.0);
+  // The 1.9 spike ages out of the 4-observation window.
+  observe(1.0);
+  observe(1.0);
+  observe(1.0);
+  observe(1.0);
+  EXPECT_NEAR(s.xi_belief().mean, 1.0, 1e-9);
+}
+
+class ProfileNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProfileNoiseTest, AlertAbsorbsSystematicProfilingError) {
+  // Profiles are perturbed by a systematic lognormal error; the xi feedback loop
+  // corrects the bias, so violations stay bounded even at 10% profile error.
+  const double noise = GetParam();
+  ExperimentOptions options;
+  options.num_inputs = 300;
+  options.seed = 41;
+  options.profile_noise_sigma = noise;
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                options);
+  const Goals goals = ImageGoals(GoalMode::kMinimizeEnergy);
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals);
+  EXPECT_LE(r.violation_fraction, 0.12) << "profile noise " << noise;
+  EXPECT_GE(r.avg_accuracy, 0.85) << "profile noise " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, ProfileNoiseTest,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.10));
+
+}  // namespace
+}  // namespace alert

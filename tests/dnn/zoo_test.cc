@@ -1,0 +1,209 @@
+#include "src/dnn/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/model.h"
+
+namespace alert {
+namespace {
+
+TEST(ImageNetZooTest, Has42Models) {
+  EXPECT_EQ(BuildImageNetZoo().size(), 42u);
+}
+
+TEST(ImageNetZooTest, LatencySpanMatchesPaper) {
+  // Section 2.1: "the fastest model runs almost 18x faster than the slowest one".
+  const auto zoo = BuildImageNetZoo();
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& m : zoo) {
+    lo = std::min(lo, m.ref_latency_on(PlatformId::kCpu2));
+    hi = std::max(hi, m.ref_latency_on(PlatformId::kCpu2));
+  }
+  EXPECT_NEAR(hi / lo, 18.0, 1.0);
+}
+
+TEST(ImageNetZooTest, ErrorSpanMatchesPaper) {
+  // "the most accurate model has about 7.8x lower error rate than the least accurate".
+  const auto zoo = BuildImageNetZoo();
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& m : zoo) {
+    lo = std::min(lo, 1.0 - m.accuracy);
+    hi = std::max(hi, 1.0 - m.accuracy);
+  }
+  EXPECT_NEAR(hi / lo, 7.8, 0.3);
+}
+
+TEST(ImageNetZooTest, EnergySpanExceeds20x) {
+  // Energy proxy at max power: demand * latency; "more than 20x of energy usage".
+  const auto zoo = BuildImageNetZoo();
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& m : zoo) {
+    const double e = m.power_demand_frac * m.ref_latency_on(PlatformId::kCpu2);
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_GT(hi / lo, 20.0);
+}
+
+TEST(ImageNetZooTest, NoImageModelRunsOnEmbedded) {
+  // Fig. 4 caption: image tasks run out of memory on the embedded board.
+  for (const auto& m : BuildImageNetZoo()) {
+    EXPECT_FALSE(m.SupportsPlatform(PlatformId::kEmbedded)) << m.name;
+  }
+}
+
+TEST(ImageNetZooTest, NoDominatedFrontierEndpoints) {
+  // The most accurate network must be the slowest-or-near-slowest; the fastest must be
+  // the least accurate (no free lunch, Section 2.1's "no magic DNN").
+  const auto zoo = BuildImageNetZoo();
+  const auto most_accurate = std::max_element(
+      zoo.begin(), zoo.end(),
+      [](const DnnModel& a, const DnnModel& b) { return a.accuracy < b.accuracy; });
+  const auto fastest = std::min_element(zoo.begin(), zoo.end(),
+      [](const DnnModel& a, const DnnModel& b) {
+        return a.ref_latency_on(PlatformId::kCpu2) < b.ref_latency_on(PlatformId::kCpu2);
+      });
+  EXPECT_GT(most_accurate->ref_latency_on(PlatformId::kCpu2), 0.2);
+  EXPECT_LT(fastest->accuracy, 0.75);
+}
+
+TEST(ImageNetZooTest, UniqueNames) {
+  const auto zoo = BuildImageNetZoo();
+  std::vector<std::string> names;
+  for (const auto& m : zoo) {
+    names.push_back(m.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(FamilyTest, SparseResNetOrderedBySizeAndAccuracy) {
+  const auto family = BuildSparseResNetFamily();
+  EXPECT_EQ(family.size(), 5u);
+  for (size_t i = 1; i < family.size(); ++i) {
+    EXPECT_GT(family[i].ref_latency_on(PlatformId::kCpu1),
+              family[i - 1].ref_latency_on(PlatformId::kCpu1));
+    EXPECT_GT(family[i].accuracy, family[i - 1].accuracy);
+    EXPECT_EQ(family[i].family_rank, static_cast<int>(i));
+  }
+}
+
+TEST(FamilyTest, RnnFamilyOrdered) {
+  const auto family = BuildRnnFamily();
+  EXPECT_EQ(family.size(), 5u);
+  for (size_t i = 1; i < family.size(); ++i) {
+    EXPECT_GT(family[i].ref_latency_on(PlatformId::kCpu1),
+              family[i - 1].ref_latency_on(PlatformId::kCpu1));
+    EXPECT_GT(family[i].accuracy, family[i - 1].accuracy);
+  }
+}
+
+TEST(FamilyTest, RnnRunsEverywhere) {
+  for (const auto& m : BuildRnnFamily()) {
+    for (int p = 0; p < kNumPlatforms; ++p) {
+      EXPECT_TRUE(m.SupportsPlatform(static_cast<PlatformId>(p))) << m.name;
+    }
+  }
+}
+
+TEST(AnytimeTest, DepthNestLadderIsMonotone) {
+  const DnnModel m = BuildDepthNestAnytime();
+  ASSERT_TRUE(m.is_anytime());
+  ASSERT_EQ(m.anytime_stages.size(), 5u);
+  for (size_t i = 1; i < m.anytime_stages.size(); ++i) {
+    EXPECT_GT(m.anytime_stages[i].latency_fraction, m.anytime_stages[i - 1].latency_fraction);
+    EXPECT_GT(m.anytime_stages[i].accuracy, m.anytime_stages[i - 1].accuracy);
+  }
+  EXPECT_DOUBLE_EQ(m.anytime_stages.back().latency_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(m.anytime_stages.back().accuracy, m.accuracy);
+}
+
+TEST(AnytimeTest, WidthNestLadderIsMonotone) {
+  const DnnModel m = BuildWidthNestAnytime();
+  ASSERT_TRUE(m.is_anytime());
+  for (size_t i = 1; i < m.anytime_stages.size(); ++i) {
+    EXPECT_GT(m.anytime_stages[i].latency_fraction, m.anytime_stages[i - 1].latency_fraction);
+    EXPECT_GT(m.anytime_stages[i].accuracy, m.anytime_stages[i - 1].accuracy);
+  }
+}
+
+TEST(AnytimeTest, AnytimeSlightlyLessAccurateThanComparableTraditional) {
+  // Section 3.5: anytime DNNs "generally sacrifice accuracy for flexibility".
+  const DnnModel any = BuildDepthNestAnytime();
+  const auto family = BuildSparseResNetFamily();
+  // The largest traditional network has comparable latency but higher accuracy.
+  EXPECT_GT(family.back().accuracy, any.accuracy);
+  EXPECT_NEAR(family.back().ref_latency_on(PlatformId::kCpu1),
+              any.ref_latency_on(PlatformId::kCpu1), 0.01);
+}
+
+TEST(EvaluationSetTest, TraditionalOnlyHasNoAnytime) {
+  for (const auto& m :
+       BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kTraditionalOnly)) {
+    EXPECT_FALSE(m.is_anytime());
+  }
+}
+
+TEST(EvaluationSetTest, AnytimeOnlyHasOneAnytime) {
+  const auto set =
+      BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kAnytimeOnly);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set[0].is_anytime());
+}
+
+TEST(EvaluationSetTest, BothCombines) {
+  const auto set = BuildEvaluationSet(TaskId::kSentencePrediction, DnnSetChoice::kBoth);
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_TRUE(set.back().is_anytime());
+  for (size_t i = 0; i + 1 < set.size(); ++i) {
+    EXPECT_FALSE(set[i].is_anytime());
+  }
+}
+
+TEST(ModelTest, RandomGuessAccuracies) {
+  EXPECT_DOUBLE_EQ(TaskRandomGuessAccuracy(TaskId::kImageClassification), 0.005);
+  EXPECT_DOUBLE_EQ(TaskRandomGuessAccuracy(TaskId::kSentencePrediction), 0.0001);
+  EXPECT_GT(TaskRandomGuessAccuracy(TaskId::kQuestionAnswering), 0.0);
+}
+
+TEST(ModelTest, PerplexityMapIsMonotoneDecreasing) {
+  double prev = PerplexityFromAccuracy(0.0);
+  for (double acc = 0.05; acc <= 0.35; acc += 0.05) {
+    const double ppl = PerplexityFromAccuracy(acc);
+    EXPECT_LT(ppl, prev);
+    prev = ppl;
+  }
+}
+
+TEST(ModelTest, PerplexityCalibration) {
+  // The evaluation RNN family should span roughly the Fig. 10 perplexity axis.
+  EXPECT_NEAR(PerplexityFromAccuracy(0.301), 114.0, 10.0);
+  EXPECT_NEAR(PerplexityFromAccuracy(0.214), 164.0, 15.0);
+  EXPECT_GT(PerplexityFromAccuracy(0.0001), 380.0);
+}
+
+TEST(ModelTest, ContentionSensitivityByType) {
+  DnnModel m;
+  m.memory_sensitivity = 1.2;
+  m.compute_sensitivity = 0.9;
+  EXPECT_EQ(m.ContentionSensitivity(ContentionType::kNone), 0.0);
+  EXPECT_EQ(m.ContentionSensitivity(ContentionType::kMemory), 1.2);
+  EXPECT_EQ(m.ContentionSensitivity(ContentionType::kCompute), 0.9);
+}
+
+TEST(ModelTest, ProfilingSingletons) {
+  EXPECT_FALSE(BuildVgg16().SupportsPlatform(PlatformId::kEmbedded));
+  EXPECT_TRUE(BuildRnn().SupportsPlatform(PlatformId::kEmbedded));
+  EXPECT_EQ(BuildBert().task, TaskId::kQuestionAnswering);
+  EXPECT_GT(BuildVgg16().ref_latency_on(PlatformId::kCpu2),
+            BuildResNet50().ref_latency_on(PlatformId::kCpu2));
+}
+
+}  // namespace
+}  // namespace alert

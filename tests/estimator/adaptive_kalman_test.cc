@@ -1,0 +1,143 @@
+#include "src/estimator/adaptive_kalman.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace alert {
+namespace {
+
+TEST(AdaptiveKalmanTest, InitialStateMatchesPaperConstants) {
+  AdaptiveKalmanFilter f;
+  EXPECT_DOUBLE_EQ(f.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(f.variance(), 0.1);
+  EXPECT_DOUBLE_EQ(f.gain(), 0.5);
+  EXPECT_DOUBLE_EQ(f.process_noise(), 0.1);
+}
+
+TEST(AdaptiveKalmanTest, TracksConstantRatio) {
+  AdaptiveKalmanFilter f;
+  for (int i = 0; i < 100; ++i) {
+    f.Update(1.6);
+  }
+  EXPECT_NEAR(f.mean(), 1.6, 0.01);
+}
+
+TEST(AdaptiveKalmanTest, RespondsWithinAFewInputs) {
+  // Section 3.6: "it requires at least one input to react to sudden changes".  With a
+  // noisy (realistic) quiet history the gain stays alive and a level shift is absorbed
+  // within a few observations.
+  AdaptiveKalmanFilter f;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    f.Update(rng.Normal(1.0, 0.05));
+  }
+  f.Update(1.8);
+  f.Update(1.8);
+  f.Update(1.8);
+  EXPECT_GT(f.mean(), 1.5);
+}
+
+TEST(AdaptiveKalmanTest, NoiselessHistoryFreezesTheGain) {
+  // A quirk of the published formulation: with *perfectly* constant observations the
+  // adaptive Q decays to zero and the gain collapses — the filter becomes maximally
+  // confident.  Real environments always carry noise, which keeps Q alive.
+  AdaptiveKalmanFilter f;
+  for (int i = 0; i < 200; ++i) {
+    f.Update(1.0);
+  }
+  EXPECT_LT(f.gain(), 0.05);
+}
+
+TEST(AdaptiveKalmanTest, QuietEnvironmentShrinksVarianceBelowInitial) {
+  AdaptiveKalmanFilter f;
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    f.Update(rng.Normal(1.0, 0.02));
+  }
+  EXPECT_LT(f.variance(), 0.01);
+  EXPECT_LT(f.stddev(), 0.07);
+}
+
+TEST(AdaptiveKalmanTest, LevelShiftInflatesVarianceThenDecays) {
+  AdaptiveKalmanFilter f;
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    f.Update(rng.Normal(1.0, 0.02));
+  }
+  const double quiet_sigma = f.stddev();
+  // Sudden contention: ratio jumps to 1.7.
+  f.Update(rng.Normal(1.7, 0.02));
+  f.Update(rng.Normal(1.7, 0.02));
+  f.Update(rng.Normal(1.7, 0.02));
+  const double shocked_sigma = f.stddev();
+  EXPECT_GT(shocked_sigma, 2.0 * quiet_sigma);
+  // Stability at the new level decays the variance again (forgetting factor).
+  for (int i = 0; i < 100; ++i) {
+    f.Update(rng.Normal(1.7, 0.02));
+  }
+  EXPECT_LT(f.stddev(), shocked_sigma * 0.5);
+  EXPECT_NEAR(f.mean(), 1.7, 0.05);
+}
+
+TEST(AdaptiveKalmanTest, ProcessNoiseIsCappedAtQ0) {
+  AdaptiveKalmanFilter f;
+  // Huge innovations cannot push Q beyond Q(0) (the paper's "capped with Q(0)").
+  for (double obs : {1.0, 5.0, 0.2, 8.0, 0.1}) {
+    f.Update(obs);
+    EXPECT_LE(f.process_noise(), 0.1 + 1e-12);
+  }
+}
+
+TEST(AdaptiveKalmanTest, LiteralMaxVariantKeepsQAtFloor) {
+  AdaptiveKalmanParams params;
+  params.literal_max_variant = true;
+  AdaptiveKalmanFilter f(params);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    f.Update(rng.Normal(1.0, 0.02));
+    EXPECT_GE(f.process_noise(), 0.1 - 1e-12);
+  }
+  // The floor keeps the variance permanently wide — the behaviour that contradicts
+  // Fig. 11 and motivates the capped default.
+  EXPECT_GT(f.stddev(), 0.3);
+}
+
+TEST(AdaptiveKalmanTest, PredictiveStddevIncludesMeasurementNoise) {
+  AdaptiveKalmanFilter f;
+  Rng rng(15);
+  for (int i = 0; i < 200; ++i) {
+    f.Update(rng.Normal(1.0, 0.02));
+  }
+  EXPECT_GT(f.predictive_stddev(), f.stddev());
+}
+
+TEST(AdaptiveKalmanTest, HigherQ0CapAllowsWiderVariance) {
+  // Section 3.6: "Users can compensate for extremely aberrant latency distributions by
+  // increasing the value of Q(0)".
+  AdaptiveKalmanParams wide;
+  wide.initial_process_noise = 0.4;
+  AdaptiveKalmanFilter f_wide(wide);
+  AdaptiveKalmanFilter f_default;
+  Rng rng1(17);
+  Rng rng2(17);
+  for (int i = 0; i < 50; ++i) {
+    // Violent oscillation.
+    const double v = i % 2 == 0 ? 1.0 : 2.4;
+    f_wide.Update(v + rng1.Normal(0.0, 0.01));
+    f_default.Update(v + rng2.Normal(0.0, 0.01));
+  }
+  EXPECT_GT(f_wide.variance(), f_default.variance());
+}
+
+TEST(AdaptiveKalmanTest, NumUpdatesCounts) {
+  AdaptiveKalmanFilter f;
+  f.Update(1.0);
+  f.Update(1.0);
+  EXPECT_EQ(f.num_updates(), 2);
+}
+
+}  // namespace
+}  // namespace alert

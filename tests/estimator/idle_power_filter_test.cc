@@ -1,0 +1,65 @@
+#include "src/estimator/idle_power_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace alert {
+namespace {
+
+TEST(IdlePowerFilterTest, ConvergesToStableRatio) {
+  IdlePowerFilter f;
+  for (int i = 0; i < 100; ++i) {
+    f.Update(/*idle_power=*/6.0, /*inference_power=*/30.0);
+  }
+  EXPECT_NEAR(f.ratio(), 0.2, 1e-3);
+  EXPECT_NEAR(f.PredictIdlePower(30.0), 6.0, 0.05);
+}
+
+TEST(IdlePowerFilterTest, TracksContentionIdleInflation) {
+  IdlePowerFilter f;
+  for (int i = 0; i < 50; ++i) {
+    f.Update(6.0, 30.0);
+  }
+  // Co-runner starts: idle power doubles.
+  for (int i = 0; i < 50; ++i) {
+    f.Update(12.0, 30.0);
+  }
+  EXPECT_NEAR(f.ratio(), 0.4, 0.01);
+}
+
+TEST(IdlePowerFilterTest, FirstUpdateMovesMostOfTheWay) {
+  // With the paper's constants M(0)=0.01, S=1e-4, V=1e-3 the first gain is ~0.91.
+  IdlePowerFilter f;
+  f.Update(10.0, 20.0);  // observation 0.5, prior 0.25
+  EXPECT_NEAR(f.gain(), 0.91, 0.02);
+  EXPECT_NEAR(f.ratio(), 0.25 + f.gain() * 0.25, 1e-9);
+}
+
+TEST(IdlePowerFilterTest, SmoothsNoisyObservations) {
+  IdlePowerFilter f;
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    f.Update(rng.Normal(6.0, 0.5), 30.0);
+  }
+  EXPECT_NEAR(f.ratio(), 0.2, 0.02);
+}
+
+TEST(IdlePowerFilterTest, PredictionScalesWithInferencePower) {
+  IdlePowerFilter f;
+  for (int i = 0; i < 100; ++i) {
+    f.Update(6.0, 30.0);
+  }
+  // phi is a ratio: a 15 W configuration is predicted to see ~3 W idle.
+  EXPECT_NEAR(f.PredictIdlePower(15.0), 3.0, 0.1);
+}
+
+TEST(IdlePowerFilterTest, CountsUpdates) {
+  IdlePowerFilter f;
+  EXPECT_EQ(f.num_updates(), 0);
+  f.Update(1.0, 2.0);
+  EXPECT_EQ(f.num_updates(), 1);
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,63 @@
+#include "src/estimator/kalman.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace alert {
+namespace {
+
+TEST(KalmanFilter1dTest, ConvergesToConstantSignal) {
+  KalmanFilter1d f(0.0, 1.0, 1e-6, 0.01);
+  for (int i = 0; i < 200; ++i) {
+    f.Update(5.0);
+  }
+  EXPECT_NEAR(f.state(), 5.0, 1e-3);
+  EXPECT_EQ(f.num_updates(), 200);
+}
+
+TEST(KalmanFilter1dTest, VarianceShrinksWithObservations) {
+  KalmanFilter1d f(0.0, 1.0, 1e-6, 0.01);
+  const double v0 = f.variance();
+  f.Update(1.0);
+  const double v1 = f.variance();
+  f.Update(1.0);
+  EXPECT_LT(v1, v0);
+  EXPECT_LT(f.variance(), v1);
+}
+
+TEST(KalmanFilter1dTest, SmoothsNoise) {
+  Rng rng(5);
+  KalmanFilter1d f(1.0, 0.1, 1e-5, 0.04);
+  double max_dev = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    f.Update(rng.Normal(2.0, 0.2));
+    if (i > 100) {
+      max_dev = std::max(max_dev, std::abs(f.state() - 2.0));
+    }
+  }
+  // The filtered state is far less noisy than the raw signal.
+  EXPECT_LT(max_dev, 0.1);
+}
+
+TEST(KalmanFilter1dTest, TracksRandomWalk) {
+  Rng rng(6);
+  KalmanFilter1d f(0.0, 0.1, 0.01, 0.01);
+  double truth = 0.0;
+  double sum_err = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    truth += rng.Normal(0.0, 0.1);
+    f.Update(truth + rng.Normal(0.0, 0.1));
+    sum_err += std::abs(f.state() - truth);
+  }
+  EXPECT_LT(sum_err / 1000.0, 0.15);
+}
+
+TEST(KalmanFilter1dTest, PredictiveVarianceExceedsPosterior) {
+  KalmanFilter1d f(0.0, 1.0, 0.01, 0.02);
+  f.Update(1.0);
+  EXPECT_GT(f.predictive_variance(), f.variance());
+}
+
+}  // namespace
+}  // namespace alert

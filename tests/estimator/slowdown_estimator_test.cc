@@ -1,0 +1,63 @@
+#include "src/estimator/slowdown_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(SlowdownEstimatorTest, RatioNormalization) {
+  SlowdownEstimator e;
+  // Completion at 0.15 s for a profile of 0.1 s: xi observation = 1.5.
+  e.Observe(/*anchor_time=*/0.15, /*anchor_fraction=*/1.0, /*profile_latency=*/0.1,
+            /*censored=*/false);
+  ASSERT_EQ(e.history().size(), 1u);
+  EXPECT_DOUBLE_EQ(e.history()[0], 1.5);
+}
+
+TEST(SlowdownEstimatorTest, StageAnchorsNormalizeByFraction) {
+  SlowdownEstimator e;
+  // Stage at 40% of the network completed at 0.06 s, full profile 0.1 s: xi = 1.5.
+  e.Observe(0.06, 0.4, 0.1, false);
+  EXPECT_DOUBLE_EQ(e.history()[0], 1.5);
+}
+
+TEST(SlowdownEstimatorTest, ConvergesAcrossHeterogeneousConfigs) {
+  // The point of the global factor: observations from *different* configurations all
+  // inform the same estimate.
+  SlowdownEstimator e;
+  for (int i = 0; i < 60; ++i) {
+    const double profile = 0.05 + 0.01 * (i % 5);  // five different configs
+    e.Observe(1.4 * profile, 1.0, profile, false);
+  }
+  EXPECT_NEAR(e.mean(), 1.4, 0.01);
+}
+
+TEST(SlowdownEstimatorTest, CountsCensoredObservations) {
+  SlowdownEstimator e;
+  e.Observe(0.1, 1.0, 0.1, true);
+  e.Observe(0.1, 1.0, 0.1, false);
+  e.Observe(0.1, 1.0, 0.1, true);
+  EXPECT_EQ(e.num_censored(), 2);
+  EXPECT_EQ(e.num_observations(), 3);
+}
+
+TEST(SlowdownEstimatorTest, VarianceIsPredictive) {
+  SlowdownEstimator e;
+  for (int i = 0; i < 100; ++i) {
+    e.Observe(0.1, 1.0, 0.1, false);
+  }
+  EXPECT_DOUBLE_EQ(e.variance(), e.stddev() * e.stddev());
+  EXPECT_GT(e.stddev(), 0.0);
+}
+
+TEST(SlowdownEstimatorTest, HistoryPreservesAllRatios) {
+  SlowdownEstimator e;
+  for (int i = 1; i <= 10; ++i) {
+    e.Observe(0.1 * i, 1.0, 0.1, false);
+  }
+  ASSERT_EQ(e.history().size(), 10u);
+  EXPECT_DOUBLE_EQ(e.history().back(), 10.0);
+}
+
+}  // namespace
+}  // namespace alert

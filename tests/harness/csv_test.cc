@@ -1,0 +1,107 @@
+#include "src/harness/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/alert_scheduler.h"
+#include "src/harness/constraint_grid.h"
+
+namespace alert {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvTest, TraceRoundTripsExactly) {
+  TraceOptions options;
+  options.num_inputs = 120;
+  options.seed = 77;
+  const EnvironmentTrace original = MakeEnvironmentTrace(
+      TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory, options);
+
+  const std::string path = TempPath("trace_roundtrip.csv");
+  ASSERT_TRUE(WriteTraceCsv(path, original));
+
+  EnvironmentTrace loaded;
+  ASSERT_TRUE(ReadTraceCsv(path, &loaded));
+  ASSERT_EQ(loaded.num_inputs(), original.num_inputs());
+  EXPECT_EQ(loaded.task, original.task);
+  EXPECT_EQ(loaded.platform, original.platform);
+  EXPECT_EQ(loaded.contention, original.contention);
+  for (int n = 0; n < original.num_inputs(); ++n) {
+    const auto& a = original.inputs[static_cast<size_t>(n)];
+    const auto& b = loaded.inputs[static_cast<size_t>(n)];
+    EXPECT_EQ(a.contention_multiplier, b.contention_multiplier);
+    EXPECT_EQ(a.contention_active, b.contention_active);
+    EXPECT_EQ(a.extra_idle_power, b.extra_idle_power);
+    EXPECT_EQ(a.input_factor, b.input_factor);
+    EXPECT_EQ(a.noise_multiplier, b.noise_multiplier);
+    EXPECT_EQ(a.tail_multiplier, b.tail_multiplier);
+    EXPECT_EQ(a.drift_multiplier, b.drift_multiplier);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SentenceStructureRoundTrips) {
+  TraceOptions options;
+  options.num_inputs = 100;
+  options.seed = 13;
+  const EnvironmentTrace original = MakeEnvironmentTrace(
+      TaskId::kSentencePrediction, PlatformId::kCpu1, ContentionType::kNone, options);
+  const std::string path = TempPath("trace_sentences.csv");
+  ASSERT_TRUE(WriteTraceCsv(path, original));
+  EnvironmentTrace loaded;
+  ASSERT_TRUE(ReadTraceCsv(path, &loaded));
+  ASSERT_TRUE(loaded.has_sentences());
+  EXPECT_EQ(loaded.num_sentences, original.num_sentences);
+  EXPECT_EQ(loaded.sentence_length, original.sentence_length);
+  EXPECT_EQ(loaded.sentence_of_input, original.sentence_of_input);
+  EXPECT_EQ(loaded.word_in_sentence, original.word_in_sentence);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadRejectsMissingFile) {
+  EnvironmentTrace t;
+  EXPECT_FALSE(ReadTraceCsv(TempPath("does_not_exist.csv"), &t));
+}
+
+TEST(CsvTest, RunRecordsExport) {
+  ExperimentOptions options;
+  options.num_inputs = 50;
+  options.seed = 5;
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                options);
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.9;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler s(stack.space(), goals);
+  const RunResult run = ex.Run(stack, s, goals, /*keep_records=*/true);
+
+  const std::string path = TempPath("run.csv");
+  ASSERT_TRUE(WriteRunCsv(path, run));
+
+  // 1 comment + 1 header + 50 data lines.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  int lines = 0;
+  int c = 0;
+  while ((c = std::fgetc(f)) != EOF) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, 52);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RunExportRequiresRecords) {
+  RunResult empty;
+  EXPECT_FALSE(WriteRunCsv(TempPath("empty_run.csv"), empty));
+}
+
+}  // namespace
+}  // namespace alert

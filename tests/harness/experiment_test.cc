@@ -1,0 +1,174 @@
+#include "src/harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/alert_scheduler.h"
+#include "src/harness/schemes.h"
+
+namespace alert {
+namespace {
+
+ExperimentOptions SmallOptions(uint64_t seed = 3) {
+  ExperimentOptions o;
+  o.num_inputs = 120;
+  o.seed = seed;
+  return o;
+}
+
+Goals ImageMinEnergyGoals() {
+  Goals g;
+  g.mode = GoalMode::kMinimizeEnergy;
+  g.deadline = 0.08;
+  g.accuracy_goal = 0.9;
+  return g;
+}
+
+TEST(ExperimentTest, BuildsAllThreeStacks) {
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                SmallOptions());
+  EXPECT_EQ(ex.stack(DnnSetChoice::kTraditionalOnly).space().num_models(), 5);
+  EXPECT_EQ(ex.stack(DnnSetChoice::kAnytimeOnly).space().num_models(), 1);
+  EXPECT_EQ(ex.stack(DnnSetChoice::kBoth).space().num_models(), 6);
+}
+
+TEST(ExperimentTest, RunIsDeterministic) {
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                SmallOptions());
+  const Goals goals = ImageMinEnergyGoals();
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler s1(stack.space(), goals);
+  AlertScheduler s2(stack.space(), goals);
+  const RunResult a = ex.Run(stack, s1, goals);
+  const RunResult b = ex.Run(stack, s2, goals);
+  EXPECT_EQ(a.avg_energy, b.avg_energy);
+  EXPECT_EQ(a.avg_accuracy, b.avg_accuracy);
+  EXPECT_EQ(a.violation_fraction, b.violation_fraction);
+}
+
+TEST(ExperimentTest, RecordsKeptOnlyWhenRequested) {
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                SmallOptions());
+  const Goals goals = ImageMinEnergyGoals();
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler s(stack.space(), goals);
+  EXPECT_TRUE(ex.Run(stack, s, goals, false).records.empty());
+  AlertScheduler s2(stack.space(), goals);
+  EXPECT_EQ(ex.Run(stack, s2, goals, true).records.size(), 120u);
+}
+
+TEST(ExperimentTest, AggregatesAreConsistentWithRecords) {
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                SmallOptions());
+  const Goals goals = ImageMinEnergyGoals();
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler s(stack.space(), goals);
+  const RunResult r = ex.Run(stack, s, goals, true);
+  double sum_energy = 0.0;
+  double sum_acc = 0.0;
+  int violations = 0;
+  for (const auto& rec : r.records) {
+    sum_energy += rec.measurement.energy;
+    sum_acc += rec.measurement.accuracy;
+    violations += rec.violated ? 1 : 0;
+  }
+  EXPECT_NEAR(r.avg_energy, sum_energy / 120.0, 1e-9);
+  EXPECT_NEAR(r.avg_accuracy, sum_acc / 120.0, 1e-9);
+  EXPECT_NEAR(r.violation_fraction, violations / 120.0, 1e-9);
+  EXPECT_NEAR(r.avg_error, 1.0 - r.avg_accuracy, 1e-12);
+}
+
+TEST(ExperimentTest, RunStaticUsesFixedConfiguration) {
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                SmallOptions());
+  const Goals goals = ImageMinEnergyGoals();
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  const Configuration config{stack.space().candidate(2), 4};
+  const RunResult r = ex.RunStatic(stack, config, goals, true);
+  for (const auto& rec : r.records) {
+    EXPECT_EQ(rec.decision.candidate.model_index, config.candidate.model_index);
+    EXPECT_EQ(rec.decision.power_index, config.power_index);
+  }
+}
+
+TEST(ViolationTest, DeadlineMissIsViolation) {
+  Goals g = ImageMinEnergyGoals();
+  Measurement m;
+  m.deadline_met = false;
+  m.accuracy = 0.95;
+  EXPECT_TRUE(Experiment::Violates(g, m));
+}
+
+TEST(ViolationTest, SubGoalAccuracyIsViolationInMinEnergyMode) {
+  Goals g = ImageMinEnergyGoals();
+  Measurement m;
+  m.deadline_met = true;
+  m.accuracy = 0.85;
+  EXPECT_TRUE(Experiment::Violates(g, m));
+  m.accuracy = 0.93;
+  EXPECT_FALSE(Experiment::Violates(g, m));
+}
+
+TEST(ViolationTest, EnergyIsJudgedOnAverageInMinErrorMode) {
+  Goals g;
+  g.mode = GoalMode::kMaximizeAccuracy;
+  g.deadline = 0.08;
+  g.energy_budget = 1.0;
+  Measurement m;
+  m.deadline_met = true;
+  m.energy = 5.0;  // over budget per input, but per-input energy is not a violation
+  EXPECT_FALSE(Experiment::Violates(g, m));
+
+  RunResult r;
+  r.violation_fraction = 0.0;
+  r.avg_energy = 1.2;
+  EXPECT_TRUE(SettingViolated(g, r));
+  r.avg_energy = 0.9;
+  EXPECT_FALSE(SettingViolated(g, r));
+}
+
+TEST(ViolationTest, TenPercentInputRule) {
+  Goals g = ImageMinEnergyGoals();
+  RunResult r;
+  r.violation_fraction = 0.09;
+  EXPECT_FALSE(SettingViolated(g, r));
+  r.violation_fraction = 0.11;
+  EXPECT_TRUE(SettingViolated(g, r));
+}
+
+TEST(ExperimentTest, NlpRunUsesSentenceDeadlines) {
+  ExperimentOptions o;
+  o.num_inputs = 200;
+  o.seed = 5;
+  Experiment ex(TaskId::kSentencePrediction, PlatformId::kCpu1, ContentionType::kNone, o);
+  ASSERT_TRUE(ex.trace().has_sentences());
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.015;  // per-word budget
+  goals.accuracy_goal = 0.25;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler s(stack.space(), goals);
+  const RunResult r = ex.Run(stack, s, goals, true);
+  // Per-word deadlines vary (shared budget), unlike the fixed-deadline image task.
+  bool varied = false;
+  for (const auto& rec : r.records) {
+    if (std::abs(rec.measurement.deadline - 0.015) > 1e-6) {
+      varied = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(ExperimentTest, ContentionWindowPassesThrough) {
+  ExperimentOptions o = SmallOptions();
+  o.contention_window = std::make_pair(10, 20);
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                o);
+  for (int n = 0; n < ex.trace().num_inputs(); ++n) {
+    EXPECT_EQ(ex.trace().inputs[static_cast<size_t>(n)].contention_active,
+              n >= 10 && n < 20);
+  }
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,236 @@
+// End-to-end behavioural tests: the claims the paper's evaluation makes, asserted on
+// the reproduced system.
+#include <gtest/gtest.h>
+
+#include "src/core/alert_scheduler.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/evaluation.h"
+#include "src/harness/schemes.h"
+#include "src/harness/static_oracle.h"
+
+namespace alert {
+namespace {
+
+ExperimentOptions Options(int inputs, uint64_t seed) {
+  ExperimentOptions o;
+  o.num_inputs = inputs;
+  o.seed = seed;
+  return o;
+}
+
+TEST(EndToEndTest, AlertTracksOracleEnergyWithinTenPercent) {
+  // Section 5.2: ALERT achieves 93-99% of the oracle's energy optimization.
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                Options(400, 42));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 1.25 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  goals.accuracy_goal = 0.9;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult alert_run = ex.Run(stack, alert, goals);
+  auto oracle = MakeScheduler(SchemeId::kOracle, ex, goals);
+  const RunResult oracle_run = ex.Run(stack, *oracle, goals);
+  EXPECT_LE(alert_run.avg_energy, 1.10 * oracle_run.avg_energy);
+  EXPECT_LE(alert_run.violation_fraction, 0.10);
+}
+
+TEST(EndToEndTest, AlertBeatsOrMatchesStaticOracleUnderContention) {
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                Options(400, 17));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 1.0 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  goals.accuracy_goal = 0.9;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  const auto static_best = FindStaticOracle(ex, stack, goals);
+  ASSERT_TRUE(static_best.feasible);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult alert_run = ex.Run(stack, alert, goals);
+  EXPECT_LE(alert_run.avg_energy, 1.05 * static_best.result.avg_energy);
+}
+
+TEST(EndToEndTest, OracleNeverViolatesOnFeasibleSettings) {
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu2, ContentionType::kCompute,
+                Options(300, 23));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 1.4 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu2);
+  goals.accuracy_goal = 0.9;
+  auto oracle = MakeScheduler(SchemeId::kOracle, ex, goals);
+  const RunResult r = ex.Run(ex.stack(DnnSetChoice::kBoth), *oracle, goals);
+  EXPECT_LE(r.violation_fraction, 0.02);
+}
+
+TEST(EndToEndTest, SchemesSeeIdenticalEnvironment) {
+  // Fair comparison: the trace replays identically, so two static runs of the same
+  // configuration under different "schemes" measure identical outcomes.
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                Options(150, 31));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.88;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  const Configuration config{stack.space().candidate(3), 5};
+  const RunResult a = ex.RunStatic(stack, config, goals);
+  const RunResult b = ex.RunStatic(stack, config, goals);
+  EXPECT_EQ(a.avg_energy, b.avg_energy);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+}
+
+TEST(EndToEndTest, Fig9Dynamics_AlertSwitchesAwayFromBigTraditionalDuringContention) {
+  // The Fig. 9 scenario: a scripted memory-contention window; ALERT should lean on the
+  // anytime network (or smaller models) inside the window and run the big traditional
+  // network outside it.
+  ExperimentOptions o = Options(160, 9);
+  o.contention_window = std::make_pair(46, 119);
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                o);
+  Goals goals;
+  goals.mode = GoalMode::kMaximizeAccuracy;
+  goals.deadline = 1.25 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  goals.energy_budget = 35.0 * goals.deadline;  // the paper's 35 W power limit
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals, true);
+
+  int big_trad_inside = 0;
+  int big_trad_outside = 0;
+  int inside = 0;
+  int outside = 0;
+  for (int n = 0; n < 160; ++n) {
+    const auto& d = r.records[static_cast<size_t>(n)].decision;
+    const bool is_big_trad = !stack.space().model(d.candidate.model_index).is_anytime() &&
+                             stack.space().model(d.candidate.model_index).family_rank >= 3;
+    const bool in_window = n >= 48 && n < 119;  // allow the 1-input reaction lag
+    if (in_window) {
+      ++inside;
+      big_trad_inside += is_big_trad ? 1 : 0;
+    } else if (n < 46 || n >= 121) {
+      ++outside;
+      big_trad_outside += is_big_trad ? 1 : 0;
+    }
+  }
+  const double frac_inside = static_cast<double>(big_trad_inside) / inside;
+  const double frac_outside = static_cast<double>(big_trad_outside) / outside;
+  EXPECT_LT(frac_inside, frac_outside - 0.3);
+}
+
+TEST(EndToEndTest, Fig9Dynamics_AccuracyStaysHighWithAnytime) {
+  // ALERT (with anytime) sustains higher accuracy through the window than ALERT-Trad,
+  // which must conservatively drop to smaller traditional networks (Section 5.3).
+  ExperimentOptions o = Options(160, 9);
+  o.contention_window = std::make_pair(46, 119);
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kMemory,
+                o);
+  Goals goals;
+  goals.mode = GoalMode::kMaximizeAccuracy;
+  goals.deadline = 1.25 * BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  goals.energy_budget = 35.0 * goals.deadline;
+  auto alert = MakeScheduler(SchemeId::kAlert, ex, goals);
+  auto alert_trad = MakeScheduler(SchemeId::kAlertTrad, ex, goals);
+  const RunResult r_alert = ex.Run(ex.stack(DnnSetChoice::kBoth), *alert, goals);
+  const RunResult r_trad =
+      ex.Run(ex.stack(DnnSetChoice::kTraditionalOnly), *alert_trad, goals);
+  EXPECT_GE(r_alert.avg_accuracy, r_trad.avg_accuracy - 0.002);
+}
+
+TEST(EndToEndTest, SysOnlyCannotMeetAccuracyGoals) {
+  // Section 5.2: the System-only approach "performs much worse in satisfying accuracy
+  // requirements" because it cannot change DNNs.
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                Options(200, 13));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.92;  // above the fastest model's 0.886
+  auto sys = MakeScheduler(SchemeId::kSysOnly, ex, goals);
+  const RunResult r = ex.Run(ex.stack(DnnSetChoice::kBoth), *sys, goals);
+  EXPECT_TRUE(SettingViolated(goals, r));
+  EXPECT_GT(r.violation_fraction, 0.9);
+}
+
+TEST(EndToEndTest, AppOnlyBurnsMoreEnergyThanAlertAny) {
+  // Section 5.2: App-only "consumes 73% more energy in energy-minimizing tasks" than
+  // ALERT-Any on the same candidate set.
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                Options(300, 19));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.9;
+  auto app = MakeScheduler(SchemeId::kAppOnly, ex, goals);
+  auto alert_any = MakeScheduler(SchemeId::kAlertAny, ex, goals);
+  const RunResult r_app = ex.Run(ex.stack(DnnSetChoice::kAnytimeOnly), *app, goals);
+  const RunResult r_any = ex.Run(ex.stack(DnnSetChoice::kAnytimeOnly), *alert_any, goals);
+  EXPECT_GT(r_app.avg_energy, 1.3 * r_any.avg_energy);
+}
+
+TEST(EndToEndTest, NlpSentenceTaskRunsUnderSharedDeadlines) {
+  Experiment ex(TaskId::kSentencePrediction, PlatformId::kCpu1, ContentionType::kMemory,
+                Options(400, 29));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 1.25 * BaseDeadline(TaskId::kSentencePrediction, PlatformId::kCpu1);
+  goals.accuracy_goal = 0.26;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals);
+  EXPECT_LE(r.violation_fraction, 0.15);
+  EXPECT_GT(r.avg_accuracy, 0.2);
+  EXPECT_LT(r.avg_perplexity, 250.0);
+}
+
+TEST(EndToEndTest, GpuIsNearStaticOptimal) {
+  // Section 5.2: "The GPU experiences significantly lower dynamic fluctuation so the
+  // static oracle makes good predictions" — adaptation buys little there.
+  Experiment ex(TaskId::kImageClassification, PlatformId::kGpu, ContentionType::kNone,
+                Options(300, 37));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 1.0 * BaseDeadline(TaskId::kImageClassification, PlatformId::kGpu);
+  goals.accuracy_goal = 0.9;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  const auto static_best = FindStaticOracle(ex, stack, goals);
+  ASSERT_TRUE(static_best.feasible);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals);
+  EXPECT_NEAR(r.avg_energy / static_best.result.avg_energy, 1.0, 0.12);
+}
+
+TEST(EndToEndTest, DynamicRequirementChangeMidRun) {
+  // Requirements "may switch among different settings" (Section 1.1): tighten the
+  // accuracy goal mid-run and verify ALERT follows.
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                Options(200, 41));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.1;
+  goals.accuracy_goal = 0.88;
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+
+  double first_half_acc = 0.0;
+  double second_half_acc = 0.0;
+  for (int n = 0; n < 200; ++n) {
+    if (n == 100) {
+      Goals harder = goals;
+      harder.accuracy_goal = 0.93;
+      alert.set_goals(harder);
+    }
+    InferenceRequest req;
+    req.input_index = n;
+    req.deadline = goals.deadline;
+    req.period = goals.deadline;
+    const auto d = alert.Decide(req);
+    const Measurement m = stack.simulator().Execute(
+        d.ToExecRequest(req), ex.trace().inputs[static_cast<size_t>(n)]);
+    alert.Observe(d, m);
+    (n < 100 ? first_half_acc : second_half_acc) += m.accuracy;
+  }
+  EXPECT_GT(second_half_acc / 100.0, first_half_acc / 100.0 + 0.02);
+}
+
+}  // namespace
+}  // namespace alert

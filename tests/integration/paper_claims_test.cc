@@ -1,0 +1,164 @@
+// Claim-level regression tests: each test pins one quantitative or ordinal claim from
+// the paper that the reproduction currently satisfies, so refactors cannot silently
+// break the reproduction.  Magnitudes use generous tolerances (the substrate is a
+// simulator); orderings are asserted strictly.
+#include <gtest/gtest.h>
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+#include "src/core/goals.h"
+#include "src/harness/evaluation.h"
+
+namespace alert {
+namespace {
+
+CellSpec Spec(TaskId task, PlatformId platform, ContentionType contention,
+              GoalMode mode) {
+  CellSpec spec;
+  spec.task = task;
+  spec.platform = platform;
+  spec.contention = contention;
+  spec.mode = mode;
+  spec.options.num_inputs = 250;
+  spec.options.seed = 20200715;
+  return spec;
+}
+
+double Norm(const CellResult& cell, SchemeId id) {
+  const SchemeCellStats* s = cell.Find(id);
+  EXPECT_NE(s, nullptr);
+  return s->mean_normalized;
+}
+
+int Violations(const CellResult& cell, SchemeId id) {
+  return cell.Find(id)->violated_settings;
+}
+
+TEST(PaperClaimsTest, Section52_AlertWithin99PercentOfOracleEnergy) {
+  // "ALERT achieves 93-99% of Oracle's energy and accuracy optimization."
+  const SchemeId schemes[] = {SchemeId::kAlert, SchemeId::kOracle};
+  const CellResult cell =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kMemory, GoalMode::kMinimizeEnergy),
+                   schemes);
+  EXPECT_LE(Norm(cell, SchemeId::kAlert), 1.10 * Norm(cell, SchemeId::kOracle));
+}
+
+TEST(PaperClaimsTest, Section52_SysOnlyViolatesMostAccuracySettings) {
+  // "it creates accuracy violations in 68% of the settings."
+  const SchemeId schemes[] = {SchemeId::kSysOnly};
+  const CellResult cell =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kNone, GoalMode::kMinimizeEnergy),
+                   schemes);
+  const SchemeCellStats* sys = cell.Find(SchemeId::kSysOnly);
+  EXPECT_GT(static_cast<double>(sys->violated_settings) / sys->usable_settings, 0.5);
+}
+
+TEST(PaperClaimsTest, Section52_AppOnlyBurnsFarMoreEnergyThanAlertAny) {
+  // "it consumes 73% more energy in energy-minimizing tasks."
+  const SchemeId schemes[] = {SchemeId::kAlertAny, SchemeId::kAppOnly};
+  const CellResult cell =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kNone, GoalMode::kMinimizeEnergy),
+                   schemes);
+  EXPECT_GT(Norm(cell, SchemeId::kAppOnly), 1.4 * Norm(cell, SchemeId::kAlertAny));
+}
+
+TEST(PaperClaimsTest, Section52_AppOnlyViolatesEnergyBudgets) {
+  // "introduces many energy-budget violations particularly under resource contention."
+  const SchemeId schemes[] = {SchemeId::kAlertAny, SchemeId::kAppOnly};
+  const CellResult cell =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kMemory, GoalMode::kMaximizeAccuracy),
+                   schemes);
+  EXPECT_GE(Violations(cell, SchemeId::kAppOnly),
+            2 * Violations(cell, SchemeId::kAlertAny));
+  EXPECT_GT(Violations(cell, SchemeId::kAppOnly), 8);
+}
+
+TEST(PaperClaimsTest, Section52_NoCoordWorseThanCoordinated) {
+  // "The no-coordination scheme is worse than both System- and Application-only ...
+  // with 69% more energy ... than ALERT-Any" — we assert the ordering.
+  const SchemeId schemes[] = {SchemeId::kAlertAny, SchemeId::kNoCoord};
+  const CellResult cell =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu2,
+                        ContentionType::kCompute, GoalMode::kMinimizeEnergy),
+                   schemes);
+  EXPECT_GT(Norm(cell, SchemeId::kNoCoord), 1.2 * Norm(cell, SchemeId::kAlertAny));
+}
+
+TEST(PaperClaimsTest, Section52_SysOnlyErrorFarAboveAlertAny) {
+  // "it introduces 34% more error than ALERT-Any" (minimize-error task).
+  const SchemeId schemes[] = {SchemeId::kAlertAny, SchemeId::kSysOnly};
+  const CellResult cell =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kNone, GoalMode::kMaximizeAccuracy),
+                   schemes);
+  EXPECT_GT(Norm(cell, SchemeId::kSysOnly), 1.25 * Norm(cell, SchemeId::kAlertAny));
+}
+
+TEST(PaperClaimsTest, Section52_OracleNeverViolatesEnergyTask) {
+  const SchemeId schemes[] = {SchemeId::kOracle};
+  for (ContentionType c : {ContentionType::kNone, ContentionType::kMemory}) {
+    const CellResult cell = EvaluateCell(
+        Spec(TaskId::kImageClassification, PlatformId::kCpu1, c,
+             GoalMode::kMinimizeEnergy),
+        schemes);
+    EXPECT_EQ(Violations(cell, SchemeId::kOracle), 0) << ContentionName(c);
+  }
+}
+
+TEST(PaperClaimsTest, Section52_GpuGainsLeastFromAdaptation) {
+  // "The GPU experiences significantly lower dynamic fluctuation so the static oracle
+  // makes good predictions" — ALERT's margin over OracleStatic is smaller on the GPU
+  // than on the laptop.
+  const SchemeId schemes[] = {SchemeId::kOracle};
+  const CellResult gpu =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kGpu,
+                        ContentionType::kNone, GoalMode::kMinimizeEnergy),
+                   schemes);
+  const CellResult cpu =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kNone, GoalMode::kMinimizeEnergy),
+                   schemes);
+  // Normalized oracle metric closer to 1.0 on GPU = less to gain from adaptation.
+  EXPECT_GT(Norm(gpu, SchemeId::kOracle), Norm(cpu, SchemeId::kOracle) - 0.02);
+}
+
+TEST(PaperClaimsTest, Section53_AlertTradWeakerUnderContentionErrorTask) {
+  // Table 5: "ALERT-Trad violates more accuracy constraints ... particularly under
+  // resource contention", visible as worse error-task results than ALERT.
+  const SchemeId schemes[] = {SchemeId::kAlert, SchemeId::kAlertTrad};
+  const CellResult cell =
+      EvaluateCell(Spec(TaskId::kImageClassification, PlatformId::kCpu1,
+                        ContentionType::kMemory, GoalMode::kMaximizeAccuracy),
+                   schemes);
+  EXPECT_LE(Norm(cell, SchemeId::kAlert), Norm(cell, SchemeId::kAlertTrad) + 0.02);
+}
+
+TEST(PaperClaimsTest, Section31_GoalValidation) {
+  Goals g;
+  EXPECT_FALSE(g.Valid());  // no deadline
+  g.deadline = 0.1;
+  EXPECT_FALSE(g.Valid());  // min-energy without accuracy goal
+  g.accuracy_goal = 0.9;
+  EXPECT_TRUE(g.Valid());
+  g.accuracy_goal = 1.5;
+  EXPECT_FALSE(g.Valid());
+  g.mode = GoalMode::kMaximizeAccuracy;
+  EXPECT_FALSE(g.Valid());  // budget missing
+  g.energy_budget = 1.0;
+  EXPECT_TRUE(g.Valid());
+}
+
+TEST(PaperClaimsTest, IdsHaveStableNames) {
+  EXPECT_EQ(PlatformName(PlatformId::kCpu2), "CPU2");
+  EXPECT_EQ(TaskName(TaskId::kSentencePrediction), "SentencePrediction");
+  EXPECT_EQ(ContentionName(ContentionType::kMemory), "Memory");
+  EXPECT_EQ(GoalModeName(GoalMode::kMinimizeLatency), "MinimizeLatency");
+  EXPECT_EQ(ToMillis(0.5), 500.0);
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,222 @@
+// Parameterized property sweeps across the full (task x platform x contention x mode)
+// matrix: invariants that must hold for every combination.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/alert_scheduler.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/evaluation.h"
+#include "src/harness/schemes.h"
+#include "src/harness/static_oracle.h"
+
+namespace alert {
+namespace {
+
+using CellParam = std::tuple<TaskId, PlatformId, ContentionType>;
+
+std::string ParamName(const ::testing::TestParamInfo<CellParam>& info) {
+  const auto [task, platform, contention] = info.param;
+  return std::string(TaskName(task)) + "_" + std::string(PlatformName(platform)) + "_" +
+         std::string(ContentionName(contention));
+}
+
+class CellPropertyTest : public ::testing::TestWithParam<CellParam> {
+ protected:
+  static ExperimentOptions Options() {
+    ExperimentOptions o;
+    o.num_inputs = 200;
+    o.seed = 77;
+    return o;
+  }
+
+  Goals MidGoals(GoalMode mode) const {
+    const auto [task, platform, contention] = GetParam();
+    const PlatformSpec& spec = GetPlatform(platform);
+    Goals g;
+    g.mode = mode;
+    g.deadline = 1.0 * BaseDeadline(task, platform);
+    g.accuracy_goal = AccuracyGoalsFor(task)[2];
+    g.energy_budget = 0.8 * (spec.cap_max + spec.base_power) * g.deadline;
+    return g;
+  }
+};
+
+TEST_P(CellPropertyTest, AlertKeepsViolationsBounded) {
+  const auto [task, platform, contention] = GetParam();
+  Experiment ex(task, platform, contention, Options());
+  const Goals goals = MidGoals(GoalMode::kMinimizeEnergy);
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals);
+  EXPECT_LE(r.violation_fraction, 0.15);
+}
+
+TEST_P(CellPropertyTest, AlertEnergyIsWithinOracleEnvelope) {
+  const auto [task, platform, contention] = GetParam();
+  Experiment ex(task, platform, contention, Options());
+  const Goals goals = MidGoals(GoalMode::kMinimizeEnergy);
+  auto oracle = MakeScheduler(SchemeId::kOracle, ex, goals);
+  const RunResult oracle_run = ex.Run(ex.stack(DnnSetChoice::kBoth), *oracle, goals);
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult alert_run = ex.Run(stack, alert, goals);
+  if (task == TaskId::kImageClassification) {
+    // The per-input oracle lower-bounds fixed-deadline tasks.  (It does NOT bound the
+    // sentence task: shared sentence budgets make the per-word oracle myopic — racing
+    // a word steals idle savings later, so ALERT can legitimately beat it.)
+    EXPECT_GE(alert_run.avg_energy, 0.95 * oracle_run.avg_energy);
+  }
+  EXPECT_LE(alert_run.avg_energy, 2.0 * oracle_run.avg_energy);
+}
+
+TEST_P(CellPropertyTest, EnergyIsAlwaysPositiveAndAboveIdleFloor) {
+  const auto [task, platform, contention] = GetParam();
+  Experiment ex(task, platform, contention, Options());
+  const Goals goals = MidGoals(GoalMode::kMinimizeEnergy);
+  const Stack& stack = ex.stack(DnnSetChoice::kBoth);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals, true);
+  const PlatformSpec& spec = GetPlatform(platform);
+  for (const auto& rec : r.records) {
+    EXPECT_GT(rec.measurement.energy, 0.0);
+    // Nothing can consume less than idle power for the whole period.
+    const double idle_floor =
+        (spec.idle_power + spec.base_power) * rec.measurement.period;
+    EXPECT_GE(rec.measurement.energy, idle_floor - 1e-9);
+  }
+}
+
+TEST_P(CellPropertyTest, AnytimeDeliveredStageNeverExceedsLimit) {
+  const auto [task, platform, contention] = GetParam();
+  Experiment ex(task, platform, contention, Options());
+  const Goals goals = MidGoals(GoalMode::kMaximizeAccuracy);
+  const Stack& stack = ex.stack(DnnSetChoice::kAnytimeOnly);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals, true);
+  for (const auto& rec : r.records) {
+    if (rec.decision.candidate.stage_limit >= 0) {
+      EXPECT_LE(rec.measurement.delivered_stage, rec.decision.candidate.stage_limit);
+    }
+  }
+}
+
+TEST_P(CellPropertyTest, MeasuredLatencyNeverExceedsDeadlineForAnytime) {
+  const auto [task, platform, contention] = GetParam();
+  Experiment ex(task, platform, contention, Options());
+  const Goals goals = MidGoals(GoalMode::kMaximizeAccuracy);
+  const Stack& stack = ex.stack(DnnSetChoice::kAnytimeOnly);
+  AlertScheduler alert(stack.space(), goals);
+  const RunResult r = ex.Run(stack, alert, goals, true);
+  for (const auto& rec : r.records) {
+    EXPECT_LE(rec.measurement.latency, rec.measurement.deadline + 1e-9);
+  }
+}
+
+TEST_P(CellPropertyTest, StaticOracleIsReproducible) {
+  const auto [task, platform, contention] = GetParam();
+  Experiment ex(task, platform, contention, Options());
+  const Goals goals = MidGoals(GoalMode::kMinimizeEnergy);
+  const auto a = FindStaticOracle(ex, ex.stack(DnnSetChoice::kBoth), goals);
+  const auto b = FindStaticOracle(ex, ex.stack(DnnSetChoice::kBoth), goals);
+  EXPECT_EQ(a.config.candidate.model_index, b.config.candidate.model_index);
+  EXPECT_EQ(a.config.power_index, b.config.power_index);
+  EXPECT_EQ(a.result.avg_energy, b.result.avg_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CellPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(TaskId::kImageClassification, TaskId::kSentencePrediction),
+        ::testing::Values(PlatformId::kCpu1, PlatformId::kCpu2),
+        ::testing::Values(ContentionType::kNone, ContentionType::kMemory,
+                          ContentionType::kCompute)),
+    ParamName);
+
+// GPU runs image classification only (footnote 4 of the paper).
+INSTANTIATE_TEST_SUITE_P(
+    GpuCells, CellPropertyTest,
+    ::testing::Combine(::testing::Values(TaskId::kImageClassification),
+                       ::testing::Values(PlatformId::kGpu),
+                       ::testing::Values(ContentionType::kNone, ContentionType::kMemory,
+                                         ContentionType::kCompute)),
+    ParamName);
+
+// --- Deadline sweep: tighter deadlines can only increase energy (more provisioning)
+// and decrease achievable accuracy, for the clairvoyant oracle. ---
+
+class DeadlineSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeadlineSweepTest, OracleAccuracyMonotoneInDeadline) {
+  const double mult = GetParam();
+  Experiment ex(TaskId::kImageClassification, PlatformId::kCpu1, ContentionType::kNone,
+                [] {
+                  ExperimentOptions o;
+                  o.num_inputs = 150;
+                  o.seed = 55;
+                  return o;
+                }());
+  const double base = BaseDeadline(TaskId::kImageClassification, PlatformId::kCpu1);
+  Goals tight;
+  tight.mode = GoalMode::kMaximizeAccuracy;
+  tight.deadline = mult * base;
+  tight.energy_budget = 1e9;
+  Goals loose = tight;
+  loose.deadline = (mult + 0.4) * base;
+  auto o1 = MakeScheduler(SchemeId::kOracle, ex, tight);
+  auto o2 = MakeScheduler(SchemeId::kOracle, ex, loose);
+  const RunResult r_tight = ex.Run(ex.stack(DnnSetChoice::kBoth), *o1, tight);
+  const RunResult r_loose = ex.Run(ex.stack(DnnSetChoice::kBoth), *o2, loose);
+  EXPECT_GE(r_loose.avg_accuracy, r_tight.avg_accuracy - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, DeadlineSweepTest,
+                         ::testing::Values(0.4, 0.6, 0.8, 1.0, 1.4));
+
+// --- Probability threshold sweep: raising Pr_th can only make ALERT's picks safer. ---
+
+class PrThresholdSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrThresholdSweepTest, HigherThresholdNeverPicksRiskier) {
+  const double pr_th = GetParam();
+  auto models = BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth);
+  PlatformSimulator sim(GetPlatform(PlatformId::kCpu1), models);
+  ConfigSpace space(sim);
+  Goals goals;
+  goals.mode = GoalMode::kMaximizeAccuracy;
+  goals.deadline = 0.08;
+  goals.energy_budget = 1e9;
+  goals.prob_threshold = pr_th;
+  AlertScheduler s(space, goals);
+  // Moderate volatility so thresholds bite.
+  for (int i = 0; i < 30; ++i) {
+    SchedulingDecision d;
+    d.candidate = space.candidate(0);
+    d.power_index = space.default_power_index();
+    d.power_cap = space.cap(d.power_index);
+    Measurement m;
+    m.xi_anchor_time = (i % 2 == 0 ? 0.9 : 1.5) *
+                       space.ProfileLatency(d.candidate.model_index, d.power_index);
+    m.xi_anchor_fraction = 1.0;
+    m.latency = m.xi_anchor_time;
+    m.period = m.latency;
+    m.inference_power = 30.0;
+    m.idle_power = 6.0;
+    s.Observe(d, m);
+  }
+  InferenceRequest req;
+  req.input_index = 0;
+  req.deadline = 0.08;
+  req.period = 0.08;
+  const auto d = s.Decide(req);
+  const auto est = s.Estimate(Configuration{d.candidate, d.power_index}, 0.08, 0.08);
+  if (pr_th > 0.0) {
+    EXPECT_GE(est.prob_deadline, pr_th - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PrThresholdSweepTest,
+                         ::testing::Values(0.0, 0.9, 0.95, 0.99, 0.999));
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,103 @@
+#include "src/sim/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(PowerCurveTest, SaturatesAtOne) {
+  const PowerCurve c{.cap_min = 40.0, .cap_sat = 84.0, .speed_min = 0.5, .gamma = 2.3};
+  EXPECT_DOUBLE_EQ(c.SpeedAt(84.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.SpeedAt(100.0), 1.0);
+}
+
+TEST(PowerCurveTest, FloorAtMinimumCap) {
+  const PowerCurve c{.cap_min = 40.0, .cap_sat = 84.0, .speed_min = 0.5, .gamma = 2.3};
+  EXPECT_DOUBLE_EQ(c.SpeedAt(40.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.SpeedAt(10.0), 0.5);
+}
+
+TEST(PowerCurveTest, MonotoneNonDecreasing) {
+  const PowerCurve c{.cap_min = 10.0, .cap_sat = 30.0, .speed_min = 0.45, .gamma = 2.2};
+  double prev = 0.0;
+  for (double cap = 10.0; cap <= 35.0; cap += 0.5) {
+    const double s = c.SpeedAt(cap);
+    EXPECT_GE(s, prev);
+    EXPECT_GE(s, 0.45);
+    EXPECT_LE(s, 1.0);
+    prev = s;
+  }
+}
+
+TEST(PowerCurveTest, ConvexGainsConcentrateNearSaturation) {
+  // gamma > 1: the second half of the cap range buys more speed than the first half.
+  const PowerCurve c{.cap_min = 40.0, .cap_sat = 84.0, .speed_min = 0.5, .gamma = 2.3};
+  const double mid = c.SpeedAt(62.0);
+  EXPECT_LT(mid - c.SpeedAt(40.0), c.SpeedAt(84.0) - mid);
+}
+
+TEST(PlatformTest, AllPlatformsDefined) {
+  for (PlatformId id : {PlatformId::kEmbedded, PlatformId::kCpu1, PlatformId::kCpu2,
+                        PlatformId::kGpu}) {
+    const PlatformSpec& p = GetPlatform(id);
+    EXPECT_EQ(p.id, id);
+    EXPECT_GT(p.cap_max, p.cap_min);
+    EXPECT_GT(p.cap_step, 0.0);
+    EXPECT_GT(p.base_power, 0.0);
+    EXPECT_GT(p.idle_power, 0.0);
+    EXPECT_LT(p.idle_power + p.base_power, p.cap_max + p.base_power);
+  }
+}
+
+TEST(PlatformTest, SpecsAreSingletons) {
+  EXPECT_EQ(&GetPlatform(PlatformId::kCpu1), &GetPlatform(PlatformId::kCpu1));
+}
+
+TEST(PlatformTest, Cpu1HasElevenSettings) {
+  // 10-35 W at 2.5 W steps (Section 4's laptop interval).
+  EXPECT_EQ(GetPlatform(PlatformId::kCpu1).PowerSettings().size(), 11u);
+}
+
+TEST(PlatformTest, Cpu2SettingsAtFiveWattInterval) {
+  const auto caps = GetPlatform(PlatformId::kCpu2).PowerSettings();
+  EXPECT_EQ(caps.size(), 13u);  // 40..100 by 5
+  EXPECT_DOUBLE_EQ(caps.front(), 40.0);
+  EXPECT_DOUBLE_EQ(caps.back(), 100.0);
+  EXPECT_DOUBLE_EQ(caps[1] - caps[0], 5.0);
+}
+
+TEST(PlatformTest, SettingsAscending) {
+  for (PlatformId id : {PlatformId::kEmbedded, PlatformId::kCpu1, PlatformId::kCpu2,
+                        PlatformId::kGpu}) {
+    const auto caps = GetPlatform(id).PowerSettings();
+    for (size_t i = 1; i < caps.size(); ++i) {
+      EXPECT_GT(caps[i], caps[i - 1]);
+    }
+    EXPECT_EQ(GetPlatform(id).DefaultPowerIndex(), static_cast<int>(caps.size()) - 1);
+  }
+}
+
+TEST(PlatformTest, GpuIsCalmestPlatform) {
+  // Section 5.2: "The GPU experiences significantly lower dynamic fluctuation".
+  const PlatformSpec& gpu = GetPlatform(PlatformId::kGpu);
+  for (PlatformId id : {PlatformId::kEmbedded, PlatformId::kCpu1, PlatformId::kCpu2}) {
+    const PlatformSpec& cpu = GetPlatform(id);
+    EXPECT_LT(gpu.profile_noise_sigma, cpu.profile_noise_sigma);
+    EXPECT_LT(gpu.drift_sigma, cpu.drift_sigma);
+    EXPECT_LT(gpu.memory_contention_slowdown, cpu.memory_contention_slowdown);
+  }
+}
+
+TEST(PlatformTest, MemoryContentionHarsherThanCompute) {
+  for (PlatformId id : {PlatformId::kEmbedded, PlatformId::kCpu1, PlatformId::kCpu2,
+                        PlatformId::kGpu}) {
+    const PlatformSpec& p = GetPlatform(id);
+    EXPECT_GT(p.memory_contention_slowdown, p.compute_contention_slowdown);
+    EXPECT_GT(p.MeanContentionSlowdown(ContentionType::kMemory),
+              p.MeanContentionSlowdown(ContentionType::kCompute));
+    EXPECT_EQ(p.MeanContentionSlowdown(ContentionType::kNone), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,45 @@
+#include "src/sim/power_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(PowerManagerTest, StartsAtMaxCap) {
+  PowerManager pm(GetPlatform(PlatformId::kCpu1));
+  EXPECT_DOUBLE_EQ(pm.current_cap(), 35.0);
+}
+
+TEST(PowerManagerTest, QuantizesToStep) {
+  PowerManager pm(GetPlatform(PlatformId::kCpu1));
+  EXPECT_DOUBLE_EQ(pm.SetCap(13.7), 12.5);
+  EXPECT_DOUBLE_EQ(pm.SetCap(13.8), 15.0);
+}
+
+TEST(PowerManagerTest, ClampsToRange) {
+  PowerManager pm(GetPlatform(PlatformId::kCpu1));
+  EXPECT_DOUBLE_EQ(pm.SetCap(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(pm.SetCap(500.0), 35.0);
+}
+
+TEST(PowerManagerTest, QuantizeDoesNotChangeState) {
+  PowerManager pm(GetPlatform(PlatformId::kCpu2));
+  pm.SetCap(60.0);
+  EXPECT_DOUBLE_EQ(pm.Quantize(97.0), 95.0);
+  EXPECT_DOUBLE_EQ(pm.current_cap(), 60.0);
+}
+
+TEST(PowerManagerTest, NumSettingsMatchesPlatform) {
+  PowerManager pm(GetPlatform(PlatformId::kCpu2));
+  EXPECT_EQ(pm.NumSettings(), 13);
+}
+
+TEST(PowerManagerTest, ExactSettingsPassThrough) {
+  PowerManager pm(GetPlatform(PlatformId::kGpu));
+  for (Watts cap : GetPlatform(PlatformId::kGpu).PowerSettings()) {
+    EXPECT_DOUBLE_EQ(pm.SetCap(cap), cap);
+  }
+}
+
+}  // namespace
+}  // namespace alert

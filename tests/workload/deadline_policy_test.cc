@@ -1,0 +1,101 @@
+#include "src/workload/deadline_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(FixedDeadlineTest, ConstantDeadlineAndPeriod) {
+  FixedDeadlinePolicy p(0.25);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(p.DeadlineFor(i), 0.25);
+    EXPECT_DOUBLE_EQ(p.PeriodFor(i), 0.25);
+    p.OnCompleted(i, 0.5);  // completions do not affect fixed deadlines
+  }
+  EXPECT_DOUBLE_EQ(p.DeadlineFor(10), 0.25);
+}
+
+class SentencePolicyTest : public ::testing::Test {
+ protected:
+  SentencePolicyTest() {
+    TraceOptions o;
+    o.num_inputs = 40;
+    o.seed = 3;
+    trace_ = MakeEnvironmentTrace(TaskId::kSentencePrediction, PlatformId::kCpu1,
+                                  ContentionType::kNone, o);
+  }
+  EnvironmentTrace trace_;
+};
+
+TEST_F(SentencePolicyTest, FirstWordGetsNominalShare) {
+  SentenceSharedDeadlinePolicy p(trace_, 0.01);
+  // Budget = 0.01 * len; first word share = budget / len = 0.01.
+  EXPECT_NEAR(p.DeadlineFor(0), 0.01, 1e-12);
+}
+
+TEST_F(SentencePolicyTest, FastWordsGrowLaterShares) {
+  SentenceSharedDeadlinePolicy p(trace_, 0.01);
+  const int len = trace_.sentence_length[0];
+  if (len < 3) {
+    GTEST_SKIP() << "first sentence too short for this test";
+  }
+  const Seconds d0 = p.DeadlineFor(0);
+  p.OnCompleted(0, d0 * 0.5);  // finished in half the share
+  const Seconds d1 = p.DeadlineFor(1);
+  EXPECT_GT(d1, d0);
+}
+
+TEST_F(SentencePolicyTest, SlowWordsShrinkLaterShares) {
+  SentenceSharedDeadlinePolicy p(trace_, 0.01);
+  const int len = trace_.sentence_length[0];
+  if (len < 3) {
+    GTEST_SKIP();
+  }
+  const Seconds d0 = p.DeadlineFor(0);
+  p.OnCompleted(0, d0 * 2.0);  // overran 2x
+  EXPECT_LT(p.DeadlineFor(1), d0);
+}
+
+TEST_F(SentencePolicyTest, ExhaustedBudgetFloorsAtMinimumShare) {
+  SentenceSharedDeadlinePolicy p(trace_, 0.01);
+  const int len = trace_.sentence_length[0];
+  if (len < 4) {
+    GTEST_SKIP();
+  }
+  p.DeadlineFor(0);
+  p.OnCompleted(0, 0.01 * len * 2.0);  // blew the whole budget on word 0
+  // Remaining words get the floor: 10% of the nominal per-word share.
+  EXPECT_NEAR(p.DeadlineFor(1), 0.001, 1e-12);
+}
+
+TEST_F(SentencePolicyTest, BudgetResetsAtSentenceBoundary) {
+  SentenceSharedDeadlinePolicy p(trace_, 0.01);
+  const int len0 = trace_.sentence_length[0];
+  // Burn sentence 0's budget.
+  for (int w = 0; w < len0; ++w) {
+    p.DeadlineFor(w);
+    p.OnCompleted(w, 0.05);
+  }
+  // First word of sentence 1 gets a fresh nominal share again.
+  EXPECT_NEAR(p.DeadlineFor(len0), 0.01, 1e-12);
+}
+
+TEST_F(SentencePolicyTest, SharesConserveBudgetWhenOnTime) {
+  SentenceSharedDeadlinePolicy p(trace_, 0.01);
+  const int len = trace_.sentence_length[0];
+  Seconds total = 0.0;
+  for (int w = 0; w < len; ++w) {
+    const Seconds d = p.DeadlineFor(w);
+    total += d;
+    p.OnCompleted(w, d);  // consume exactly the share
+  }
+  EXPECT_NEAR(total, 0.01 * len, 1e-9);
+}
+
+TEST_F(SentencePolicyTest, PeriodEqualsDeadline) {
+  SentenceSharedDeadlinePolicy p(trace_, 0.01);
+  EXPECT_DOUBLE_EQ(p.PeriodFor(0), p.DeadlineFor(0));
+}
+
+}  // namespace
+}  // namespace alert

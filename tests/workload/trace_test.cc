@@ -1,0 +1,193 @@
+#include "src/workload/trace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TraceOptions Opts(int n, uint64_t seed) {
+  TraceOptions o;
+  o.num_inputs = n;
+  o.seed = seed;
+  return o;
+}
+
+TEST(TraceTest, DeterministicForSameSeed) {
+  const auto a = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kMemory, Opts(200, 99));
+  const auto b = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kMemory, Opts(200, 99));
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  for (int i = 0; i < a.num_inputs(); ++i) {
+    const auto& x = a.inputs[static_cast<size_t>(i)];
+    const auto& y = b.inputs[static_cast<size_t>(i)];
+    EXPECT_EQ(x.contention_multiplier, y.contention_multiplier);
+    EXPECT_EQ(x.noise_multiplier, y.noise_multiplier);
+    EXPECT_EQ(x.drift_multiplier, y.drift_multiplier);
+    EXPECT_EQ(x.tail_multiplier, y.tail_multiplier);
+  }
+}
+
+TEST(TraceTest, DifferentSeedsDiffer) {
+  const auto a = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kNone, Opts(50, 1));
+  const auto b = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kNone, Opts(50, 2));
+  int diff = 0;
+  for (int i = 0; i < 50; ++i) {
+    diff += a.inputs[static_cast<size_t>(i)].noise_multiplier !=
+                    b.inputs[static_cast<size_t>(i)].noise_multiplier
+                ? 1
+                : 0;
+  }
+  EXPECT_GT(diff, 40);
+}
+
+TEST(TraceTest, NoContentionMeansUnitMultiplier) {
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu2,
+                                      ContentionType::kNone, Opts(100, 5));
+  for (const auto& ctx : t.inputs) {
+    EXPECT_FALSE(ctx.contention_active);
+    EXPECT_EQ(ctx.contention_multiplier, 1.0);
+    EXPECT_EQ(ctx.extra_idle_power, 0.0);
+  }
+}
+
+TEST(TraceTest, ContentionPhasesHaveBothStates) {
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kMemory, Opts(1500, 42));
+  int active = 0;
+  for (const auto& ctx : t.inputs) {
+    active += ctx.contention_active ? 1 : 0;
+  }
+  EXPECT_GT(active, 150);
+  EXPECT_LT(active, 1350);
+}
+
+TEST(TraceTest, ActiveContentionInflatesLatencyAndIdlePower) {
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kMemory, Opts(1000, 43));
+  const PlatformSpec& p = GetPlatform(PlatformId::kCpu1);
+  for (const auto& ctx : t.inputs) {
+    if (ctx.contention_active) {
+      EXPECT_GE(ctx.contention_multiplier, 1.0);
+      EXPECT_EQ(ctx.extra_idle_power, p.contention_idle_power);
+    } else {
+      EXPECT_EQ(ctx.contention_multiplier, 1.0);
+    }
+  }
+}
+
+TEST(TraceTest, ContentionWindowIsExact) {
+  TraceOptions o = Opts(100, 7);
+  o.contention_window = std::make_pair(20, 60);
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kMemory, o);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.inputs[static_cast<size_t>(i)].contention_active, i >= 20 && i < 60) << i;
+  }
+}
+
+TEST(TraceTest, ContentionScaleScalesSlowdown) {
+  TraceOptions strong = Opts(400, 11);
+  strong.contention_window = std::make_pair(0, 400);
+  TraceOptions weak = strong;
+  weak.contention_scale = 0.5;
+  const auto a = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kMemory, strong);
+  const auto b = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kMemory, weak);
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    mean_a += a.inputs[static_cast<size_t>(i)].contention_multiplier;
+    mean_b += b.inputs[static_cast<size_t>(i)].contention_multiplier;
+  }
+  EXPECT_GT(mean_a / 400.0, mean_b / 400.0 + 0.2);
+}
+
+TEST(TraceTest, SentenceStructurePartitionsInputs) {
+  const auto t = MakeEnvironmentTrace(TaskId::kSentencePrediction, PlatformId::kCpu1,
+                                      ContentionType::kNone, Opts(500, 13));
+  ASSERT_TRUE(t.has_sentences());
+  ASSERT_EQ(static_cast<int>(t.sentence_of_input.size()), 500);
+  // Word indices restart at sentence boundaries and lengths are consistent.
+  int expected_sentence = 0;
+  int expected_word = 0;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(t.sentence_of_input[static_cast<size_t>(i)], expected_sentence);
+    EXPECT_EQ(t.word_in_sentence[static_cast<size_t>(i)], expected_word);
+    ++expected_word;
+    if (expected_word == t.sentence_length[static_cast<size_t>(expected_sentence)]) {
+      ++expected_sentence;
+      expected_word = 0;
+    }
+  }
+  EXPECT_EQ(t.num_sentences, static_cast<int>(t.sentence_length.size()));
+}
+
+TEST(TraceTest, SentenceLengthsWithinBounds) {
+  const auto t = MakeEnvironmentTrace(TaskId::kSentencePrediction, PlatformId::kCpu1,
+                                      ContentionType::kNone, Opts(3000, 17));
+  double sum = 0.0;
+  for (int len : t.sentence_length) {
+    EXPECT_GE(len, 1);   // a trailing sentence may be cut short
+    EXPECT_LE(len, 80);
+    sum += len;
+  }
+  const double avg = sum / static_cast<double>(t.sentence_length.size());
+  EXPECT_NEAR(avg, MeanSentenceLength(), 4.0);
+}
+
+TEST(TraceTest, ImageTaskHasNoSentences) {
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kNone, Opts(50, 19));
+  EXPECT_FALSE(t.has_sentences());
+}
+
+TEST(TraceTest, DriftIsAutocorrelated) {
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kNone, Opts(2000, 23));
+  // Lag-1 autocorrelation of log drift should be near exp(-1/corr_length) ~ 0.99.
+  double mean = 0.0;
+  for (const auto& ctx : t.inputs) {
+    mean += std::log(ctx.drift_multiplier);
+  }
+  mean /= 2000.0;
+  double num = 0.0;
+  double den = 0.0;
+  for (int i = 0; i + 1 < 2000; ++i) {
+    const double x = std::log(t.inputs[static_cast<size_t>(i)].drift_multiplier) - mean;
+    const double y = std::log(t.inputs[static_cast<size_t>(i + 1)].drift_multiplier) - mean;
+    num += x * y;
+    den += x * x;
+  }
+  EXPECT_GT(num / den, 0.9);
+}
+
+TEST(TraceTest, GpuDriftIsTiny) {
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kGpu,
+                                      ContentionType::kNone, Opts(500, 29));
+  for (const auto& ctx : t.inputs) {
+    EXPECT_NEAR(ctx.drift_multiplier, 1.0, 0.1);
+  }
+}
+
+TEST(TraceTest, TailsAreRareButPresent) {
+  const auto t = MakeEnvironmentTrace(TaskId::kImageClassification, PlatformId::kCpu1,
+                                      ContentionType::kNone, Opts(20000, 31));
+  int tails = 0;
+  for (const auto& ctx : t.inputs) {
+    if (ctx.tail_multiplier > 1.0) {
+      ++tails;
+    }
+  }
+  const double frac = static_cast<double>(tails) / 20000.0;
+  EXPECT_GT(frac, 0.001);
+  EXPECT_LT(frac, 0.02);
+}
+
+}  // namespace
+}  // namespace alert
