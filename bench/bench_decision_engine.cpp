@@ -1,0 +1,141 @@
+// DecisionEngine microbenchmark: ns/decision for the old full-rescore path (per-cell
+// ConfigSpace lookups + exact erf-based estimates, exactly what AlertScheduler::Decide
+// inlined before the engine existed) vs. the SoA DecisionEngine with the memoized
+// Gaussian table, across config-space sizes.
+//
+// Config-space size is scaled by replicating the evaluation candidate set: the Arg is
+// the replication factor (1 => the paper's CPU1 space, 110 configurations).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/core/config_space.h"
+#include "src/core/decision_engine.h"
+#include "src/core/estimates.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+std::vector<DnnModel> ReplicatedEvaluationSet(int factor) {
+  std::vector<DnnModel> models;
+  for (int r = 0; r < factor; ++r) {
+    std::vector<DnnModel> batch =
+        BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth);
+    for (DnnModel& m : batch) {
+      // Perturb latency so replicas are distinct configurations, not cache aliases.
+      for (Seconds& lat : m.ref_latency) {
+        lat *= 1.0 + 0.01 * r;
+      }
+      m.name += "#" + std::to_string(r);
+      models.push_back(std::move(m));
+    }
+  }
+  return models;
+}
+
+struct Fixture {
+  explicit Fixture(int factor)
+      : models(ReplicatedEvaluationSet(factor)),
+        sim(GetPlatform(PlatformId::kCpu1), models), space(sim), engine(space) {
+    in.xi = XiBelief{1.15, 0.2};
+    in.deadline = 0.08;
+    in.period = 0.08;
+    in.use_idle_ratio = true;
+    in.idle_ratio = 0.22;
+  }
+  std::vector<DnnModel> models;
+  PlatformSimulator sim;
+  ConfigSpace space;
+  DecisionEngine engine;
+  DecisionInputs in;
+};
+
+// The pre-refactor scoring of one configuration: ConfigSpace lookups per cell, exact
+// erf-based Gaussian math.
+ConfigScore NaiveScore(const ConfigSpace& space, const Configuration& config,
+                       const DecisionInputs& in) {
+  const Candidate& c = config.candidate;
+  const DnnModel& model = space.model(c.model_index);
+  const double q_fail = TaskRandomGuessAccuracy(model.task);
+  const Seconds run_profile = space.CandidateProfileLatency(c, config.power_index);
+
+  ConfigScore est;
+  est.prob_deadline = ProbMeetDeadline(in.xi, run_profile, in.deadline);
+  if (c.stage_limit < 0) {
+    est.expected_accuracy = ExpectedAccuracyTraditional(in.xi, run_profile, in.deadline,
+                                                        model.accuracy, q_fail);
+  } else {
+    est.expected_accuracy = ExpectedAccuracyAnytime(
+        in.xi, space.ProfileLatency(c.model_index, config.power_index),
+        model.anytime_stages, c.stage_limit, in.deadline, q_fail);
+  }
+  const Watts inference_power = space.InferencePower(c.model_index, config.power_index);
+  const Watts idle = in.use_idle_ratio ? in.idle_ratio * inference_power
+                                       : in.fixed_idle_power;
+  est.expected_energy = EstimateEnergy(in.xi, run_profile, inference_power, idle,
+                                       in.period, in.deadline, /*stop_at_cutoff=*/true,
+                                       in.percentile);
+  est.expected_latency = ExpectedRuntime(in.xi, run_profile, in.deadline);
+  return est;
+}
+
+// One "decision" = scoring every configuration once (the per-input work of Section 3.2
+// step 3).  Reported Time is therefore ns/decision.
+void BM_NaiveFullRescore(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (int ci = 0; ci < f.space.num_candidates(); ++ci) {
+      for (int pi = 0; pi < f.space.num_powers(); ++pi) {
+        const ConfigScore s =
+            NaiveScore(f.space, Configuration{f.space.candidate(ci), pi}, f.in);
+        sink += s.expected_energy;
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["configs"] = f.space.num_configurations();
+  state.counters["ns_per_config"] = benchmark::Counter(
+      static_cast<double>(f.space.num_configurations()),
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_NaiveFullRescore)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EngineScoreAll(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  std::vector<ConfigScore> scores(static_cast<size_t>(f.engine.num_entries()));
+  double sink = 0.0;
+  for (auto _ : state) {
+    f.engine.ScoreAll(f.in, scores);
+    sink += scores.back().expected_energy;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["configs"] = f.space.num_configurations();
+  state.counters["ns_per_config"] = benchmark::Counter(
+      static_cast<double>(f.space.num_configurations()),
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_EngineScoreAll)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// The full decision rule (score + select + fallback bookkeeping), engine path.
+void BM_EngineSelectBest(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.9;
+  std::vector<DecisionEngine::ScoredEntry> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.engine.SelectBest(goals, goals.energy_budget, f.in, 1e9, scratch));
+  }
+  state.counters["configs"] = f.space.num_configurations();
+}
+BENCHMARK(BM_EngineSelectBest)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace alert
+
+BENCHMARK_MAIN();

@@ -8,18 +8,23 @@
 namespace alert {
 
 NoCoordScheduler::NoCoordScheduler(const ConfigSpace& space, const Goals& goals)
-    : space_(space), goals_(goals), anytime_model_(space.AnytimeModel()),
+    : NoCoordScheduler(std::make_unique<DecisionEngine>(space), nullptr, goals) {}
+
+NoCoordScheduler::NoCoordScheduler(const DecisionEngine& engine, const Goals& goals)
+    : NoCoordScheduler(nullptr, &engine, goals) {}
+
+NoCoordScheduler::NoCoordScheduler(std::unique_ptr<const DecisionEngine> owned,
+                                   const DecisionEngine* shared, const Goals& goals)
+    : owned_engine_(std::move(owned)),
+      engine_(owned_engine_ != nullptr ? owned_engine_.get() : shared),
+      space_(engine_->space()), goals_(goals), anytime_model_(space_.AnytimeModel()),
       first_candidate_(-1),
       app_ratio_(1.0, 0.1, 1e-3, 1e-3), sys_ratio_(1.0, 0.1, 1e-3, 1e-3) {
   ALERT_CHECK(anytime_model_ >= 0);
-  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
-    const Candidate& c = space_.candidate(ci);
-    if (c.model_index == anytime_model_ && c.stage_limit == 0) {
-      first_candidate_ = ci;
-      break;
-    }
-  }
-  ALERT_CHECK(first_candidate_ >= 0);
+  first_candidate_ = space_.CandidateIndex(Candidate{anytime_model_, 0});
+  const int num_stages =
+      static_cast<int>(space_.model(anytime_model_).anytime_stages.size());
+  full_candidate_ = first_candidate_ + num_stages - 1;
 }
 
 SchedulingDecision NoCoordScheduler::Decide(const InferenceRequest& request) {
@@ -43,22 +48,14 @@ SchedulingDecision NoCoordScheduler::Decide(const InferenceRequest& request) {
 
   // System level: CALOREE-style minimize-energy-under-latency, planning for the *full*
   // network because it does not know the application truncates stages.
-  int best_power = -1;
-  Joules best_energy = std::numeric_limits<double>::infinity();
-  const Seconds period = request.period > 0.0 ? request.period : deadline;
-  for (int pi = 0; pi < space_.num_powers(); ++pi) {
-    const Seconds predicted = sys_ratio_.state() * space_.ProfileLatency(anytime_model_, pi);
-    if (predicted > deadline) {
-      continue;
-    }
-    const Watts p_inf = space_.InferencePower(anytime_model_, pi);
-    const Watts p_idle = idle_power_.PredictIdlePower(p_inf);
-    const Joules energy = p_inf * predicted + p_idle * std::max(0.0, period - predicted);
-    if (energy < best_energy) {
-      best_energy = energy;
-      best_power = pi;
-    }
-  }
+  DecisionInputs in;
+  in.xi = XiBelief{sys_ratio_.state(), 0.0};
+  in.deadline = deadline;
+  in.period = request.period > 0.0 ? request.period : deadline;
+  in.use_idle_ratio = true;
+  in.idle_ratio = idle_power_.ratio();
+  in.stop_at_cutoff = false;
+  int best_power = engine_->MinEnergyPower(full_candidate_, in);
   if (best_power < 0) {
     best_power = space_.default_power_index();
   }

@@ -10,7 +10,10 @@
 #ifndef SRC_BASELINES_NO_COORD_H_
 #define SRC_BASELINES_NO_COORD_H_
 
+#include <memory>
+
 #include "src/core/config_space.h"
+#include "src/core/decision_engine.h"
 #include "src/core/goals.h"
 #include "src/core/scheduler.h"
 #include "src/estimator/idle_power_filter.h"
@@ -21,16 +24,25 @@ namespace alert {
 class NoCoordScheduler final : public Scheduler {
  public:
   NoCoordScheduler(const ConfigSpace& space, const Goals& goals);
+  // Shares an existing scoring engine; `engine` must outlive the scheduler.
+  NoCoordScheduler(const DecisionEngine& engine, const Goals& goals);
 
   SchedulingDecision Decide(const InferenceRequest& request) override;
   void Observe(const SchedulingDecision& decision, const Measurement& m) override;
   std::string_view name() const override { return "No-coord"; }
 
  private:
+  // Both public constructors delegate here; exactly one of `owned`/`shared` is set.
+  NoCoordScheduler(std::unique_ptr<const DecisionEngine> owned,
+                   const DecisionEngine* shared, const Goals& goals);
+
+  std::unique_ptr<const DecisionEngine> owned_engine_;  // null when sharing
+  const DecisionEngine* engine_;
   const ConfigSpace& space_;
   Goals goals_;
   int anytime_model_;
   int first_candidate_;  // candidate index of stage 0 for the anytime model
+  int full_candidate_;   // candidate index of the full anytime network (last stage)
 
   // Application-level state: slowdown belief formed against the default-power profile.
   KalmanFilter1d app_ratio_;

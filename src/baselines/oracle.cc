@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/core/decision_engine.h"
 
 namespace alert {
 
@@ -20,13 +21,10 @@ SchedulingDecision OracleScheduler::Decide(const InferenceRequest& request) {
   const PlatformSimulator& sim = space_.simulator();
   const GoalMode mode = goals_.mode;
   const bool min_energy = mode == GoalMode::kMinimizeEnergy;
-  const bool maximize = mode == GoalMode::kMaximizeAccuracy;
 
-  int best_candidate = -1;
-  int best_power = -1;
-  double best_objective = maximize ? -std::numeric_limits<double>::infinity()
-                                   : std::numeric_limits<double>::infinity();
-  double best_tiebreak = std::numeric_limits<double>::infinity();
+  // Measured outcomes are scored with the same goal rules as ALERT's estimates
+  // (DecisionEngine's ScoreOutcome), with exact objective comparisons.
+  BestConfigTracker best(mode, /*epsilon=*/0.0);
 
   // Fallback (nothing feasible): meet the deadline if at all possible.  In
   // energy-minimization mode the next priority is accuracy (ALERT's hierarchy); in
@@ -68,49 +66,15 @@ SchedulingDecision OracleScheduler::Decide(const InferenceRequest& request) {
       const Joules allowance =
           0.98 * goals_.energy_budget * static_cast<double>(inputs_seen_ + 1) -
           energy_spent_;
-      bool feasible = true;
-      double objective = 0.0;
-      double tiebreak = 0.0;
-      switch (mode) {
-        case GoalMode::kMinimizeEnergy:
-          feasible = m.deadline_met && m.accuracy >= goals_.accuracy_goal - 1e-12;
-          objective = m.energy;
-          tiebreak = -m.accuracy;
-          break;
-        case GoalMode::kMaximizeAccuracy:
-          feasible = m.deadline_met && m.energy <= allowance + 1e-12;
-          objective = m.accuracy;
-          tiebreak = m.energy;
-          break;
-        case GoalMode::kMinimizeLatency:
-          feasible = m.accuracy >= goals_.accuracy_goal - 1e-12 &&
-                     m.energy <= allowance + 1e-12;
-          objective = m.latency;
-          tiebreak = m.energy;
-          break;
-      }
-      if (!feasible) {
-        continue;
-      }
-      const bool better =
-          maximize ? (objective > best_objective ||
-                      (objective == best_objective && tiebreak < best_tiebreak))
-                   : (objective < best_objective ||
-                      (objective == best_objective && tiebreak < best_tiebreak));
-      if (better || best_candidate < 0) {
-        best_candidate = ci;
-        best_power = pi;
-        best_objective = objective;
-        best_tiebreak = tiebreak;
-      }
+      best.Consider(ci, pi,
+                    ScoreOutcome(goals_, allowance, m.accuracy, m.energy, m.latency,
+                                 m.deadline_met, /*slack=*/1e-12));
     }
   }
 
-  if (best_candidate < 0) {
-    best_candidate = fb_candidate;
-    best_power = fb_power;
-  }
   SchedulingDecision decision;
+  const int best_candidate = best.found() ? best.candidate_index() : fb_candidate;
+  const int best_power = best.found() ? best.power_index() : fb_power;
   decision.candidate = space_.candidate(best_candidate);
   decision.power_index = best_power;
   decision.power_cap = space_.cap(best_power);

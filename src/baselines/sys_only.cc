@@ -5,46 +5,59 @@
 #include "src/common/check.h"
 
 namespace alert {
+namespace {
 
-SysOnlyScheduler::SysOnlyScheduler(const ConfigSpace& space, const Goals& goals)
-    : space_(space), goals_(goals), model_(space.FastestTraditionalModel()),
-      candidate_(-1),
-      latency_ratio_(/*initial_state=*/1.0, /*initial_variance=*/0.1,
-                     /*process_noise=*/1e-3, /*measurement_noise=*/1e-3) {
-  if (model_ < 0) {
+// The fixed DNN: the fastest traditional candidate, or the full anytime network when
+// the candidate set has no traditional member.
+int FixedCandidate(const ConfigSpace& space, int* model_out) {
+  int model = space.FastestTraditionalModel();
+  if (model < 0) {
     // No traditional candidate (anytime-only set): fix the full anytime network.
-    model_ = space.AnytimeModel();
+    model = space.AnytimeModel();
   }
-  ALERT_CHECK(model_ >= 0);
-  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
-    const Candidate& c = space_.candidate(ci);
-    if (c.model_index == model_) {
-      candidate_ = ci;  // last stage wins for anytime fallback
+  ALERT_CHECK(model >= 0);
+  *model_out = model;
+  int candidate = -1;
+  for (int ci = 0; ci < space.num_candidates(); ++ci) {
+    if (space.candidate(ci).model_index == model) {
+      candidate = ci;  // last stage wins for anytime fallback
     }
   }
-  ALERT_CHECK(candidate_ >= 0);
+  ALERT_CHECK(candidate >= 0);
+  return candidate;
+}
+
+}  // namespace
+
+SysOnlyScheduler::SysOnlyScheduler(const ConfigSpace& space, const Goals& goals)
+    : SysOnlyScheduler(std::make_unique<DecisionEngine>(space), nullptr, goals) {}
+
+SysOnlyScheduler::SysOnlyScheduler(const DecisionEngine& engine, const Goals& goals)
+    : SysOnlyScheduler(nullptr, &engine, goals) {}
+
+SysOnlyScheduler::SysOnlyScheduler(std::unique_ptr<const DecisionEngine> owned,
+                                   const DecisionEngine* shared, const Goals& goals)
+    : owned_engine_(std::move(owned)),
+      engine_(owned_engine_ != nullptr ? owned_engine_.get() : shared),
+      space_(engine_->space()), goals_(goals),
+      latency_ratio_(/*initial_state=*/1.0, /*initial_variance=*/0.1,
+                     /*process_noise=*/1e-3, /*measurement_noise=*/1e-3) {
+  candidate_ = FixedCandidate(space_, &model_);
 }
 
 SchedulingDecision SysOnlyScheduler::Decide(const InferenceRequest& request) {
   // Minimize energy subject to the predicted latency meeting the deadline; ignore
-  // accuracy and energy budgets (the scheme has no actuator for them).
-  const double ratio = latency_ratio_.state();
-  int best_power = -1;
-  Joules best_energy = std::numeric_limits<double>::infinity();
-  for (int pi = 0; pi < space_.num_powers(); ++pi) {
-    const Seconds predicted = ratio * space_.ProfileLatency(model_, pi);
-    if (predicted > request.deadline) {
-      continue;
-    }
-    const Watts p_inf = space_.InferencePower(model_, pi);
-    const Watts p_idle = idle_power_.PredictIdlePower(p_inf);
-    const Seconds period = request.period > 0.0 ? request.period : request.deadline;
-    const Joules energy = p_inf * predicted + p_idle * std::max(0.0, period - predicted);
-    if (energy < best_energy) {
-      best_energy = energy;
-      best_power = pi;
-    }
-  }
+  // accuracy and energy budgets (the scheme has no actuator for them).  The fixed
+  // candidate's run profile is the full network, so scoring it with a deterministic
+  // belief and no deadline stop reproduces the [63]-style plan exactly.
+  DecisionInputs in;
+  in.xi = XiBelief{latency_ratio_.state(), 0.0};
+  in.deadline = request.deadline;
+  in.period = request.period > 0.0 ? request.period : request.deadline;
+  in.use_idle_ratio = true;
+  in.idle_ratio = idle_power_.ratio();
+  in.stop_at_cutoff = false;
+  int best_power = engine_->MinEnergyPower(candidate_, in);
   if (best_power < 0) {
     // Even the maximum cap is predicted to miss: race at full power.
     best_power = space_.default_power_index();

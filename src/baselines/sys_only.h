@@ -10,7 +10,10 @@
 #ifndef SRC_BASELINES_SYS_ONLY_H_
 #define SRC_BASELINES_SYS_ONLY_H_
 
+#include <memory>
+
 #include "src/core/config_space.h"
+#include "src/core/decision_engine.h"
 #include "src/core/goals.h"
 #include "src/core/scheduler.h"
 #include "src/estimator/idle_power_filter.h"
@@ -21,12 +24,20 @@ namespace alert {
 class SysOnlyScheduler final : public Scheduler {
  public:
   SysOnlyScheduler(const ConfigSpace& space, const Goals& goals);
+  // Shares an existing scoring engine; `engine` must outlive the scheduler.
+  SysOnlyScheduler(const DecisionEngine& engine, const Goals& goals);
 
   SchedulingDecision Decide(const InferenceRequest& request) override;
   void Observe(const SchedulingDecision& decision, const Measurement& m) override;
   std::string_view name() const override { return "Sys-only"; }
 
  private:
+  // Both public constructors delegate here; exactly one of `owned`/`shared` is set.
+  SysOnlyScheduler(std::unique_ptr<const DecisionEngine> owned,
+                   const DecisionEngine* shared, const Goals& goals);
+
+  std::unique_ptr<const DecisionEngine> owned_engine_;  // null when sharing
+  const DecisionEngine* engine_;
   const ConfigSpace& space_;
   Goals goals_;
   int model_;          // fixed fastest traditional model

@@ -1,5 +1,6 @@
 #include "src/common/gaussian.h"
 
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -23,6 +24,55 @@ double NormalCdf(double x, double mean, double stddev) {
     return x < mean ? 0.0 : 1.0;
   }
   return StandardNormalCdf((x - mean) / stddev);
+}
+
+namespace {
+
+// Tail table for FastStandardNormalCdf: Phi sampled uniformly over [-kTailZMax,
+// kTailZMax].  16384 intervals => step ~9.8e-4; linear interpolation error is bounded
+// by step^2/8 * max|phi'| ~ 3e-8.
+constexpr double kTailZMax = 8.0;
+constexpr int kTailIntervals = 16384;
+
+struct GaussianTailTable {
+  std::array<double, kTailIntervals + 1> cdf;
+  GaussianTailTable() {
+    for (int i = 0; i <= kTailIntervals; ++i) {
+      const double z = -kTailZMax + 2.0 * kTailZMax * i / kTailIntervals;
+      cdf[static_cast<size_t>(i)] = StandardNormalCdf(z);
+    }
+  }
+};
+
+const GaussianTailTable& TailTable() {
+  static const GaussianTailTable table;
+  return table;
+}
+
+}  // namespace
+
+double FastStandardNormalCdf(double x) {
+  if (x <= -kTailZMax) {
+    return 0.0;
+  }
+  if (x >= kTailZMax) {
+    return 1.0;
+  }
+  const GaussianTailTable& table = TailTable();
+  const double pos = (x + kTailZMax) * (kTailIntervals / (2.0 * kTailZMax));
+  const int i = static_cast<int>(pos);
+  const double frac = pos - static_cast<double>(i);
+  const double lo = table.cdf[static_cast<size_t>(i)];
+  const double hi = table.cdf[static_cast<size_t>(i) + 1];
+  return lo + frac * (hi - lo);
+}
+
+double FastNormalCdf(double x, double mean, double stddev) {
+  ALERT_DCHECK(stddev >= 0.0);
+  if (stddev == 0.0) {
+    return x < mean ? 0.0 : 1.0;
+  }
+  return FastStandardNormalCdf((x - mean) / stddev);
 }
 
 double StandardNormalQuantile(double p) {

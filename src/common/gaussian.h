@@ -18,6 +18,18 @@ double StandardNormalCdf(double x);
 // CDF of N(mean, stddev^2) at x.  For stddev == 0 degenerates to the step function.
 double NormalCdf(double x, double mean, double stddev);
 
+// Memoized standard normal CDF: table lookup with linear interpolation instead of
+// std::erfc.  The table (Phi over [-8, 8], 16385 knots, built once on first use behind
+// a thread-safe static) keeps the absolute error below 1e-7, which is far tighter than
+// any tolerance in ALERT's decision plane; beyond +/-8 the tail mass (< 1e-15) is
+// clamped to 0/1.  This is the hot call of candidate scoring — DecisionEngine evaluates
+// one CDF per anytime stage per configuration per decision.
+double FastStandardNormalCdf(double x);
+
+// CDF of N(mean, stddev^2) via the memoized table.  stddev == 0 degenerates to the
+// step function exactly like NormalCdf.
+double FastNormalCdf(double x, double mean, double stddev);
+
 // Inverse standard normal CDF (quantile function).  `p` must lie in (0, 1).
 // Uses Acklam's rational approximation refined by one Halley step; absolute error is
 // below 1e-9 over the full domain.

@@ -15,8 +15,19 @@ constexpr Seconds kMinDeadline = 1e-6;
 
 AlertScheduler::AlertScheduler(const ConfigSpace& space, const Goals& goals,
                                const AlertOptions& options)
-    : space_(space), goals_(goals), options_(options), slowdown_(options.kalman),
-      idle_power_(options.idle_filter) {
+    : AlertScheduler(std::make_unique<DecisionEngine>(space), nullptr, goals, options) {}
+
+AlertScheduler::AlertScheduler(const DecisionEngine& engine, const Goals& goals,
+                               const AlertOptions& options)
+    : AlertScheduler(nullptr, &engine, goals, options) {}
+
+AlertScheduler::AlertScheduler(std::unique_ptr<const DecisionEngine> owned,
+                               const DecisionEngine* shared, const Goals& goals,
+                               const AlertOptions& options)
+    : owned_engine_(std::move(owned)),
+      engine_(owned_engine_ != nullptr ? owned_engine_.get() : shared),
+      space_(engine_->space()), goals_(goals), options_(options),
+      slowdown_(options.kalman), idle_power_(options.idle_filter) {
   ALERT_CHECK(goals_.Valid());
   if (options_.wcet_window > 0) {
     wcet_window_.emplace(static_cast<size_t>(options_.wcet_window));
@@ -34,35 +45,32 @@ XiBelief AlertScheduler::xi_belief() const {
   return belief;
 }
 
+DecisionInputs AlertScheduler::MakeInputs(Seconds deadline, Seconds period) const {
+  DecisionInputs in;
+  in.xi = xi_belief();
+  in.deadline = deadline;
+  in.period = period;
+  if (options_.adapt_idle_power) {
+    in.use_idle_ratio = true;
+    in.idle_ratio = idle_power_.ratio();
+  } else {
+    in.fixed_idle_power = space_.platform().idle_power + space_.platform().base_power;
+  }
+  in.percentile = goals_.prob_threshold;
+  in.stop_at_cutoff = true;
+  return in;
+}
+
 AlertScheduler::ConfigEstimate AlertScheduler::Estimate(const Configuration& config,
                                                         Seconds deadline,
                                                         Seconds period) const {
-  const XiBelief belief = xi_belief();
-  const Candidate& c = config.candidate;
-  const DnnModel& model = space_.model(c.model_index);
-  const double q_fail = TaskRandomGuessAccuracy(model.task);
-  const Seconds run_profile = space_.CandidateProfileLatency(c, config.power_index);
-
+  const ConfigScore score =
+      engine_->Score(config.candidate, config.power_index, MakeInputs(deadline, period));
   ConfigEstimate est;
-  est.prob_deadline = ProbMeetDeadline(belief, run_profile, deadline);
-  if (c.stage_limit < 0) {
-    est.expected_accuracy = ExpectedAccuracyTraditional(
-        belief, run_profile, deadline, model.accuracy, q_fail);
-  } else {
-    est.expected_accuracy = ExpectedAccuracyAnytime(
-        belief, space_.ProfileLatency(c.model_index, config.power_index),
-        model.anytime_stages, c.stage_limit, deadline, q_fail);
-  }
-
-  const Watts inference_power = space_.InferencePower(c.model_index, config.power_index);
-  const Watts idle_estimate =
-      options_.adapt_idle_power
-          ? idle_power_.PredictIdlePower(inference_power)
-          : space_.platform().idle_power + space_.platform().base_power;
-  est.expected_energy = EstimateEnergy(belief, run_profile, inference_power,
-                                       idle_estimate, period, deadline,
-                                       /*stop_at_cutoff=*/true, goals_.prob_threshold);
-  est.expected_latency = ExpectedRuntime(belief, run_profile, deadline);
+  est.prob_deadline = score.prob_deadline;
+  est.expected_accuracy = score.expected_accuracy;
+  est.expected_energy = score.expected_energy;
+  est.expected_latency = score.expected_latency;
   return est;
 }
 
@@ -82,126 +90,15 @@ SchedulingDecision AlertScheduler::Decide(const InferenceRequest& request) {
       std::max(request.deadline - options_.scheduler_overhead, kMinDeadline);
   const Seconds period = request.period > 0.0 ? request.period : request.deadline;
 
-  const GoalMode mode = goals_.mode;
-  const bool maximize = mode == GoalMode::kMaximizeAccuracy;
-  const double pr_th = goals_.prob_threshold;
-  const Joules allowance = EnergyAllowance();
-
-  int best_candidate = -1;
-  int best_power = -1;
-  double best_objective = maximize ? -std::numeric_limits<double>::infinity()
-                                   : std::numeric_limits<double>::infinity();
-  double best_tiebreak = 0.0;
-
-  // All estimates are retained so the fallback pass can rank them.
-  struct Scored {
-    int ci;
-    int pi;
-    ConfigEstimate est;
-  };
-  std::vector<Scored> scored;
-  scored.reserve(static_cast<size_t>(space_.num_candidates() * space_.num_powers()));
-
-  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
-    for (int pi = 0; pi < space_.num_powers(); ++pi) {
-      // Externally capped (shared package budget); the lowest cap always remains
-      // available so the scheduler can still act under an impossible limit.
-      if (pi > 0 && space_.cap(pi) > power_limit_ + 1e-9) {
-        continue;
-      }
-      const Configuration config{space_.candidate(ci), pi};
-      const ConfigEstimate est = Estimate(config, deadline, period);
-      scored.push_back(Scored{ci, pi, est});
-
-      // Feasibility (Eqs. 1/2, plus the optional Pr_th of Eqs. 10/11).  The deadline
-      // constraint is enforced through the expected-accuracy step function: a config
-      // unlikely to finish in time cannot reach the accuracy goal, and in
-      // accuracy-maximization mode it scores a poor objective.
-      if (pr_th > 0.0 && est.prob_deadline < pr_th) {
-        continue;
-      }
-      bool feasible = true;
-      double objective = 0.0;
-      double tiebreak = 0.0;
-      switch (mode) {
-        case GoalMode::kMinimizeEnergy:
-          feasible = est.expected_accuracy >= goals_.accuracy_goal;
-          objective = est.expected_energy;     // minimize
-          tiebreak = -est.expected_accuracy;   // then prefer higher accuracy
-          break;
-        case GoalMode::kMaximizeAccuracy:
-          feasible = est.expected_energy <= allowance;
-          objective = est.expected_accuracy;   // maximize
-          tiebreak = est.expected_energy;      // then prefer lower energy
-          break;
-        case GoalMode::kMinimizeLatency:
-          feasible = est.expected_accuracy >= goals_.accuracy_goal &&
-                     est.expected_energy <= allowance;
-          objective = est.expected_latency;    // minimize
-          tiebreak = est.expected_energy;      // then prefer lower energy
-          break;
-      }
-      if (!feasible) {
-        continue;
-      }
-      const bool better =
-          maximize
-              ? (objective > best_objective + 1e-12 ||
-                 (std::abs(objective - best_objective) <= 1e-12 &&
-                  tiebreak < best_tiebreak))
-              : (objective < best_objective - 1e-12 ||
-                 (std::abs(objective - best_objective) <= 1e-12 &&
-                  tiebreak < best_tiebreak));
-      if (better || best_candidate < 0) {
-        best_candidate = ci;
-        best_power = pi;
-        best_objective = objective;
-        best_tiebreak = tiebreak;
-      }
-    }
-  }
-
-  if (best_candidate < 0) {
-    // Nothing feasible: the latency > accuracy > power hierarchy (Section 4).  First
-    // secure the deadline — keep only configurations whose completion probability is
-    // within a small margin of the best achievable.  Then, in energy-minimization mode
-    // (accuracy was the unreachable constraint) maximize expected accuracy; in the
-    // budget modes (the energy budget was unreachable — possibly a pacing deficit)
-    // spend as little as possible so the balance can recover.
-    double max_pr = 0.0;
-    for (const Scored& s : scored) {
-      max_pr = std::max(max_pr, s.est.prob_deadline);
-    }
-    const double pr_floor = max_pr - 0.02;
-    const bool prefer_accuracy = mode == GoalMode::kMinimizeEnergy;
-    double fb_acc = -1.0;
-    Joules fb_energy = std::numeric_limits<double>::infinity();
-    for (const Scored& s : scored) {
-      if (s.est.prob_deadline < pr_floor) {
-        continue;
-      }
-      const bool better =
-          prefer_accuracy
-              ? (s.est.expected_accuracy > fb_acc + 1e-12 ||
-                 (std::abs(s.est.expected_accuracy - fb_acc) <= 1e-12 &&
-                  s.est.expected_energy < fb_energy))
-              : (s.est.expected_energy < fb_energy - 1e-12 ||
-                 (std::abs(s.est.expected_energy - fb_energy) <= 1e-12 &&
-                  s.est.expected_accuracy > fb_acc));
-      if (better) {
-        fb_acc = s.est.expected_accuracy;
-        fb_energy = s.est.expected_energy;
-        best_candidate = s.ci;
-        best_power = s.pi;
-      }
-    }
-    ALERT_CHECK(best_candidate >= 0);
-  }
+  // Steps 3-4: one engine pass scores every configuration under the current belief and
+  // applies the goal feasibility/objective rules plus the Section 4 fallback.
+  const DecisionEngine::Selection sel = engine_->SelectBest(
+      goals_, EnergyAllowance(), MakeInputs(deadline, period), power_limit_, scratch_);
 
   SchedulingDecision decision;
-  decision.candidate = space_.candidate(best_candidate);
-  decision.power_index = best_power;
-  decision.power_cap = space_.cap(best_power);
+  decision.candidate = space_.candidate(sel.candidate_index);
+  decision.power_index = sel.power_index;
+  decision.power_cap = space_.cap(sel.power_index);
   return decision;
 }
 

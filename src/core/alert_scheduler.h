@@ -6,10 +6,10 @@
 //      into the Eq. 8 filter;
 //   2. compensates the deadline for its own worst-case overhead (Section 3.2, step 2);
 //   3. scores every candidate x power-cap configuration with the Eqs. 6/7/9/12/13
-//      estimates;
+//      estimates — routed through the shared DecisionEngine scoring plane;
 //   4. picks the feasible configuration that optimizes the goal, falling back to the
 //      latency > accuracy > power priority hierarchy when nothing is feasible
-//      (Section 4).
+//      (Section 4; DecisionEngine::SelectBest).
 //
 // The same class implements the paper's ablations: ALERT* (mean-only, Fig. 10) via
 // `use_variance = false`, explicit probabilistic guarantees via `Goals::prob_threshold`
@@ -18,14 +18,17 @@
 #ifndef SRC_CORE_ALERT_SCHEDULER_H_
 #define SRC_CORE_ALERT_SCHEDULER_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/config_space.h"
+#include "src/core/decision_engine.h"
 #include "src/core/estimates.h"
 #include "src/core/goals.h"
 #include "src/core/scheduler.h"
-#include <optional>
 
 #include "src/estimator/idle_power_filter.h"
 #include "src/estimator/sliding_window.h"
@@ -61,8 +64,12 @@ struct AlertOptions {
 
 class AlertScheduler final : public Scheduler {
  public:
-  // `space` must outlive the scheduler.
+  // `space` must outlive the scheduler.  Builds a private DecisionEngine.
   AlertScheduler(const ConfigSpace& space, const Goals& goals,
+                 const AlertOptions& options = {});
+  // Shares an existing engine (harness sweeps, multi-job coordination); `engine` must
+  // outlive the scheduler.
+  AlertScheduler(const DecisionEngine& engine, const Goals& goals,
                  const AlertOptions& options = {});
 
   SchedulingDecision Decide(const InferenceRequest& request) override;
@@ -96,10 +103,22 @@ class AlertScheduler final : public Scheduler {
   ConfigEstimate Estimate(const Configuration& config, Seconds deadline,
                           Seconds period) const;
 
+  // The scoring plane this scheduler routes candidate estimates through.
+  const DecisionEngine& engine() const { return *engine_; }
+
  private:
+  // Both public constructors delegate here; exactly one of `owned`/`shared` is set.
+  AlertScheduler(std::unique_ptr<const DecisionEngine> owned,
+                 const DecisionEngine* shared, const Goals& goals,
+                 const AlertOptions& options);
+
   // The per-input energy allowance (the plain budget, or the paced balance).
   Joules EnergyAllowance() const;
+  // The immutable belief/idle-power snapshot one decision scores under.
+  DecisionInputs MakeInputs(Seconds deadline, Seconds period) const;
 
+  std::unique_ptr<const DecisionEngine> owned_engine_;  // null when sharing
+  const DecisionEngine* engine_;
   const ConfigSpace& space_;
   Goals goals_;
   AlertOptions options_;
@@ -107,6 +126,8 @@ class AlertScheduler final : public Scheduler {
   IdlePowerFilter idle_power_;
   std::optional<SlidingWindow> wcet_window_;  // hard-guarantee variant
   Watts power_limit_ = 1e9;
+  // Per-decision scratch for SelectBest (avoids an allocation per input).
+  std::vector<DecisionEngine::ScoredEntry> scratch_;
 
   // Pacing state (pace_energy_budget).
   Joules energy_spent_ = 0.0;

@@ -34,6 +34,7 @@ ConfigSpace::ConfigSpace(const PlatformSimulator& sim, double profile_noise_sigm
 
   for (int m = 0; m < num_models; ++m) {
     const DnnModel& model = sim.models()[static_cast<size_t>(m)];
+    first_candidate_of_model_.push_back(static_cast<int>(candidates_.size()));
     if (model.is_anytime()) {
       for (int k = 0; k < static_cast<int>(model.anytime_stages.size()); ++k) {
         candidates_.push_back(Candidate{.model_index = m, .stage_limit = k});
@@ -51,6 +52,16 @@ const DnnModel& ConfigSpace::model(int model_index) const {
 const Candidate& ConfigSpace::candidate(int candidate_index) const {
   ALERT_CHECK(candidate_index >= 0 && candidate_index < num_candidates());
   return candidates_[static_cast<size_t>(candidate_index)];
+}
+
+int ConfigSpace::CandidateIndex(const Candidate& c) const {
+  ALERT_CHECK(c.model_index >= 0 && c.model_index < num_models());
+  const int first = first_candidate_of_model_[static_cast<size_t>(c.model_index)];
+  const int index = c.stage_limit < 0 ? first : first + c.stage_limit;
+  ALERT_CHECK(index < num_candidates());
+  const Candidate& found = candidates_[static_cast<size_t>(index)];
+  ALERT_CHECK(found.model_index == c.model_index && found.stage_limit == c.stage_limit);
+  return index;
 }
 
 Seconds ConfigSpace::ProfileLatency(int model_index, int power_index) const {

@@ -54,6 +54,9 @@ class ConfigSpace {
   const DnnModel& model(int model_index) const;
   const Candidate& candidate(int candidate_index) const;
   std::span<const Candidate> candidates() const { return candidates_; }
+  // Index of the candidate equal to `c` (model + stage limit).  O(1); checks that the
+  // candidate actually belongs to this space.
+  int CandidateIndex(const Candidate& c) const;
 
   // Full-network profiled latency of a model at a cap.
   Seconds ProfileLatency(int model_index, int power_index) const;
@@ -78,6 +81,8 @@ class ConfigSpace {
   const PlatformSimulator* sim_;
   std::vector<Watts> caps_;
   std::vector<Candidate> candidates_;
+  // Per model: index of its first candidate (stage 0 / the traditional candidate).
+  std::vector<int> first_candidate_of_model_;
   // Row-major [model][power].
   std::vector<Seconds> profile_latency_;
   std::vector<Watts> inference_power_;

@@ -1,0 +1,318 @@
+#include "src/core/decision_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/gaussian.h"
+
+namespace alert {
+namespace {
+
+// E[min(xi * profile, cutoff)] via the memoized CDF (mirrors ExpectedRuntime).
+Seconds FastExpectedRuntime(const XiBelief& xi, Seconds profile, Seconds cutoff) {
+  const double mean = xi.mean * profile;
+  const double stddev = xi.stddev * profile;
+  if (stddev == 0.0) {
+    return std::min(mean, cutoff);
+  }
+  const double z = (cutoff - mean) / stddev;
+  const double p_below = FastStandardNormalCdf(z);
+  if (p_below <= 1e-12) {
+    return cutoff;
+  }
+  const double mean_below = mean - stddev * StandardNormalPdf(z) / p_below;
+  const double value = p_below * mean_below + (1.0 - p_below) * cutoff;
+  return std::clamp(value, 0.0, cutoff);
+}
+
+}  // namespace
+
+GoalScore ScoreOutcome(const Goals& goals, Joules allowance, double accuracy,
+                       Joules energy, Seconds latency, bool deadline_ok, double slack) {
+  GoalScore s;
+  switch (goals.mode) {
+    case GoalMode::kMinimizeEnergy:
+      s.feasible = deadline_ok && accuracy >= goals.accuracy_goal - slack;
+      s.objective = energy;
+      s.tiebreak = -accuracy;
+      break;
+    case GoalMode::kMaximizeAccuracy:
+      s.feasible = deadline_ok && energy <= allowance + slack;
+      s.objective = accuracy;
+      s.tiebreak = energy;
+      break;
+    case GoalMode::kMinimizeLatency:
+      s.feasible = accuracy >= goals.accuracy_goal - slack && energy <= allowance + slack;
+      s.objective = latency;
+      s.tiebreak = energy;
+      break;
+  }
+  return s;
+}
+
+double GoalObjective(GoalMode mode, Joules energy, double error, Seconds latency) {
+  switch (mode) {
+    case GoalMode::kMinimizeEnergy:
+      return energy;
+    case GoalMode::kMaximizeAccuracy:
+      return error;
+    case GoalMode::kMinimizeLatency:
+      return latency;
+  }
+  return energy;
+}
+
+void BestConfigTracker::Consider(int candidate_index, int power_index,
+                                 const GoalScore& score) {
+  if (!score.feasible) {
+    return;
+  }
+  bool better = !found();
+  if (!better) {
+    const double diff = score.objective - objective_;
+    if (maximize_) {
+      better = diff > epsilon_ ||
+               (std::abs(diff) <= epsilon_ && score.tiebreak < tiebreak_);
+    } else {
+      better = diff < -epsilon_ ||
+               (std::abs(diff) <= epsilon_ && score.tiebreak < tiebreak_);
+    }
+  }
+  if (better) {
+    candidate_index_ = candidate_index;
+    power_index_ = power_index;
+    objective_ = score.objective;
+    tiebreak_ = score.tiebreak;
+  }
+}
+
+void WarmGaussianTable() { FastStandardNormalCdf(0.0); }
+
+DecisionEngine::DecisionEngine(const ConfigSpace& space)
+    : space_(&space), num_candidates_(space.num_candidates()),
+      num_powers_(space.num_powers()), caps_(space.caps()) {
+  const size_t entries = static_cast<size_t>(num_entries());
+  run_profile_.resize(entries);
+  full_profile_.resize(entries);
+  inference_power_.resize(entries);
+  final_accuracy_.resize(static_cast<size_t>(num_candidates_));
+  q_fail_.resize(static_cast<size_t>(num_candidates_));
+  stage_offset_.resize(static_cast<size_t>(num_candidates_), 0);
+  stage_count_.resize(static_cast<size_t>(num_candidates_), 0);
+
+  // Flatten each model's anytime ladder once; candidates index into it.
+  std::vector<int> model_ladder_offset(static_cast<size_t>(space.num_models()), -1);
+  for (int m = 0; m < space.num_models(); ++m) {
+    const DnnModel& model = space.model(m);
+    if (!model.is_anytime()) {
+      continue;
+    }
+    model_ladder_offset[static_cast<size_t>(m)] = static_cast<int>(stage_frac_.size());
+    for (const AnytimeStage& stage : model.anytime_stages) {
+      stage_frac_.push_back(stage.latency_fraction);
+      stage_accuracy_.push_back(stage.accuracy);
+    }
+  }
+
+  for (int ci = 0; ci < num_candidates_; ++ci) {
+    const Candidate& c = space.candidate(ci);
+    const DnnModel& model = space.model(c.model_index);
+    final_accuracy_[static_cast<size_t>(ci)] = space.CandidateAccuracy(c);
+    q_fail_[static_cast<size_t>(ci)] = TaskRandomGuessAccuracy(model.task);
+    if (c.stage_limit >= 0) {
+      const int last = std::min(c.stage_limit,
+                                static_cast<int>(model.anytime_stages.size()) - 1);
+      stage_offset_[static_cast<size_t>(ci)] =
+          model_ladder_offset[static_cast<size_t>(c.model_index)];
+      stage_count_[static_cast<size_t>(ci)] = last + 1;
+    }
+    for (int pi = 0; pi < num_powers_; ++pi) {
+      const size_t e = static_cast<size_t>(entry_index(ci, pi));
+      run_profile_[e] = space.CandidateProfileLatency(c, pi);
+      full_profile_[e] = space.ProfileLatency(c.model_index, pi);
+      inference_power_[e] = space.InferencePower(c.model_index, pi);
+    }
+  }
+  WarmGaussianTable();
+}
+
+ConfigScore DecisionEngine::ScoreEntry(int entry, const DecisionInputs& in) const {
+  const size_t e = static_cast<size_t>(entry);
+  const int ci = entry / num_powers_;
+  const size_t c = static_cast<size_t>(ci);
+  const XiBelief& xi = in.xi;
+  const Seconds run_profile = run_profile_[e];
+  const double q_fail = q_fail_[c];
+
+  ConfigScore score;
+  // Eq. 6: Pr[xi * t_prof <= deadline].
+  score.prob_deadline = FastNormalCdf(in.deadline, xi.mean * run_profile,
+                                      xi.stddev * run_profile);
+
+  const int stages = stage_count_[c];
+  if (stages == 0) {
+    // Eq. 7: accuracy step function of a traditional network.
+    score.expected_accuracy = score.prob_deadline * final_accuracy_[c] +
+                              (1.0 - score.prob_deadline) * q_fail;
+  } else {
+    // Eq. 13: the anytime ladder delivers the last stage completed by the deadline.
+    const Seconds full_profile = full_profile_[e];
+    const size_t offset = static_cast<size_t>(stage_offset_[c]);
+    double expected = 0.0;
+    double p_next = 0.0;
+    for (int k = stages - 1; k >= 0; --k) {
+      const Seconds stage_profile = stage_frac_[offset + static_cast<size_t>(k)] *
+                                    full_profile;
+      const double p_k = FastNormalCdf(in.deadline, xi.mean * stage_profile,
+                                       xi.stddev * stage_profile);
+      expected += stage_accuracy_[offset + static_cast<size_t>(k)] * (p_k - p_next);
+      p_next = p_k;
+    }
+    expected += q_fail * (1.0 - p_next);
+    score.expected_accuracy = expected;
+  }
+
+  // Expected run time: truncated at the deadline (kill / anytime stop) or the plain
+  // mean when the caller's controller lets the run complete.
+  Seconds run = 0.0;
+  if (in.stop_at_cutoff) {
+    run = FastExpectedRuntime(xi, run_profile, in.deadline);
+  } else {
+    run = xi.mean * run_profile;
+  }
+  score.expected_latency = run;
+
+  // Eq. 9 / Eq. 12 energy over the period.
+  Seconds charged_run = run;
+  if (in.percentile > 0.0 && xi.stddev > 0.0) {
+    const double t_pct = NormalQuantile(in.percentile, xi.mean * run_profile,
+                                        xi.stddev * run_profile);
+    charged_run = std::max(0.0, t_pct);
+    if (in.stop_at_cutoff) {
+      charged_run = std::min(charged_run, in.deadline);
+    }
+  }
+  const Watts inference_power = inference_power_[e];
+  const Watts idle_power =
+      in.use_idle_ratio ? in.idle_ratio * inference_power : in.fixed_idle_power;
+  const Seconds idle_time = std::max(0.0, in.period - charged_run);
+  score.expected_energy = inference_power * charged_run + idle_power * idle_time;
+  return score;
+}
+
+ConfigScore DecisionEngine::Score(int candidate_index, int power_index,
+                                  const DecisionInputs& in) const {
+  ALERT_DCHECK(candidate_index >= 0 && candidate_index < num_candidates_);
+  ALERT_DCHECK(power_index >= 0 && power_index < num_powers_);
+  return ScoreEntry(entry_index(candidate_index, power_index), in);
+}
+
+ConfigScore DecisionEngine::Score(const Candidate& candidate, int power_index,
+                                  const DecisionInputs& in) const {
+  return Score(space_->CandidateIndex(candidate), power_index, in);
+}
+
+void DecisionEngine::ScoreAll(const DecisionInputs& in,
+                              std::span<ConfigScore> out) const {
+  ALERT_CHECK(static_cast<int>(out.size()) == num_entries());
+  for (int e = 0; e < num_entries(); ++e) {
+    out[static_cast<size_t>(e)] = ScoreEntry(e, in);
+  }
+}
+
+DecisionEngine::Selection DecisionEngine::SelectBest(
+    const Goals& goals, Joules allowance, const DecisionInputs& in, Watts power_limit,
+    std::vector<ScoredEntry>& scratch) const {
+  const double pr_th = goals.prob_threshold;
+  scratch.clear();
+  scratch.reserve(static_cast<size_t>(num_entries()));
+  BestConfigTracker best(goals.mode, 1e-12);
+
+  for (int ci = 0; ci < num_candidates_; ++ci) {
+    for (int pi = 0; pi < num_powers_; ++pi) {
+      // Externally capped (shared package budget); the lowest cap always remains
+      // available so the scheduler can still act under an impossible limit.
+      if (pi > 0 && caps_[static_cast<size_t>(pi)] > power_limit + 1e-9) {
+        continue;
+      }
+      const ConfigScore score = ScoreEntry(entry_index(ci, pi), in);
+      scratch.push_back(ScoredEntry{ci, pi, score});
+
+      // Feasibility (Eqs. 1/2, plus the optional Pr_th of Eqs. 10/11).  The deadline
+      // constraint is enforced through the expected-accuracy step function: a config
+      // unlikely to finish in time cannot reach the accuracy goal, and in
+      // accuracy-maximization mode it scores a poor objective.
+      if (pr_th > 0.0 && score.prob_deadline < pr_th) {
+        continue;
+      }
+      best.Consider(ci, pi,
+                    ScoreOutcome(goals, allowance, score.expected_accuracy,
+                                 score.expected_energy, score.expected_latency,
+                                 /*deadline_ok=*/true));
+    }
+  }
+  if (best.found()) {
+    return Selection{best.candidate_index(), best.power_index(), true};
+  }
+
+  // Nothing feasible: the latency > accuracy > power hierarchy (Section 4).  First
+  // secure the deadline — keep only configurations whose completion probability is
+  // within a small margin of the best achievable.  Then, in energy-minimization mode
+  // (accuracy was the unreachable constraint) maximize expected accuracy; in the
+  // budget modes (the energy budget was unreachable — possibly a pacing deficit)
+  // spend as little as possible so the balance can recover.
+  double max_pr = 0.0;
+  for (const ScoredEntry& s : scratch) {
+    max_pr = std::max(max_pr, s.score.prob_deadline);
+  }
+  const double pr_floor = max_pr - 0.02;
+  const bool prefer_accuracy = goals.mode == GoalMode::kMinimizeEnergy;
+  Selection fallback;
+  double fb_acc = -1.0;
+  Joules fb_energy = std::numeric_limits<double>::infinity();
+  for (const ScoredEntry& s : scratch) {
+    if (s.score.prob_deadline < pr_floor) {
+      continue;
+    }
+    const bool better =
+        prefer_accuracy
+            ? (s.score.expected_accuracy > fb_acc + 1e-12 ||
+               (std::abs(s.score.expected_accuracy - fb_acc) <= 1e-12 &&
+                s.score.expected_energy < fb_energy))
+            : (s.score.expected_energy < fb_energy - 1e-12 ||
+               (std::abs(s.score.expected_energy - fb_energy) <= 1e-12 &&
+                s.score.expected_accuracy > fb_acc));
+    if (better) {
+      fb_acc = s.score.expected_accuracy;
+      fb_energy = s.score.expected_energy;
+      fallback.candidate_index = s.candidate_index;
+      fallback.power_index = s.power_index;
+    }
+  }
+  ALERT_CHECK(fallback.candidate_index >= 0);
+  return fallback;
+}
+
+int DecisionEngine::MinEnergyPower(int candidate_index, const DecisionInputs& in) const {
+  ALERT_DCHECK(candidate_index >= 0 && candidate_index < num_candidates_);
+  // With stop_at_cutoff the latency estimate is truncated at the deadline, which would
+  // make the deadline filter below vacuous — callers must score the untruncated mean.
+  ALERT_DCHECK(!in.stop_at_cutoff);
+  int best_power = -1;
+  Joules best_energy = std::numeric_limits<double>::infinity();
+  for (int pi = 0; pi < num_powers_; ++pi) {
+    const ConfigScore score = ScoreEntry(entry_index(candidate_index, pi), in);
+    if (score.expected_latency > in.deadline) {
+      continue;
+    }
+    if (score.expected_energy < best_energy) {
+      best_energy = score.expected_energy;
+      best_power = pi;
+    }
+  }
+  return best_power;
+}
+
+}  // namespace alert

@@ -1,0 +1,190 @@
+// DecisionEngine: the shared, cache-friendly candidate-scoring plane.
+//
+// ALERT's per-input loop (Section 3.2) scores every (model x anytime-stage x
+// power-cap) configuration with the Eq. 6/7/9/12/13 estimates before every decision.
+// Before this engine existed that logic was welded inside AlertScheduler::Decide and
+// re-implemented in fragments by the baselines and the harness oracles.  The engine
+// pulls it into one reusable component that every scheduler routes through.
+//
+// == API contract ==
+//
+// Construction: `DecisionEngine(space)` flattens the per-configuration profile
+// constants (stage-limited t_prof, full-network t_prof, inference power, the anytime
+// accuracy ladder, q_fail) into structure-of-arrays vectors indexed by the flat entry
+// id `entry_index(ci, pi) = ci * num_powers() + pi`.  The engine holds a pointer to
+// `space`, which must outlive it; the profile snapshot is taken at construction, so a
+// ConfigSpace mutated afterwards (none currently are) would need a fresh engine.
+//
+// Scoring: `Score` / `ScoreAll` evaluate Eqs. 6/7/9/12/13 for one / all configurations
+// given an immutable `DecisionInputs` snapshot (xi belief + idle-power model + deadline
+// and period) in a single linear pass over the SoA vectors.  Gaussian tails come from
+// the memoized table in src/common/gaussian.h (FastStandardNormalCdf, |err| < 1e-7)
+// instead of per-call std::erf.  Passing xi.stddev == 0 degenerates every estimate to
+// the mean-only ALERT* scheme exactly as the inline code did.
+//
+// Selection: `SelectBest` implements the full ALERT decision rule — the Pr_th
+// pre-filter (Eqs. 10/11), per-goal feasibility and objective (Eqs. 1/2), and the
+// latency > accuracy > power fallback hierarchy of Section 4.  `MinEnergyPower`
+// implements the system-layer rule shared by the Sys-only and No-coord baselines:
+// cheapest power cap whose predicted (mean, untruncated) latency meets the deadline.
+//
+// Thread-safety: every scoring/selection method is `const` and touches no mutable
+// state; one engine instance may be shared by any number of threads (harness
+// ParallelFor sweeps, multi-job coordination) without synchronization.  The memoized
+// Gaussian table is built behind a thread-safe static on first use; call
+// `WarmGaussianTable()` (or score once) before timing-sensitive loops to avoid paying
+// the one-time build inside them.
+#ifndef SRC_CORE_DECISION_ENGINE_H_
+#define SRC_CORE_DECISION_ENGINE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/config_space.h"
+#include "src/core/estimates.h"
+#include "src/core/goals.h"
+
+namespace alert {
+
+// Per-configuration score under one belief snapshot.
+struct ConfigScore {
+  double prob_deadline = 0.0;     // Eq. 6
+  double expected_accuracy = 0.0; // Eq. 7 / 13
+  Joules expected_energy = 0.0;   // Eq. 9 / 12
+  Seconds expected_latency = 0.0; // E[min(run, deadline)] (mean run if !stop_at_cutoff)
+};
+
+// Immutable inputs of one scoring pass.
+struct DecisionInputs {
+  XiBelief xi;
+  Seconds deadline = 0.0;
+  Seconds period = 0.0;
+  // Idle-power model: idle = idle_ratio * p_inf(config) when `use_idle_ratio` (the
+  // Eq. 8 filter's prediction), otherwise the fixed platform draw `fixed_idle_power`.
+  bool use_idle_ratio = false;
+  double idle_ratio = 0.25;
+  Watts fixed_idle_power = 0.0;
+  // Eq. 12's Pr_th percentile for the energy estimate; 0 uses the Eq. 9 expectation.
+  double percentile = 0.0;
+  // Stop the run at the deadline (deadline kill / anytime stop).  False models a
+  // controller that lets the run complete and plans with the untruncated mean latency
+  // (the Sys-only / No-coord system layer).
+  bool stop_at_cutoff = true;
+};
+
+// Goal evaluation of one outcome — estimated (ALERT) or measured (clairvoyant Oracle).
+// `deadline_ok` enters feasibility in the modes where the deadline is a constraint
+// (kMinimizeEnergy, kMaximizeAccuracy); ALERT passes true because its deadline term is
+// already inside the expected-accuracy step function and the Pr_th pre-filter.
+// `slack` relaxes the accuracy/energy constraint comparisons (the Oracle uses 1e-12).
+struct GoalScore {
+  bool feasible = false;
+  double objective = 0.0;  // minimized, or maximized in kMaximizeAccuracy mode
+  double tiebreak = 0.0;   // minimized among equal objectives
+};
+GoalScore ScoreOutcome(const Goals& goals, Joules allowance, double accuracy,
+                       Joules energy, Seconds latency, bool deadline_ok,
+                       double slack = 0.0);
+
+// Lower-is-better scalar objective of a whole-run result for a goal mode
+// (energy / error / latency).  Used by the static oracle.
+double GoalObjective(GoalMode mode, Joules energy, double error, Seconds latency);
+
+// Tracks the best (configuration, GoalScore) seen so far.  `epsilon` is the objective
+// comparison tolerance: ALERT uses 1e-12, the clairvoyant Oracle exact comparisons (0).
+class BestConfigTracker {
+ public:
+  BestConfigTracker(GoalMode mode, double epsilon)
+      : maximize_(mode == GoalMode::kMaximizeAccuracy), epsilon_(epsilon) {}
+
+  void Consider(int candidate_index, int power_index, const GoalScore& score);
+
+  bool found() const { return candidate_index_ >= 0; }
+  int candidate_index() const { return candidate_index_; }
+  int power_index() const { return power_index_; }
+
+ private:
+  bool maximize_;
+  double epsilon_;
+  int candidate_index_ = -1;
+  int power_index_ = -1;
+  double objective_ = 0.0;
+  double tiebreak_ = 0.0;
+};
+
+// Forces construction of the memoized Gaussian table (see thread-safety note above).
+void WarmGaussianTable();
+
+class DecisionEngine {
+ public:
+  // `space` must outlive the engine.
+  explicit DecisionEngine(const ConfigSpace& space);
+
+  const ConfigSpace& space() const { return *space_; }
+  int num_candidates() const { return num_candidates_; }
+  int num_powers() const { return num_powers_; }
+  int num_entries() const { return num_candidates_ * num_powers_; }
+  int entry_index(int candidate_index, int power_index) const {
+    return candidate_index * num_powers_ + power_index;
+  }
+
+  // Eqs. 6/7/9/12/13 for one configuration.
+  ConfigScore Score(int candidate_index, int power_index,
+                    const DecisionInputs& in) const;
+  // Same, resolving the candidate by value (the AlertScheduler::Estimate API).
+  ConfigScore Score(const Candidate& candidate, int power_index,
+                    const DecisionInputs& in) const;
+  // Scores every configuration in one linear pass; `out` must have num_entries()
+  // elements, indexed by entry_index().
+  void ScoreAll(const DecisionInputs& in, std::span<ConfigScore> out) const;
+
+  // One scored entry retained for the fallback pass of SelectBest.
+  struct ScoredEntry {
+    int candidate_index = -1;
+    int power_index = -1;
+    ConfigScore score;
+  };
+  struct Selection {
+    int candidate_index = -1;
+    int power_index = -1;
+    bool feasible = false;  // false => the fallback hierarchy chose
+  };
+  // The full ALERT decision rule.  Configurations whose cap exceeds `power_limit` are
+  // not considered (the lowest cap always remains available).  `scratch` avoids a
+  // per-decision allocation; it is overwritten.
+  Selection SelectBest(const Goals& goals, Joules allowance, const DecisionInputs& in,
+                       Watts power_limit, std::vector<ScoredEntry>& scratch) const;
+
+  // Cheapest power cap for a fixed candidate whose predicted latency meets the
+  // deadline, or -1 if none does (the Sys-only / No-coord system layer; callers
+  // should score with stop_at_cutoff = false).
+  int MinEnergyPower(int candidate_index, const DecisionInputs& in) const;
+
+ private:
+  ConfigScore ScoreEntry(int entry, const DecisionInputs& in) const;
+
+  const ConfigSpace* space_;
+  int num_candidates_ = 0;
+  int num_powers_ = 0;
+
+  // SoA profile constants, indexed by entry_index(ci, pi).
+  std::vector<Seconds> run_profile_;      // stage-limited profiled latency
+  std::vector<Seconds> full_profile_;     // full-network profiled latency
+  std::vector<Watts> inference_power_;
+
+  // Per candidate.
+  std::vector<double> final_accuracy_;    // delivered accuracy on on-time completion
+  std::vector<double> q_fail_;            // Eq. 3 random-guess fallback
+  std::vector<int> stage_offset_;         // into stage_frac_/stage_accuracy_
+  std::vector<int> stage_count_;          // stage_limit + 1; 0 for traditional
+
+  // Flattened anytime ladders (per model, shared by that model's candidates).
+  std::vector<double> stage_frac_;
+  std::vector<double> stage_accuracy_;
+
+  std::vector<Watts> caps_;               // per power index
+};
+
+}  // namespace alert
+
+#endif  // SRC_CORE_DECISION_ENGINE_H_

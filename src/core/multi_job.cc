@@ -13,11 +13,17 @@ MultiJobCoordinator::MultiJobCoordinator(std::vector<JobSpec> jobs,
   ALERT_CHECK(total_power_budget > 0.0);
   for (JobSpec& spec : jobs) {
     ALERT_CHECK(spec.space != nullptr);
+    // Jobs over the same candidate family share one scoring engine: the engine is
+    // immutable after construction, so K schedulers (and their re-decision passes)
+    // can scan it concurrently.
+    std::shared_ptr<const DecisionEngine>& engine = engines_[spec.space];
+    if (engine == nullptr) {
+      engine = std::make_shared<DecisionEngine>(*spec.space);
+    }
     Job job;
     job.name = std::move(spec.name);
     job.space = spec.space;
-    job.scheduler =
-        std::make_unique<AlertScheduler>(*spec.space, spec.goals, spec.options);
+    job.scheduler = std::make_unique<AlertScheduler>(*engine, spec.goals, spec.options);
     jobs_.push_back(std::move(job));
   }
 }

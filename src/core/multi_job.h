@@ -16,11 +16,13 @@
 #ifndef SRC_CORE_MULTI_JOB_H_
 #define SRC_CORE_MULTI_JOB_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/alert_scheduler.h"
+#include "src/core/decision_engine.h"
 
 namespace alert {
 
@@ -57,6 +59,8 @@ class MultiJobCoordinator {
     const ConfigSpace* space;
     std::unique_ptr<AlertScheduler> scheduler;
   };
+  // One shared engine per distinct candidate family (see constructor).
+  std::map<const ConfigSpace*, std::shared_ptr<const DecisionEngine>> engines_;
   std::vector<Job> jobs_;
   Watts total_power_budget_;
 };

@@ -24,6 +24,7 @@ Stack::Stack(DnnSetChoice choice, std::vector<DnnModel> models,
   ALERT_CHECK(!models_.empty());
   sim_ = std::make_unique<PlatformSimulator>(platform, models_);
   space_ = std::make_unique<ConfigSpace>(*sim_, profile_noise_sigma, seed);
+  engine_ = std::make_unique<DecisionEngine>(*space_);
 }
 
 Experiment::Experiment(TaskId task, PlatformId platform, ContentionType contention,

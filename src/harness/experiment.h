@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/config_space.h"
+#include "src/core/decision_engine.h"
 #include "src/core/goals.h"
 #include "src/core/scheduler.h"
 #include "src/dnn/zoo.h"
@@ -39,12 +40,17 @@ class Stack {
   const std::vector<DnnModel>& models() const { return models_; }
   const PlatformSimulator& simulator() const { return *sim_; }
   const ConfigSpace& space() const { return *space_; }
+  // The stack's shared scoring plane: built once over `space()` and scanned (read-only)
+  // by every scheduler the harness constructs for this stack, including concurrent
+  // ParallelFor sweep workers.
+  const DecisionEngine& engine() const { return *engine_; }
 
  private:
   DnnSetChoice choice_;
   std::vector<DnnModel> models_;
   std::unique_ptr<PlatformSimulator> sim_;
   std::unique_ptr<ConfigSpace> space_;
+  std::unique_ptr<DecisionEngine> engine_;
 };
 
 struct InputRecord {

@@ -10,6 +10,11 @@
 namespace alert {
 
 std::string_view SchemeName(SchemeId id) {
+  // Exhaustive by construction: every enumerator returns from its case (-Wswitch flags
+  // a missing one), and the guard below trips if a scheme is appended without this
+  // switch — via kNumSchemeIds — being revisited.
+  static_assert(static_cast<int>(SchemeId::kOracle) + 1 == kNumSchemeIds,
+                "SchemeId grew: update kNumSchemeIds and the switches in schemes.cc");
   switch (id) {
     case SchemeId::kAlert:
       return "ALERT";
@@ -32,7 +37,8 @@ std::string_view SchemeName(SchemeId id) {
     case SchemeId::kOracle:
       return "Oracle";
   }
-  return "?";
+  ALERT_CHECK(false);  // unreachable for in-range SchemeId values
+  return {};
 }
 
 DnnSetChoice SchemeDnnSet(SchemeId id) {
@@ -63,7 +69,7 @@ std::unique_ptr<Scheduler> MakeScheduler(SchemeId id, const Experiment& experime
     case SchemeId::kAlertTrad: {
       AlertOptions options;
       options.name = std::string(SchemeName(id));
-      return std::make_unique<AlertScheduler>(stack.space(), goals, options);
+      return std::make_unique<AlertScheduler>(stack.engine(), goals, options);
     }
     case SchemeId::kAlertStar:
     case SchemeId::kAlertStarAny:
@@ -71,14 +77,14 @@ std::unique_ptr<Scheduler> MakeScheduler(SchemeId id, const Experiment& experime
       AlertOptions options;
       options.use_variance = false;
       options.name = std::string(SchemeName(id));
-      return std::make_unique<AlertScheduler>(stack.space(), goals, options);
+      return std::make_unique<AlertScheduler>(stack.engine(), goals, options);
     }
     case SchemeId::kSysOnly:
-      return std::make_unique<SysOnlyScheduler>(stack.space(), goals);
+      return std::make_unique<SysOnlyScheduler>(stack.engine(), goals);
     case SchemeId::kAppOnly:
       return std::make_unique<AppOnlyScheduler>(stack.space());
     case SchemeId::kNoCoord:
-      return std::make_unique<NoCoordScheduler>(stack.space(), goals);
+      return std::make_unique<NoCoordScheduler>(stack.engine(), goals);
     case SchemeId::kOracle:
       return std::make_unique<OracleScheduler>(stack.space(), goals,
                                                experiment.trace().inputs);

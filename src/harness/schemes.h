@@ -25,6 +25,10 @@ enum class SchemeId : int {
   kOracle,         // clairvoyant dynamic optimum
 };
 
+// Number of SchemeId enumerators.  Keep in sync when adding a scheme; SchemeName's
+// static_assert trips if the last enumerator moves without this being updated.
+inline constexpr int kNumSchemeIds = 10;
+
 std::string_view SchemeName(SchemeId id);
 
 // Which candidate set the scheme's scheduler operates on.

@@ -3,20 +3,14 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/core/decision_engine.h"
 
 namespace alert {
 namespace {
 
+// Lower-is-better run objective, shared with the decision plane.
 double Objective(const Goals& goals, const RunResult& r) {
-  switch (goals.mode) {
-    case GoalMode::kMinimizeEnergy:
-      return r.avg_energy;
-    case GoalMode::kMaximizeAccuracy:
-      return r.avg_error;
-    case GoalMode::kMinimizeLatency:
-      return r.avg_latency;
-  }
-  return r.avg_energy;
+  return GoalObjective(goals.mode, r.avg_energy, r.avg_error, r.avg_latency);
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+#include "src/core/decision_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/core/estimates.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+// The engine's memoized Gaussian table is accurate to ~1e-7; golden comparisons
+// against the exact erf-based estimates use a slightly looser tolerance.
+constexpr double kTol = 1e-6;
+
+class DecisionEngineTest : public ::testing::Test {
+ protected:
+  DecisionEngineTest()
+      : models_(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim_(GetPlatform(PlatformId::kCpu1), models_), space_(sim_), engine_(space_) {}
+
+  // The pre-refactor inline estimate (AlertScheduler::Estimate as it stood before the
+  // engine existed), computed with the exact estimates.h functions.
+  ConfigScore InlineEstimate(const Configuration& config,
+                             const DecisionInputs& in) const {
+    const Candidate& c = config.candidate;
+    const DnnModel& model = space_.model(c.model_index);
+    const double q_fail = TaskRandomGuessAccuracy(model.task);
+    const Seconds run_profile = space_.CandidateProfileLatency(c, config.power_index);
+
+    ConfigScore est;
+    est.prob_deadline = ProbMeetDeadline(in.xi, run_profile, in.deadline);
+    if (c.stage_limit < 0) {
+      est.expected_accuracy = ExpectedAccuracyTraditional(
+          in.xi, run_profile, in.deadline, model.accuracy, q_fail);
+    } else {
+      est.expected_accuracy = ExpectedAccuracyAnytime(
+          in.xi, space_.ProfileLatency(c.model_index, config.power_index),
+          model.anytime_stages, c.stage_limit, in.deadline, q_fail);
+    }
+    const Watts inference_power =
+        space_.InferencePower(c.model_index, config.power_index);
+    const Watts idle = in.use_idle_ratio ? in.idle_ratio * inference_power
+                                         : in.fixed_idle_power;
+    est.expected_energy =
+        EstimateEnergy(in.xi, run_profile, inference_power, idle, in.period,
+                       in.deadline, /*stop_at_cutoff=*/true, in.percentile);
+    est.expected_latency = ExpectedRuntime(in.xi, run_profile, in.deadline);
+    return est;
+  }
+
+  DecisionInputs Inputs(double mean, double stddev) const {
+    DecisionInputs in;
+    in.xi = XiBelief{mean, stddev};
+    in.deadline = 0.08;
+    in.period = 0.08;
+    in.use_idle_ratio = true;
+    in.idle_ratio = 0.22;
+    return in;
+  }
+
+  std::vector<DnnModel> models_;
+  PlatformSimulator sim_;
+  ConfigSpace space_;
+  DecisionEngine engine_;
+};
+
+TEST_F(DecisionEngineTest, FlattensTheFullConfigurationSpace) {
+  EXPECT_EQ(engine_.num_candidates(), space_.num_candidates());
+  EXPECT_EQ(engine_.num_powers(), space_.num_powers());
+  EXPECT_EQ(engine_.num_entries(), space_.num_configurations());
+}
+
+TEST_F(DecisionEngineTest, GoldenMatchesInlineEstimatesAcrossTheSpace) {
+  // Every (candidate, power) cell — traditional and anytime — under a calm and a
+  // volatile belief must reproduce the pre-refactor inline estimates.
+  for (const DecisionInputs& in : {Inputs(1.0, 0.05), Inputs(1.4, 0.3)}) {
+    for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+      for (int pi = 0; pi < space_.num_powers(); ++pi) {
+        const ConfigScore got = engine_.Score(ci, pi, in);
+        const ConfigScore want =
+            InlineEstimate(Configuration{space_.candidate(ci), pi}, in);
+        EXPECT_NEAR(got.prob_deadline, want.prob_deadline, kTol)
+            << "candidate " << ci << " power " << pi;
+        EXPECT_NEAR(got.expected_accuracy, want.expected_accuracy, kTol);
+        EXPECT_NEAR(got.expected_energy, want.expected_energy,
+                    kTol * std::max(1.0, want.expected_energy));
+        EXPECT_NEAR(got.expected_latency, want.expected_latency, kTol);
+      }
+    }
+  }
+}
+
+TEST_F(DecisionEngineTest, SigmaZeroDegeneratesToAlertStarExactly) {
+  // ALERT* (mean-only) uses step functions, not Gaussian tails, so the engine must be
+  // bit-exact with the inline math — no table involved.
+  const DecisionInputs in = Inputs(1.1, 0.0);
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    for (int pi = 0; pi < space_.num_powers(); ++pi) {
+      const ConfigScore got = engine_.Score(ci, pi, in);
+      const ConfigScore want =
+          InlineEstimate(Configuration{space_.candidate(ci), pi}, in);
+      EXPECT_EQ(got.prob_deadline, want.prob_deadline);
+      EXPECT_EQ(got.expected_accuracy, want.expected_accuracy);
+      EXPECT_EQ(got.expected_energy, want.expected_energy);
+      EXPECT_EQ(got.expected_latency, want.expected_latency);
+      EXPECT_TRUE(got.prob_deadline == 0.0 || got.prob_deadline == 1.0);
+    }
+  }
+}
+
+TEST_F(DecisionEngineTest, PercentileEnergyMatchesEq12) {
+  DecisionInputs in = Inputs(1.2, 0.25);
+  in.percentile = 0.99;
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    const ConfigScore got = engine_.Score(ci, space_.default_power_index(), in);
+    const ConfigScore want = InlineEstimate(
+        Configuration{space_.candidate(ci), space_.default_power_index()}, in);
+    EXPECT_NEAR(got.expected_energy, want.expected_energy,
+                kTol * std::max(1.0, want.expected_energy));
+  }
+}
+
+TEST_F(DecisionEngineTest, ScoreByCandidateValueMatchesScoreByIndex) {
+  const DecisionInputs in = Inputs(1.0, 0.1);
+  for (int ci = 0; ci < space_.num_candidates(); ++ci) {
+    const ConfigScore by_index = engine_.Score(ci, 3, in);
+    const ConfigScore by_value = engine_.Score(space_.candidate(ci), 3, in);
+    EXPECT_EQ(by_index.expected_accuracy, by_value.expected_accuracy);
+    EXPECT_EQ(by_index.expected_energy, by_value.expected_energy);
+  }
+}
+
+TEST_F(DecisionEngineTest, ScoreAllMatchesPerEntryScores) {
+  const DecisionInputs in = Inputs(1.3, 0.2);
+  std::vector<ConfigScore> all(static_cast<size_t>(engine_.num_entries()));
+  engine_.ScoreAll(in, all);
+  for (int ci = 0; ci < engine_.num_candidates(); ++ci) {
+    for (int pi = 0; pi < engine_.num_powers(); ++pi) {
+      const ConfigScore one = engine_.Score(ci, pi, in);
+      const ConfigScore& batch =
+          all[static_cast<size_t>(engine_.entry_index(ci, pi))];
+      EXPECT_EQ(one.prob_deadline, batch.prob_deadline);
+      EXPECT_EQ(one.expected_energy, batch.expected_energy);
+    }
+  }
+}
+
+TEST_F(DecisionEngineTest, SelectBestAgreesWithExhaustiveArgmin) {
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.9;
+  const DecisionInputs in = Inputs(1.05, 0.1);
+  std::vector<DecisionEngine::ScoredEntry> scratch;
+  const auto sel = engine_.SelectBest(goals, goals.energy_budget, in,
+                                      /*power_limit=*/1e9, scratch);
+  ASSERT_TRUE(sel.feasible);
+  const ConfigScore chosen = engine_.Score(sel.candidate_index, sel.power_index, in);
+  EXPECT_GE(chosen.expected_accuracy, goals.accuracy_goal);
+  for (int ci = 0; ci < engine_.num_candidates(); ++ci) {
+    for (int pi = 0; pi < engine_.num_powers(); ++pi) {
+      const ConfigScore s = engine_.Score(ci, pi, in);
+      if (s.expected_accuracy >= goals.accuracy_goal) {
+        EXPECT_GE(s.expected_energy, chosen.expected_energy - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(DecisionEngineTest, InfeasibleGoalFallsBackToSafeHighAccuracy) {
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.9999;  // unreachable
+  const DecisionInputs in = Inputs(1.0, 0.05);
+  std::vector<DecisionEngine::ScoredEntry> scratch;
+  const auto sel = engine_.SelectBest(goals, goals.energy_budget, in, 1e9, scratch);
+  EXPECT_FALSE(sel.feasible);
+  const ConfigScore chosen = engine_.Score(sel.candidate_index, sel.power_index, in);
+  EXPECT_GT(chosen.prob_deadline, 0.9);
+}
+
+TEST_F(DecisionEngineTest, PowerLimitExcludesHighCapsButKeepsTheFloor) {
+  Goals goals;
+  goals.mode = GoalMode::kMinimizeEnergy;
+  goals.deadline = 0.08;
+  goals.accuracy_goal = 0.9;
+  const DecisionInputs in = Inputs(1.0, 0.1);
+  std::vector<DecisionEngine::ScoredEntry> scratch;
+  // A limit below every cap: only the lowest cap (always available) may be chosen.
+  const auto sel = engine_.SelectBest(goals, goals.energy_budget, in,
+                                      /*power_limit=*/0.0, scratch);
+  EXPECT_EQ(sel.power_index, 0);
+}
+
+TEST_F(DecisionEngineTest, ConcurrentScoringIsRaceFreeAndDeterministic) {
+  // One const engine instance scanned by many threads (the ParallelFor sweep shape):
+  // every thread must reproduce the single-threaded scores bit-for-bit.
+  const DecisionInputs calm = Inputs(1.0, 0.08);
+  const DecisionInputs loaded = Inputs(1.5, 0.35);
+  std::vector<ConfigScore> want_calm(static_cast<size_t>(engine_.num_entries()));
+  std::vector<ConfigScore> want_loaded(static_cast<size_t>(engine_.num_entries()));
+  engine_.ScoreAll(calm, want_calm);
+  engine_.ScoreAll(loaded, want_loaded);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      const DecisionInputs& in = t % 2 == 0 ? calm : loaded;
+      const std::vector<ConfigScore>& want = t % 2 == 0 ? want_calm : want_loaded;
+      std::vector<ConfigScore> got(static_cast<size_t>(engine_.num_entries()));
+      for (int r = 0; r < kRounds; ++r) {
+        engine_.ScoreAll(in, got);
+        for (size_t e = 0; e < got.size(); ++e) {
+          if (got[e].expected_energy != want[e].expected_energy ||
+              got[e].expected_accuracy != want[e].expected_accuracy) {
+            ++mismatches[static_cast<size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace alert
