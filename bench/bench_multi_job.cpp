@@ -1,0 +1,198 @@
+// Multi-job decision-plane microbenchmark: ns/job/round for the historical
+// per-scheduler loop (stateful set_power_limit + Decide, two full scans per job when
+// the budget binds) vs. the batched plane (one ScoreBatch per family, allocation
+// passes re-select from precomputed scores).
+//
+// The Arg is K, the number of concurrent jobs.  The budget is set to 60% of the jobs'
+// unconstrained desire so the scaling pass always runs — the regime coordination
+// exists for.  BM_*SharedFamily puts every job on one candidate family (the paper's
+// shared-server case); BM_*Heterogeneous spreads K jobs over six distinct
+// (task, candidate-set) families.
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/core/alert_scheduler.h"
+#include "src/core/config_space.h"
+#include "src/core/decision_engine.h"
+#include "src/core/multi_job.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+Goals JobGoals(int j) {
+  Goals g;
+  g.mode = GoalMode::kMaximizeAccuracy;
+  g.deadline = 0.08 * (1.0 + 0.05 * (j % 5));  // staggered deadlines
+  g.energy_budget = 1e9;
+  return g;
+}
+
+// One candidate family and K schedulers over it, plus the coordinator equivalent.
+struct SharedFamilyFixture {
+  explicit SharedFamilyFixture(int k)
+      : models(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim(GetPlatform(PlatformId::kCpu1), models), space(sim), engine(space) {
+    std::vector<JobSpec> specs;
+    for (int j = 0; j < k; ++j) {
+      const Goals goals = JobGoals(j);
+      schedulers.push_back(std::make_unique<AlertScheduler>(engine, goals));
+      requests.push_back(InferenceRequest{j, goals.deadline, goals.deadline});
+      specs.push_back(JobSpec{"job" + std::to_string(j), &space, goals, {}});
+    }
+    // 60% of the unconstrained desire: the allocation pass always runs.
+    budget = 0.6 * UnconstrainedDesire();
+    coordinator = std::make_unique<MultiJobCoordinator>(std::move(specs), budget);
+  }
+
+  Watts UnconstrainedDesire() {
+    Watts total = 0.0;
+    for (size_t j = 0; j < schedulers.size(); ++j) {
+      schedulers[j]->set_power_limit(std::numeric_limits<double>::infinity());
+      total += schedulers[j]->Decide(requests[j]).power_cap;
+    }
+    return total;
+  }
+
+  std::vector<DnnModel> models;
+  PlatformSimulator sim;
+  ConfigSpace space;
+  DecisionEngine engine;
+  std::vector<std::unique_ptr<AlertScheduler>> schedulers;
+  std::vector<InferenceRequest> requests;
+  std::unique_ptr<MultiJobCoordinator> coordinator;
+  Watts budget = 0.0;
+};
+
+// The pre-refactor MultiJobCoordinator::DecideRound: stateful limits, one full
+// SelectBest scan per job per pass.
+void OldStyleRound(std::vector<std::unique_ptr<AlertScheduler>>& schedulers,
+                   const std::vector<InferenceRequest>& requests, Watts budget,
+                   std::vector<SchedulingDecision>& decisions) {
+  decisions.resize(schedulers.size());
+  Watts desired_total = 0.0;
+  for (size_t j = 0; j < schedulers.size(); ++j) {
+    schedulers[j]->set_power_limit(std::numeric_limits<double>::infinity());
+    decisions[j] = schedulers[j]->Decide(requests[j]);
+    desired_total += decisions[j].power_cap;
+  }
+  if (desired_total <= budget + 1e-9) {
+    return;
+  }
+  const double scale = budget / desired_total;
+  for (size_t j = 0; j < schedulers.size(); ++j) {
+    schedulers[j]->set_power_limit(decisions[j].power_cap * scale);
+    decisions[j] = schedulers[j]->Decide(requests[j]);
+  }
+}
+
+void ReportPerJob(benchmark::State& state, int k) {
+  state.counters["jobs"] = k;
+  state.counters["ns_per_job"] = benchmark::Counter(
+      static_cast<double>(k),
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+
+void BM_PerSchedulerLoopSharedFamily(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  SharedFamilyFixture f(k);
+  std::vector<SchedulingDecision> decisions;
+  for (auto _ : state) {
+    OldStyleRound(f.schedulers, f.requests, f.budget, decisions);
+    benchmark::DoNotOptimize(decisions.data());
+  }
+  ReportPerJob(state, k);
+}
+BENCHMARK(BM_PerSchedulerLoopSharedFamily)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_BatchedRoundSharedFamily(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  SharedFamilyFixture f(k);
+  std::vector<SchedulingDecision> decisions;
+  f.coordinator->DecideRoundInto(f.requests, &decisions);  // warm the scratch
+  for (auto _ : state) {
+    f.coordinator->DecideRoundInto(f.requests, &decisions);
+    benchmark::DoNotOptimize(decisions.data());
+  }
+  ReportPerJob(state, k);
+}
+BENCHMARK(BM_BatchedRoundSharedFamily)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_BatchedRoundSlackRecycling(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  SharedFamilyFixture f(k);
+  f.coordinator->set_allocation_policy(AllocationPolicy::kSlackRecycling);
+  std::vector<SchedulingDecision> decisions;
+  f.coordinator->DecideRoundInto(f.requests, &decisions);
+  for (auto _ : state) {
+    f.coordinator->DecideRoundInto(f.requests, &decisions);
+    benchmark::DoNotOptimize(decisions.data());
+  }
+  ReportPerJob(state, k);
+}
+BENCHMARK(BM_BatchedRoundSlackRecycling)->Arg(16)->Arg(64);
+
+// K jobs over six distinct (task, candidate-set) families.
+struct HeterogeneousFixture {
+  explicit HeterogeneousFixture(int k) {
+    const TaskId tasks[] = {TaskId::kImageClassification, TaskId::kSentencePrediction};
+    const DnnSetChoice sets[] = {DnnSetChoice::kTraditionalOnly,
+                                 DnnSetChoice::kAnytimeOnly, DnnSetChoice::kBoth};
+    for (const TaskId task : tasks) {
+      for (const DnnSetChoice set : sets) {
+        auto family = std::make_unique<FamilyStack>();
+        family->models = BuildEvaluationSet(task, set);
+        family->sim = std::make_unique<PlatformSimulator>(GetPlatform(PlatformId::kCpu1),
+                                                          family->models);
+        family->space = std::make_unique<ConfigSpace>(*family->sim);
+        families.push_back(std::move(family));
+      }
+    }
+    std::vector<JobSpec> specs;
+    std::vector<std::unique_ptr<AlertScheduler>> probes;
+    Watts desired = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const ConfigSpace* space = families[static_cast<size_t>(j) % families.size()]
+                                     ->space.get();
+      const Goals goals = JobGoals(j);
+      requests.push_back(InferenceRequest{j, goals.deadline, goals.deadline});
+      specs.push_back(JobSpec{"job" + std::to_string(j), space, goals, {}});
+      AlertScheduler probe(*space, goals);
+      desired += probe.Decide(requests.back()).power_cap;
+    }
+    budget = 0.6 * desired;
+    coordinator = std::make_unique<MultiJobCoordinator>(std::move(specs), budget);
+  }
+
+  struct FamilyStack {
+    std::vector<DnnModel> models;
+    std::unique_ptr<PlatformSimulator> sim;
+    std::unique_ptr<ConfigSpace> space;
+  };
+  std::vector<std::unique_ptr<FamilyStack>> families;
+  std::vector<InferenceRequest> requests;
+  std::unique_ptr<MultiJobCoordinator> coordinator;
+  Watts budget = 0.0;
+};
+
+void BM_BatchedRoundHeterogeneous(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  HeterogeneousFixture f(k);
+  std::vector<SchedulingDecision> decisions;
+  f.coordinator->DecideRoundInto(f.requests, &decisions);
+  for (auto _ : state) {
+    f.coordinator->DecideRoundInto(f.requests, &decisions);
+    benchmark::DoNotOptimize(decisions.data());
+  }
+  ReportPerJob(state, k);
+}
+BENCHMARK(BM_BatchedRoundHeterogeneous)->Arg(8)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace alert
+
+BENCHMARK_MAIN();

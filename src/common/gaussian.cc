@@ -1,5 +1,6 @@
 #include "src/common/gaussian.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <limits>
@@ -36,10 +37,12 @@ constexpr int kTailIntervals = 16384;
 
 struct GaussianTailTable {
   std::array<double, kTailIntervals + 1> cdf;
+  std::array<double, kTailIntervals + 1> pdf;
   GaussianTailTable() {
     for (int i = 0; i <= kTailIntervals; ++i) {
       const double z = -kTailZMax + 2.0 * kTailZMax * i / kTailIntervals;
       cdf[static_cast<size_t>(i)] = StandardNormalCdf(z);
+      pdf[static_cast<size_t>(i)] = StandardNormalPdf(z);
     }
   }
 };
@@ -60,10 +63,26 @@ double FastStandardNormalCdf(double x) {
   }
   const GaussianTailTable& table = TailTable();
   const double pos = (x + kTailZMax) * (kTailIntervals / (2.0 * kTailZMax));
-  const int i = static_cast<int>(pos);
+  // (x + kTailZMax) can round up to the grid end for the largest x below the bound;
+  // clamp to the last interval (frac then reaches 1.0 and the lerp returns the knot).
+  const int i = std::min(static_cast<int>(pos), kTailIntervals - 1);
   const double frac = pos - static_cast<double>(i);
   const double lo = table.cdf[static_cast<size_t>(i)];
   const double hi = table.cdf[static_cast<size_t>(i) + 1];
+  return lo + frac * (hi - lo);
+}
+
+double FastStandardNormalPdf(double x) {
+  if (x <= -kTailZMax || x >= kTailZMax) {
+    return 0.0;
+  }
+  const GaussianTailTable& table = TailTable();
+  const double pos = (x + kTailZMax) * (kTailIntervals / (2.0 * kTailZMax));
+  // Same grid-end rounding clamp as FastStandardNormalCdf.
+  const int i = std::min(static_cast<int>(pos), kTailIntervals - 1);
+  const double frac = pos - static_cast<double>(i);
+  const double lo = table.pdf[static_cast<size_t>(i)];
+  const double hi = table.pdf[static_cast<size_t>(i) + 1];
   return lo + frac * (hi - lo);
 }
 

@@ -1,6 +1,7 @@
-// Minimal data-parallel loop for embarrassingly parallel experiment sweeps.
-#ifndef SRC_HARNESS_PARALLEL_H_
-#define SRC_HARNESS_PARALLEL_H_
+// Minimal data-parallel loop for embarrassingly parallel work: harness experiment
+// sweeps and the multi-job coordinator's per-family scoring rounds.
+#ifndef SRC_COMMON_PARALLEL_H_
+#define SRC_COMMON_PARALLEL_H_
 
 #include <atomic>
 #include <exception>
@@ -70,4 +71,4 @@ inline void ParallelFor(int count, const std::function<void(int)>& fn,
 
 }  // namespace alert
 
-#endif  // SRC_HARNESS_PARALLEL_H_
+#endif  // SRC_COMMON_PARALLEL_H_

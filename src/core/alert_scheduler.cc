@@ -83,23 +83,43 @@ Joules AlertScheduler::EnergyAllowance() const {
          energy_spent_;
 }
 
-SchedulingDecision AlertScheduler::Decide(const InferenceRequest& request) {
+DecisionSnapshot AlertScheduler::Snapshot(const InferenceRequest& request) const {
   // Step 2 (Section 3.2): compensate for ALERT's own worst-case overhead so the
   // scheduler itself cannot cause a violation.
   const Seconds deadline =
       std::max(request.deadline - options_.scheduler_overhead, kMinDeadline);
   const Seconds period = request.period > 0.0 ? request.period : request.deadline;
 
-  // Steps 3-4: one engine pass scores every configuration under the current belief and
-  // applies the goal feasibility/objective rules plus the Section 4 fallback.
-  const DecisionEngine::Selection sel = engine_->SelectBest(
-      goals_, EnergyAllowance(), MakeInputs(deadline, period), power_limit_, scratch_);
+  DecisionSnapshot snapshot;
+  snapshot.engine = engine_;
+  snapshot.inputs = MakeInputs(deadline, period);
+  snapshot.goals = goals_;
+  snapshot.allowance = EnergyAllowance();
+  return snapshot;
+}
 
+SchedulingDecision MakeSchedulingDecision(const ConfigSpace& space,
+                                          const DecisionEngine::Selection& selection) {
   SchedulingDecision decision;
-  decision.candidate = space_.candidate(sel.candidate_index);
-  decision.power_index = sel.power_index;
-  decision.power_cap = space_.cap(sel.power_index);
+  decision.candidate = space.candidate(selection.candidate_index);
+  decision.power_index = selection.power_index;
+  decision.power_cap = space.cap(selection.power_index);
   return decision;
+}
+
+SchedulingDecision DecideFromSnapshot(const DecisionSnapshot& snapshot,
+                                      Watts power_limit,
+                                      std::vector<DecisionEngine::ScoredEntry>& scratch) {
+  // Steps 3-4: one engine pass scores every configuration under the snapshot belief
+  // and applies the goal feasibility/objective rules plus the Section 4 fallback.
+  const DecisionEngine& engine = *snapshot.engine;
+  const DecisionEngine::Selection sel = engine.SelectBest(
+      snapshot.goals, snapshot.allowance, snapshot.inputs, power_limit, scratch);
+  return MakeSchedulingDecision(engine.space(), sel);
+}
+
+SchedulingDecision AlertScheduler::Decide(const InferenceRequest& request) {
+  return DecideFromSnapshot(Snapshot(request), power_limit_, scratch_);
 }
 
 void AlertScheduler::Observe(const SchedulingDecision& decision, const Measurement& m) {

@@ -62,6 +62,31 @@ struct AlertOptions {
   std::string name = "ALERT";
 };
 
+// Everything one decision depends on, captured from a scheduler's mutable state
+// (slowdown belief, idle-power model, paced energy allowance) at one instant.  A
+// snapshot plus a power limit fully determines the decision — see DecideFromSnapshot —
+// so callers like the multi-job coordinator can decide many times under different
+// limits (proportional scaling, slack-recycling passes) without touching the
+// scheduler between selections or leaving state behind.
+struct DecisionSnapshot {
+  const DecisionEngine* engine = nullptr;  // scoring plane the snapshot was taken on
+  DecisionInputs inputs;                   // belief + deadline/period + idle model
+  Goals goals;
+  Joules allowance = 0.0;                  // plain or paced energy allowance
+};
+
+// Expands an engine Selection into the scheduling decision the harness executes.
+SchedulingDecision MakeSchedulingDecision(const ConfigSpace& space,
+                                          const DecisionEngine::Selection& selection);
+
+// The ALERT decision rule as a pure function of (snapshot, power limit): no scheduler
+// state is read or written.  `scratch` avoids a per-call allocation; it is
+// overwritten.  AlertScheduler::Decide is exactly
+// DecideFromSnapshot(Snapshot(request), power_limit(), scratch).
+SchedulingDecision DecideFromSnapshot(const DecisionSnapshot& snapshot,
+                                      Watts power_limit,
+                                      std::vector<DecisionEngine::ScoredEntry>& scratch);
+
 class AlertScheduler final : public Scheduler {
  public:
   // `space` must outlive the scheduler.  Builds a private DecisionEngine.
@@ -75,6 +100,11 @@ class AlertScheduler final : public Scheduler {
   SchedulingDecision Decide(const InferenceRequest& request) override;
   void Observe(const SchedulingDecision& decision, const Measurement& m) override;
   std::string_view name() const override { return options_.name; }
+
+  // Captures the immutable inputs of one decision (deadline compensation applied,
+  // belief and allowance frozen).  Pure read of scheduler state; feed the result to
+  // DecideFromSnapshot or the DecisionEngine batch API.
+  DecisionSnapshot Snapshot(const InferenceRequest& request) const;
 
   // Dynamic goal updates (requirements change at run time, Section 1.1).
   void set_goals(const Goals& goals) { goals_ = goals; }

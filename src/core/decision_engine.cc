@@ -96,6 +96,8 @@ DecisionEngine::DecisionEngine(const ConfigSpace& space)
   const size_t entries = static_cast<size_t>(num_entries());
   run_profile_.resize(entries);
   full_profile_.resize(entries);
+  inv_run_profile_.resize(entries);
+  inv_full_profile_.resize(entries);
   inference_power_.resize(entries);
   final_accuracy_.resize(static_cast<size_t>(num_candidates_));
   q_fail_.resize(static_cast<size_t>(num_candidates_));
@@ -112,6 +114,7 @@ DecisionEngine::DecisionEngine(const ConfigSpace& space)
     model_ladder_offset[static_cast<size_t>(m)] = static_cast<int>(stage_frac_.size());
     for (const AnytimeStage& stage : model.anytime_stages) {
       stage_frac_.push_back(stage.latency_fraction);
+      inv_stage_frac_.push_back(1.0 / stage.latency_fraction);
       stage_accuracy_.push_back(stage.accuracy);
     }
   }
@@ -132,13 +135,102 @@ DecisionEngine::DecisionEngine(const ConfigSpace& space)
       const size_t e = static_cast<size_t>(entry_index(ci, pi));
       run_profile_[e] = space.CandidateProfileLatency(c, pi);
       full_profile_[e] = space.ProfileLatency(c.model_index, pi);
+      inv_run_profile_[e] = 1.0 / run_profile_[e];
+      inv_full_profile_[e] = 1.0 / full_profile_[e];
       inference_power_[e] = space.InferencePower(c.model_index, pi);
     }
   }
   WarmGaussianTable();
 }
 
+DecisionEngine::ScoringContext DecisionEngine::MakeContext(const DecisionInputs& in) {
+  ScoringContext ctx;
+  ctx.in = in;
+  ctx.inv_sigma = in.xi.stddev > 0.0 ? 1.0 / in.xi.stddev : 0.0;
+  return ctx;
+}
+
 ConfigScore DecisionEngine::ScoreEntry(int entry, const DecisionInputs& in) const {
+  return ScoreEntry(entry, MakeContext(in));
+}
+
+// The hot path of every decision: per entry, two table interpolations (CDF at the
+// shared z of Eq. 6 and the expected-runtime truncation, pdf once) plus multiplies —
+// the per-entry divisions are precomputed into inv_*_profile_ at construction and
+// 1/sigma is hoisted per scoring pass.  The degenerate (ALERT*, sigma == 0) and
+// percentile (Eq. 12) variants keep the reference arithmetic.
+ConfigScore DecisionEngine::ScoreEntry(int entry, const ScoringContext& ctx) const {
+  const DecisionInputs& in = ctx.in;
+  if (in.xi.stddev == 0.0 || in.percentile > 0.0) {
+    return ScoreEntryReference(entry, in);
+  }
+  const size_t e = static_cast<size_t>(entry);
+  const size_t c = static_cast<size_t>(entry / num_powers_);
+  const double mean = in.xi.mean;
+  const double inv_sigma = ctx.inv_sigma;
+  const Seconds deadline = in.deadline;
+
+  ConfigScore score;
+  // Eq. 6: Pr[xi * t_prof <= deadline], z = (deadline / t_prof - mean) / sigma.
+  const double z = (deadline * inv_run_profile_[e] - mean) * inv_sigma;
+  score.prob_deadline = FastStandardNormalCdf(z);
+
+  const int stages = stage_count_[c];
+  if (stages == 0) {
+    // Eq. 7: accuracy step function of a traditional network.
+    score.expected_accuracy = score.prob_deadline * final_accuracy_[c] +
+                              (1.0 - score.prob_deadline) * q_fail_[c];
+  } else {
+    // Eq. 13: the anytime ladder delivers the last stage completed by the deadline.
+    const double d_inv_full = deadline * inv_full_profile_[e];
+    const size_t offset = static_cast<size_t>(stage_offset_[c]);
+    double expected = 0.0;
+    double p_next = 0.0;
+    for (int k = stages - 1; k >= 0; --k) {
+      const double z_k =
+          (d_inv_full * inv_stage_frac_[offset + static_cast<size_t>(k)] - mean) *
+          inv_sigma;
+      const double p_k = FastStandardNormalCdf(z_k);
+      expected += stage_accuracy_[offset + static_cast<size_t>(k)] * (p_k - p_next);
+      p_next = p_k;
+    }
+    expected += q_fail_[c] * (1.0 - p_next);
+    score.expected_accuracy = expected;
+  }
+
+  // Expected run time: truncated at the deadline (kill / anytime stop) or the plain
+  // mean when the caller's controller lets the run complete.  The truncation reuses
+  // the Eq. 6 z: E[min(t, d)] = p*E[t | t <= d] + (1-p)*d = p*mu_t - sigma_t*phi(z)
+  // + (1-p)*d.
+  const double mean_t = mean * run_profile_[e];
+  Seconds run = 0.0;
+  if (in.stop_at_cutoff) {
+    const double p_below = score.prob_deadline;
+    if (p_below <= 1e-12) {
+      run = deadline;
+    } else {
+      const double stddev_t = in.xi.stddev * run_profile_[e];
+      run = std::clamp(p_below * mean_t - stddev_t * FastStandardNormalPdf(z) +
+                           (1.0 - p_below) * deadline,
+                       0.0, deadline);
+    }
+  } else {
+    run = mean_t;
+  }
+  score.expected_latency = run;
+
+  // Eq. 9 energy over the period (the Eq. 12 percentile variant took the reference
+  // path above).
+  const Watts inference_power = inference_power_[e];
+  const Watts idle_power =
+      in.use_idle_ratio ? in.idle_ratio * inference_power : in.fixed_idle_power;
+  const Seconds idle_time = std::max(0.0, in.period - run);
+  score.expected_energy = inference_power * run + idle_power * idle_time;
+  return score;
+}
+
+ConfigScore DecisionEngine::ScoreEntryReference(int entry,
+                                                const DecisionInputs& in) const {
   const size_t e = static_cast<size_t>(entry);
   const int ci = entry / num_powers_;
   const size_t c = static_cast<size_t>(ci);
@@ -217,33 +309,47 @@ ConfigScore DecisionEngine::Score(const Candidate& candidate, int power_index,
 void DecisionEngine::ScoreAll(const DecisionInputs& in,
                               std::span<ConfigScore> out) const {
   ALERT_CHECK(static_cast<int>(out.size()) == num_entries());
+  const ScoringContext ctx = MakeContext(in);
   for (int e = 0; e < num_entries(); ++e) {
-    out[static_cast<size_t>(e)] = ScoreEntry(e, in);
+    out[static_cast<size_t>(e)] = ScoreEntry(e, ctx);
   }
 }
 
-DecisionEngine::Selection DecisionEngine::SelectBest(
-    const Goals& goals, Joules allowance, const DecisionInputs& in, Watts power_limit,
-    std::vector<ScoredEntry>& scratch) const {
+int DecisionEngine::MaxAllowedPower(Watts power_limit) const {
+  // Caps are ascending; index 0 always remains available so the scheduler can still
+  // act under an impossible limit.
+  int max_pi = num_powers_ - 1;
+  while (max_pi > 0 && caps_[static_cast<size_t>(max_pi)] > power_limit + 1e-9) {
+    --max_pi;
+  }
+  return max_pi;
+}
+
+namespace {
+
+// The single copy of the ALERT selection rule, shared by SelectBest (scores computed
+// on the fly into scratch) and SelectFromScores (precomputed score table).
+// `score_at(ci, pi)` must be valid for pi in [0, max_pi].
+//
+// Feasibility (Eqs. 1/2, plus the optional Pr_th of Eqs. 10/11): the deadline
+// constraint is enforced through the expected-accuracy step function — a config
+// unlikely to finish in time cannot reach the accuracy goal, and in
+// accuracy-maximization mode it scores a poor objective.  When nothing is feasible:
+// the latency > accuracy > power hierarchy (Section 4).  First secure the deadline —
+// keep only configurations whose completion probability is within a small margin of
+// the best achievable.  Then, in energy-minimization mode (accuracy was the
+// unreachable constraint) maximize expected accuracy; in the budget modes (the energy
+// budget was unreachable — possibly a pacing deficit) spend as little as possible so
+// the balance can recover.
+template <typename ScoreAt>
+DecisionEngine::Selection SelectScored(const Goals& goals, Joules allowance,
+                                       int num_candidates, int max_pi,
+                                       const ScoreAt& score_at) {
   const double pr_th = goals.prob_threshold;
-  scratch.clear();
-  scratch.reserve(static_cast<size_t>(num_entries()));
   BestConfigTracker best(goals.mode, 1e-12);
-
-  for (int ci = 0; ci < num_candidates_; ++ci) {
-    for (int pi = 0; pi < num_powers_; ++pi) {
-      // Externally capped (shared package budget); the lowest cap always remains
-      // available so the scheduler can still act under an impossible limit.
-      if (pi > 0 && caps_[static_cast<size_t>(pi)] > power_limit + 1e-9) {
-        continue;
-      }
-      const ConfigScore score = ScoreEntry(entry_index(ci, pi), in);
-      scratch.push_back(ScoredEntry{ci, pi, score});
-
-      // Feasibility (Eqs. 1/2, plus the optional Pr_th of Eqs. 10/11).  The deadline
-      // constraint is enforced through the expected-accuracy step function: a config
-      // unlikely to finish in time cannot reach the accuracy goal, and in
-      // accuracy-maximization mode it scores a poor objective.
+  for (int ci = 0; ci < num_candidates; ++ci) {
+    for (int pi = 0; pi <= max_pi; ++pi) {
+      const ConfigScore& score = score_at(ci, pi);
       if (pr_th > 0.0 && score.prob_deadline < pr_th) {
         continue;
       }
@@ -254,45 +360,139 @@ DecisionEngine::Selection DecisionEngine::SelectBest(
     }
   }
   if (best.found()) {
-    return Selection{best.candidate_index(), best.power_index(), true};
+    return DecisionEngine::Selection{best.candidate_index(), best.power_index(), true};
   }
 
-  // Nothing feasible: the latency > accuracy > power hierarchy (Section 4).  First
-  // secure the deadline — keep only configurations whose completion probability is
-  // within a small margin of the best achievable.  Then, in energy-minimization mode
-  // (accuracy was the unreachable constraint) maximize expected accuracy; in the
-  // budget modes (the energy budget was unreachable — possibly a pacing deficit)
-  // spend as little as possible so the balance can recover.
   double max_pr = 0.0;
-  for (const ScoredEntry& s : scratch) {
-    max_pr = std::max(max_pr, s.score.prob_deadline);
+  for (int ci = 0; ci < num_candidates; ++ci) {
+    for (int pi = 0; pi <= max_pi; ++pi) {
+      max_pr = std::max(max_pr, score_at(ci, pi).prob_deadline);
+    }
   }
   const double pr_floor = max_pr - 0.02;
   const bool prefer_accuracy = goals.mode == GoalMode::kMinimizeEnergy;
-  Selection fallback;
+  DecisionEngine::Selection fallback;
   double fb_acc = -1.0;
   Joules fb_energy = std::numeric_limits<double>::infinity();
-  for (const ScoredEntry& s : scratch) {
-    if (s.score.prob_deadline < pr_floor) {
-      continue;
-    }
-    const bool better =
-        prefer_accuracy
-            ? (s.score.expected_accuracy > fb_acc + 1e-12 ||
-               (std::abs(s.score.expected_accuracy - fb_acc) <= 1e-12 &&
-                s.score.expected_energy < fb_energy))
-            : (s.score.expected_energy < fb_energy - 1e-12 ||
-               (std::abs(s.score.expected_energy - fb_energy) <= 1e-12 &&
-                s.score.expected_accuracy > fb_acc));
-    if (better) {
-      fb_acc = s.score.expected_accuracy;
-      fb_energy = s.score.expected_energy;
-      fallback.candidate_index = s.candidate_index;
-      fallback.power_index = s.power_index;
+  for (int ci = 0; ci < num_candidates; ++ci) {
+    for (int pi = 0; pi <= max_pi; ++pi) {
+      const ConfigScore& s = score_at(ci, pi);
+      if (s.prob_deadline < pr_floor) {
+        continue;
+      }
+      const bool better =
+          prefer_accuracy
+              ? (s.expected_accuracy > fb_acc + 1e-12 ||
+                 (std::abs(s.expected_accuracy - fb_acc) <= 1e-12 &&
+                  s.expected_energy < fb_energy))
+              : (s.expected_energy < fb_energy - 1e-12 ||
+                 (std::abs(s.expected_energy - fb_energy) <= 1e-12 &&
+                  s.expected_accuracy > fb_acc));
+      if (better) {
+        fb_acc = s.expected_accuracy;
+        fb_energy = s.expected_energy;
+        fallback.candidate_index = ci;
+        fallback.power_index = pi;
+      }
     }
   }
   ALERT_CHECK(fallback.candidate_index >= 0);
   return fallback;
+}
+
+}  // namespace
+
+DecisionEngine::Selection DecisionEngine::SelectBest(
+    const Goals& goals, Joules allowance, const DecisionInputs& in, Watts power_limit,
+    std::vector<ScoredEntry>& scratch) const {
+  const ScoringContext ctx = MakeContext(in);
+  // Externally capped (shared package budget): only power indices up to the hoisted
+  // bound are scored at all.
+  const int max_pi = MaxAllowedPower(power_limit);
+  const int width = max_pi + 1;
+  scratch.clear();
+  scratch.reserve(static_cast<size_t>(num_candidates_ * width));
+  for (int ci = 0; ci < num_candidates_; ++ci) {
+    for (int pi = 0; pi <= max_pi; ++pi) {
+      scratch.push_back(ScoredEntry{ci, pi, ScoreEntry(entry_index(ci, pi), ctx)});
+    }
+  }
+  return SelectScored(goals, allowance, num_candidates_, max_pi,
+                      [&scratch, width](int ci, int pi) -> const ConfigScore& {
+                        return scratch[static_cast<size_t>(ci * width + pi)].score;
+                      });
+}
+
+namespace {
+
+bool SameInputs(const DecisionInputs& a, const DecisionInputs& b) {
+  return a.xi.mean == b.xi.mean && a.xi.stddev == b.xi.stddev &&
+         a.deadline == b.deadline && a.period == b.period &&
+         a.use_idle_ratio == b.use_idle_ratio && a.idle_ratio == b.idle_ratio &&
+         a.fixed_idle_power == b.fixed_idle_power && a.percentile == b.percentile &&
+         a.stop_at_cutoff == b.stop_at_cutoff;
+}
+
+}  // namespace
+
+void DecisionEngine::ScoreBatch(std::span<const DecisionInputs> inputs,
+                                std::span<ConfigScore> out) const {
+  const size_t entries = static_cast<size_t>(num_entries());
+  const size_t jobs = inputs.size();
+  ALERT_CHECK(out.size() == jobs * entries);
+  // One linear pass over the SoA tables per *distinct* belief snapshot: replica jobs
+  // that share a belief (cold start, converged fleets, identical goals) are scored
+  // once and copied — the copy is bit-identical to rescoring by construction.
+  for (size_t j = 0; j < jobs; ++j) {
+    std::span<ConfigScore> row = out.subspan(j * entries, entries);
+    size_t twin = j;
+    for (size_t i = 0; i < j; ++i) {
+      if (SameInputs(inputs[i], inputs[j])) {
+        twin = i;
+        break;
+      }
+    }
+    if (twin != j) {
+      std::span<const ConfigScore> src = out.subspan(twin * entries, entries);
+      std::copy(src.begin(), src.end(), row.begin());
+      continue;
+    }
+    const ScoringContext ctx = MakeContext(inputs[j]);
+    for (size_t e = 0; e < entries; ++e) {
+      row[e] = ScoreEntry(static_cast<int>(e), ctx);
+    }
+  }
+}
+
+DecisionEngine::Selection DecisionEngine::SelectFromScores(
+    const Goals& goals, Joules allowance, std::span<const ConfigScore> scores,
+    Watts power_limit) const {
+  ALERT_CHECK(static_cast<int>(scores.size()) == num_entries());
+  const int num_powers = num_powers_;
+  return SelectScored(goals, allowance, num_candidates_, MaxAllowedPower(power_limit),
+                      [scores, num_powers](int ci, int pi) -> const ConfigScore& {
+                        return scores[static_cast<size_t>(ci * num_powers + pi)];
+                      });
+}
+
+void DecisionEngine::SelectBestBatch(std::span<const DecisionInputs> inputs,
+                                     std::span<const Goals> goals,
+                                     std::span<const Joules> allowances,
+                                     std::span<const Watts> limits,
+                                     std::span<Selection> out,
+                                     std::vector<ConfigScore>& scratch) const {
+  const size_t jobs = inputs.size();
+  ALERT_CHECK(goals.size() == jobs && allowances.size() == jobs &&
+              limits.size() == jobs && out.size() == jobs);
+  const size_t entries = static_cast<size_t>(num_entries());
+  scratch.resize(jobs * entries);
+  ScoreBatch(inputs, scratch);
+  for (size_t j = 0; j < jobs; ++j) {
+    out[j] = SelectFromScores(goals[j], allowances[j],
+                              std::span<const ConfigScore>(scratch).subspan(
+                                  j * entries, entries),
+                              limits[j]);
+  }
 }
 
 int DecisionEngine::MinEnergyPower(int candidate_index, const DecisionInputs& in) const {

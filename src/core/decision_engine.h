@@ -28,6 +28,20 @@
 // implements the system-layer rule shared by the Sys-only and No-coord baselines:
 // cheapest power cap whose predicted (mean, untruncated) latency meets the deadline.
 //
+// Batch API (multi-job decision plane): `ScoreBatch` evaluates J belief snapshots
+// over the SoA tables in one linear pass per *distinct* snapshot — per-belief
+// constants are hoisted out of the entry loop, and replica jobs whose snapshots
+// coincide (cold start, converged fleets) are scored once and copied.  `SelectFromScores`
+// runs the complete SelectBest decision rule (including the fallback hierarchy) over
+// one job's precomputed score slice: because scores are independent of the power
+// limit, a coordinator can score a round once and then re-select any number of times
+// under different limits (proportional scaling, slack-recycling passes) without
+// rescoring.  `SelectBestBatch` composes the two for J jobs sharing this engine's
+// candidate family.  All three produce decisions bit-identical to per-job
+// `SelectBest` calls, allocate nothing (caller-owned scratch; `SelectBestBatch` only
+// grows its scratch vector on first use), and are `const` like the rest of the
+// scoring plane.
+//
 // Thread-safety: every scoring/selection method is `const` and touches no mutable
 // state; one engine instance may be shared by any number of threads (harness
 // ParallelFor sweeps, multi-job coordination) without synchronization.  The memoized
@@ -155,13 +169,53 @@ class DecisionEngine {
   Selection SelectBest(const Goals& goals, Joules allowance, const DecisionInputs& in,
                        Watts power_limit, std::vector<ScoredEntry>& scratch) const;
 
+  // Scores `inputs.size()` belief snapshots over the SoA tables, one linear pass per
+  // distinct snapshot (duplicates are copied).  `out` must have
+  // inputs.size() * num_entries() elements, job-major:
+  // out[j * num_entries() + entry_index(ci, pi)].  Bit-identical to per-job ScoreAll.
+  void ScoreBatch(std::span<const DecisionInputs> inputs,
+                  std::span<ConfigScore> out) const;
+
+  // The full SelectBest decision rule (feasibility, objective, fallback hierarchy)
+  // over one job's precomputed score slice — `scores` must have num_entries()
+  // elements indexed by entry_index().  Scores do not depend on the power limit, so
+  // one ScoreBatch/ScoreAll pass supports any number of re-selections under different
+  // limits.  Allocates nothing.
+  Selection SelectFromScores(const Goals& goals, Joules allowance,
+                             std::span<const ConfigScore> scores,
+                             Watts power_limit) const;
+
+  // Batched SelectBest for jobs sharing this engine's candidate family: one ScoreBatch
+  // pass, then an independent SelectFromScores per job under its own goals, allowance
+  // and power limit.  All spans are indexed by job; `out` must have inputs.size()
+  // elements.  `scratch` is caller-owned and only grows (no per-call allocations once
+  // warm); it holds the job-major score table after the call.
+  void SelectBestBatch(std::span<const DecisionInputs> inputs,
+                       std::span<const Goals> goals, std::span<const Joules> allowances,
+                       std::span<const Watts> limits, std::span<Selection> out,
+                       std::vector<ConfigScore>& scratch) const;
+
   // Cheapest power cap for a fixed candidate whose predicted latency meets the
   // deadline, or -1 if none does (the Sys-only / No-coord system layer; callers
   // should score with stop_at_cutoff = false).
   int MinEnergyPower(int candidate_index, const DecisionInputs& in) const;
 
  private:
+  // Per-belief constants hoisted out of the per-entry loop (one division per scoring
+  // pass instead of several per entry).
+  struct ScoringContext {
+    DecisionInputs in;
+    double inv_sigma = 0.0;  // 1 / xi.stddev when stddev > 0
+  };
+  static ScoringContext MakeContext(const DecisionInputs& in);
+  ConfigScore ScoreEntry(int entry, const ScoringContext& ctx) const;
   ConfigScore ScoreEntry(int entry, const DecisionInputs& in) const;
+  // The pre-optimization scoring arithmetic, kept for the degenerate (stddev == 0) and
+  // percentile (Eq. 12) paths.
+  ConfigScore ScoreEntryReference(int entry, const DecisionInputs& in) const;
+  // Largest power index whose cap passes `power_limit` (caps are ascending; index 0
+  // always remains available).
+  int MaxAllowedPower(Watts power_limit) const;
 
   const ConfigSpace* space_;
   int num_candidates_ = 0;
@@ -170,6 +224,8 @@ class DecisionEngine {
   // SoA profile constants, indexed by entry_index(ci, pi).
   std::vector<Seconds> run_profile_;      // stage-limited profiled latency
   std::vector<Seconds> full_profile_;     // full-network profiled latency
+  std::vector<double> inv_run_profile_;   // 1 / run_profile_
+  std::vector<double> inv_full_profile_;  // 1 / full_profile_
   std::vector<Watts> inference_power_;
 
   // Per candidate.
@@ -180,6 +236,7 @@ class DecisionEngine {
 
   // Flattened anytime ladders (per model, shared by that model's candidates).
   std::vector<double> stage_frac_;
+  std::vector<double> inv_stage_frac_;
   std::vector<double> stage_accuracy_;
 
   std::vector<Watts> caps_;               // per power index

@@ -3,7 +3,7 @@
 #include <mutex>
 
 #include "src/common/check.h"
-#include "src/harness/parallel.h"
+#include "src/common/parallel.h"
 
 namespace alert {
 

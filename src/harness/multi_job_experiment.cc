@@ -1,10 +1,14 @@
 #include "src/harness/multi_job_experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "src/common/check.h"
 #include "src/dnn/model.h"
+#include "src/dnn/zoo.h"
+#include "src/harness/constraint_grid.h"
+#include "src/sim/platform.h"
 
 namespace alert {
 namespace {
@@ -15,34 +19,78 @@ constexpr double kCrossJobPressure = 0.30;
 
 }  // namespace
 
+std::vector<MultiJobSpec> MakeHeterogeneousJobs(int k, PlatformId platform) {
+  ALERT_CHECK(k > 0);
+  std::vector<MultiJobSpec> specs;
+  specs.reserve(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    MultiJobSpec s;
+    s.task = (j % 2 == 0) ? TaskId::kImageClassification : TaskId::kSentencePrediction;
+    s.dnn_set = static_cast<DnnSetChoice>(j % 3);  // Trad / Any / Both
+    s.goals.deadline = (1.2 + 0.3 * (j % 3)) * BaseDeadline(s.task, platform);
+    if (j % 4 == 3) {
+      s.goals.mode = GoalMode::kMinimizeEnergy;
+      s.goals.accuracy_goal = 0.85;
+    } else {
+      s.goals.mode = GoalMode::kMaximizeAccuracy;
+      s.goals.energy_budget = 1e9;  // per-job energy unconstrained; power is shared
+    }
+    s.seed = 100 + static_cast<uint64_t>(j);
+    specs.push_back(s);
+  }
+  return specs;
+}
+
 MultiJobExperiment::MultiJobExperiment(PlatformId platform,
                                        std::vector<MultiJobSpec> jobs, int num_rounds,
                                        uint64_t seed)
     : platform_(platform), specs_(std::move(jobs)), num_rounds_(num_rounds) {
   ALERT_CHECK(!specs_.empty());
   ALERT_CHECK(num_rounds_ > 0);
+  // One Stack per distinct (task, dnn_set): jobs sharing it also share a ConfigSpace,
+  // which the coordinator groups into one batched scoring family.
+  std::vector<std::pair<TaskId, DnnSetChoice>> stack_keys;
   for (size_t j = 0; j < specs_.size(); ++j) {
-    ExperimentOptions options;
-    options.num_inputs = num_rounds_;
-    options.seed = seed ^ (specs_[j].seed + 0x9e37 * (j + 1));
-    experiments_.push_back(std::make_unique<Experiment>(
-        specs_[j].task, platform_, ContentionType::kNone, options));
+    TraceOptions trace_options;
+    trace_options.num_inputs = num_rounds_;
+    trace_options.seed = seed ^ (specs_[j].seed + 0x9e37 * (j + 1));
+    traces_.push_back(MakeEnvironmentTrace(specs_[j].task, platform_,
+                                           ContentionType::kNone, trace_options));
+
+    const std::pair<TaskId, DnnSetChoice> key{specs_[j].task, specs_[j].dnn_set};
+    int stack_index = -1;
+    for (size_t s = 0; s < stack_keys.size(); ++s) {
+      if (stack_keys[s] == key) {
+        stack_index = static_cast<int>(s);
+        break;
+      }
+    }
+    if (stack_index < 0) {
+      stack_index = static_cast<int>(stacks_.size());
+      stack_keys.push_back(key);
+      stacks_.push_back(std::make_unique<Stack>(
+          specs_[j].dnn_set, BuildEvaluationSet(specs_[j].task, specs_[j].dnn_set),
+          GetPlatform(platform_), /*profile_noise_sigma=*/0.0, seed));
+    }
+    stack_of_job_.push_back(stack_index);
   }
 }
 
 const Stack& MultiJobExperiment::stack(int job) const {
-  return experiments_[static_cast<size_t>(job)]->stack(specs_[static_cast<size_t>(job)].dnn_set);
+  return *stacks_[static_cast<size_t>(stack_of_job_[static_cast<size_t>(job)])];
 }
 
-MultiJobResult MultiJobExperiment::RunCoordinated(Watts power_budget) {
-  return Run(power_budget, /*coordinated=*/true);
+MultiJobResult MultiJobExperiment::RunCoordinated(Watts power_budget,
+                                                  AllocationPolicy policy) {
+  return Run(power_budget, /*coordinated=*/true, policy);
 }
 
 MultiJobResult MultiJobExperiment::RunUncoordinated(Watts power_budget) {
-  return Run(power_budget, /*coordinated=*/false);
+  return Run(power_budget, /*coordinated=*/false, AllocationPolicy::kProportional);
 }
 
-MultiJobResult MultiJobExperiment::Run(Watts power_budget, bool coordinated) {
+MultiJobResult MultiJobExperiment::Run(Watts power_budget, bool coordinated,
+                                       AllocationPolicy policy) {
   const size_t k = specs_.size();
 
   // Build one scheduler per job (fresh state), wrapped in a coordinator when asked.
@@ -54,7 +102,7 @@ MultiJobResult MultiJobExperiment::Run(Watts power_budget, bool coordinated) {
     spec.goals = specs_[j].goals;
     job_specs.push_back(std::move(spec));
   }
-  MultiJobCoordinator coordinator(std::move(job_specs), power_budget);
+  MultiJobCoordinator coordinator(std::move(job_specs), power_budget, policy);
 
   MultiJobResult result;
   result.per_job.resize(k);
@@ -68,27 +116,29 @@ MultiJobResult MultiJobExperiment::Run(Watts power_budget, bool coordinated) {
   std::vector<double> utilization(k, 0.0);
   int overshoot_rounds = 0;
   double cap_sum_total = 0.0;
+  std::chrono::steady_clock::duration decide_time{0};
 
+  std::vector<InferenceRequest> requests(k);
+  std::vector<SchedulingDecision> decisions(k);
   for (int n = 0; n < num_rounds_; ++n) {
-    std::vector<InferenceRequest> requests(k);
     for (size_t j = 0; j < k; ++j) {
       requests[j].input_index = n;
       requests[j].deadline = specs_[j].goals.deadline;
       requests[j].period = specs_[j].goals.deadline;
     }
 
-    std::vector<SchedulingDecision> decisions;
+    const auto decide_start = std::chrono::steady_clock::now();
     if (coordinated) {
-      decisions = coordinator.DecideRound(requests);
+      coordinator.DecideRoundInto(requests, &decisions);
     } else {
       // Each job decides as if it owned the whole budget.
-      decisions.resize(k);
       for (size_t j = 0; j < k; ++j) {
         coordinator.job(static_cast<int>(j))
             .set_power_limit(std::numeric_limits<double>::infinity());
         decisions[j] = coordinator.job(static_cast<int>(j)).Decide(requests[j]);
       }
     }
+    decide_time += std::chrono::steady_clock::now() - decide_start;
 
     Watts cap_sum = 0.0;
     for (const SchedulingDecision& d : decisions) {
@@ -107,8 +157,7 @@ MultiJobResult MultiJobExperiment::Run(Watts power_budget, bool coordinated) {
           other_pressure += utilization[i];
         }
       }
-      ExecutionContext ctx =
-          experiments_[j]->trace().inputs[static_cast<size_t>(n)];
+      ExecutionContext ctx = traces_[j].inputs[static_cast<size_t>(n)];
       ctx.contention = ContentionType::kCompute;
       ctx.contention_active = other_pressure > 0.01;
       ctx.contention_multiplier = 1.0 + kCrossJobPressure * other_pressure;
@@ -145,6 +194,11 @@ MultiJobResult MultiJobExperiment::Run(Watts power_budget, bool coordinated) {
   result.budget_overshoot_fraction =
       static_cast<double>(overshoot_rounds) / static_cast<double>(num_rounds_);
   result.avg_total_cap = cap_sum_total / static_cast<double>(num_rounds_);
+  result.budget_utilization = result.avg_total_cap / power_budget;
+  result.decide_ns_per_job =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(decide_time).count()) /
+      (static_cast<double>(num_rounds_) * static_cast<double>(k));
   return result;
 }
 

@@ -3,15 +3,22 @@
 // K jobs run side by side on the same machine.  Each job has its own input stream and
 // goals; the jobs contend with each other: while job j computes, every other job sees a
 // compute-contention slowdown proportional to j's utilization in the previous round.
-// The experiment compares the MultiJobCoordinator against uncoordinated ALERT instances
-// that each assume they own the whole package budget.
+// Jobs with the same (task, candidate-set) choice share one Stack — and therefore one
+// ConfigSpace, so the coordinator batches them onto one scoring engine — while every
+// job keeps its own independent environment trace.
+//
+// The experiment compares the MultiJobCoordinator (either allocation policy) against
+// uncoordinated ALERT instances that each assume they own the whole package budget,
+// and reports the decision-plane cost per round alongside the paper-style metrics.
 #ifndef SRC_HARNESS_MULTI_JOB_EXPERIMENT_H_
 #define SRC_HARNESS_MULTI_JOB_EXPERIMENT_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/core/multi_job.h"
 #include "src/harness/experiment.h"
+#include "src/workload/trace.h"
 
 namespace alert {
 
@@ -22,12 +29,21 @@ struct MultiJobSpec {
   uint64_t seed = 1;
 };
 
+// A heterogeneous K-job mix for scale-out sweeps: alternating tasks, rotating
+// candidate-set choices, staggered deadlines, and a minority of energy-minimization
+// jobs among the accuracy maximizers.  Deterministic in (k, platform).
+std::vector<MultiJobSpec> MakeHeterogeneousJobs(int k, PlatformId platform);
+
 struct MultiJobResult {
   std::vector<RunResult> per_job;
   // Fraction of rounds where the sum of applied power caps exceeded the budget.
   double budget_overshoot_fraction = 0.0;
   // Average of the summed power caps across rounds.
   Watts avg_total_cap = 0.0;
+  // avg_total_cap / budget: how much of the shared budget the allocation hands out.
+  double budget_utilization = 0.0;
+  // Decision-plane cost: wall time spent deciding, per job per round.
+  double decide_ns_per_job = 0.0;
 };
 
 class MultiJobExperiment {
@@ -37,21 +53,25 @@ class MultiJobExperiment {
                      uint64_t seed);
 
   // Runs with the coordinator sharing `power_budget` across jobs.
-  MultiJobResult RunCoordinated(Watts power_budget);
+  MultiJobResult RunCoordinated(
+      Watts power_budget, AllocationPolicy policy = AllocationPolicy::kProportional);
 
   // Runs K independent ALERT instances, each oblivious to the others (no shared
   // budget): the multi-tenant version of the paper's No-coord pathology.
   MultiJobResult RunUncoordinated(Watts power_budget);
 
+  int num_jobs() const { return static_cast<int>(specs_.size()); }
   const Stack& stack(int job) const;
 
  private:
-  MultiJobResult Run(Watts power_budget, bool coordinated);
+  MultiJobResult Run(Watts power_budget, bool coordinated, AllocationPolicy policy);
 
   PlatformId platform_;
   std::vector<MultiJobSpec> specs_;
   int num_rounds_;
-  std::vector<std::unique_ptr<Experiment>> experiments_;  // one trace per job
+  std::vector<EnvironmentTrace> traces_;        // one independent trace per job
+  std::vector<std::unique_ptr<Stack>> stacks_;  // one per distinct (task, dnn_set)
+  std::vector<int> stack_of_job_;
 };
 
 }  // namespace alert

@@ -68,6 +68,33 @@ TEST(GaussianTest, TruncatedMeanTightBoundApproachesBound) {
   EXPECT_NEAR(TruncatedNormalMeanBelow(0.0, 1.0, -40.0), -40.0, 1e-6);
 }
 
+TEST(FastGaussianTest, MemoizedCdfTracksExactCdf) {
+  for (double x = -9.0; x <= 9.0; x += 0.0137) {
+    EXPECT_NEAR(FastStandardNormalCdf(x), StandardNormalCdf(x), 1e-7) << "x " << x;
+  }
+  EXPECT_EQ(FastStandardNormalCdf(-8.5), 0.0);
+  EXPECT_EQ(FastStandardNormalCdf(8.5), 1.0);
+}
+
+TEST(FastGaussianTest, GridEdgeDoesNotOverrunTheTable) {
+  // The largest double below the grid bound makes (x + 8) * scale round up to the
+  // grid end exactly; the interval index must clamp (regression: one-past-the-end
+  // table read).
+  const double edge = std::nextafter(8.0, 0.0);
+  EXPECT_NEAR(FastStandardNormalCdf(edge), 1.0, 1e-7);
+  EXPECT_NEAR(FastStandardNormalPdf(edge), 0.0, 1e-7);
+  EXPECT_NEAR(FastStandardNormalCdf(-edge), 0.0, 1e-7);
+  EXPECT_NEAR(FastStandardNormalPdf(-edge), 0.0, 1e-7);
+}
+
+TEST(FastGaussianTest, MemoizedPdfTracksExactPdf) {
+  for (double x = -9.0; x <= 9.0; x += 0.0137) {
+    EXPECT_NEAR(FastStandardNormalPdf(x), StandardNormalPdf(x), 1e-7) << "x " << x;
+  }
+  EXPECT_EQ(FastStandardNormalPdf(-8.5), 0.0);
+  EXPECT_EQ(FastStandardNormalPdf(8.5), 0.0);
+}
+
 // Property sweep: CDF is monotone and quantile is its inverse on a grid.
 class GaussianPropertyTest : public ::testing::TestWithParam<double> {};
 

@@ -198,6 +198,105 @@ TEST_F(DecisionEngineTest, PowerLimitExcludesHighCapsButKeepsTheFloor) {
   EXPECT_EQ(sel.power_index, 0);
 }
 
+// --- Batch API (multi-job decision plane) ---
+
+TEST_F(DecisionEngineTest, ScoreBatchMatchesPerJobScoreAllBitForBit) {
+  const size_t entries = static_cast<size_t>(engine_.num_entries());
+  // Distinct beliefs plus exact duplicates (jobs 0/2 and 1/4): the dedup path must
+  // reproduce rescoring exactly.
+  const std::vector<DecisionInputs> inputs = {Inputs(1.0, 0.1), Inputs(1.3, 0.25),
+                                              Inputs(1.0, 0.1), Inputs(0.9, 0.0),
+                                              Inputs(1.3, 0.25)};
+  std::vector<ConfigScore> batch(inputs.size() * entries);
+  engine_.ScoreBatch(inputs, batch);
+  std::vector<ConfigScore> single(entries);
+  for (size_t j = 0; j < inputs.size(); ++j) {
+    engine_.ScoreAll(inputs[j], single);
+    for (size_t e = 0; e < entries; ++e) {
+      const ConfigScore& got = batch[j * entries + e];
+      EXPECT_EQ(got.prob_deadline, single[e].prob_deadline) << "job " << j;
+      EXPECT_EQ(got.expected_accuracy, single[e].expected_accuracy);
+      EXPECT_EQ(got.expected_energy, single[e].expected_energy);
+      EXPECT_EQ(got.expected_latency, single[e].expected_latency);
+    }
+  }
+}
+
+TEST_F(DecisionEngineTest, SelectFromScoresMatchesSelectBestAcrossModesAndLimits) {
+  const std::vector<ConfigScore>::size_type entries =
+      static_cast<size_t>(engine_.num_entries());
+  std::vector<ConfigScore> scores(entries);
+  std::vector<DecisionEngine::ScoredEntry> scratch;
+  for (const DecisionInputs& in :
+       {Inputs(1.0, 0.08), Inputs(1.4, 0.3), Inputs(1.1, 0.0)}) {
+    engine_.ScoreAll(in, scores);
+    for (int mode = 0; mode < 3; ++mode) {
+      Goals goals;
+      goals.mode = static_cast<GoalMode>(mode);
+      goals.deadline = in.deadline;
+      goals.accuracy_goal = 0.9;
+      goals.energy_budget = 2.0;
+      for (const Watts limit : {1e9, 30.0, 17.3, 0.0}) {
+        const auto direct =
+            engine_.SelectBest(goals, goals.energy_budget, in, limit, scratch);
+        const auto from_scores =
+            engine_.SelectFromScores(goals, goals.energy_budget, scores, limit);
+        EXPECT_EQ(direct.candidate_index, from_scores.candidate_index)
+            << "mode " << mode << " limit " << limit;
+        EXPECT_EQ(direct.power_index, from_scores.power_index);
+        EXPECT_EQ(direct.feasible, from_scores.feasible);
+      }
+    }
+  }
+}
+
+TEST_F(DecisionEngineTest, SelectFromScoresMatchesSelectBestWithProbThreshold) {
+  // The Pr_th pre-filter (Eqs. 10/11) and the unreachable-goal fallback hierarchy must
+  // survive the split into score + select.
+  const DecisionInputs in = Inputs(1.2, 0.2);
+  std::vector<ConfigScore> scores(static_cast<size_t>(engine_.num_entries()));
+  engine_.ScoreAll(in, scores);
+  std::vector<DecisionEngine::ScoredEntry> scratch;
+  for (const double pr_th : {0.9, 0.999999}) {
+    Goals goals;
+    goals.mode = GoalMode::kMinimizeEnergy;
+    goals.deadline = in.deadline;
+    goals.accuracy_goal = 0.97;
+    goals.prob_threshold = pr_th;
+    const auto direct = engine_.SelectBest(goals, 0.0, in, 1e9, scratch);
+    const auto from_scores = engine_.SelectFromScores(goals, 0.0, scores, 1e9);
+    EXPECT_EQ(direct.candidate_index, from_scores.candidate_index) << "pr " << pr_th;
+    EXPECT_EQ(direct.power_index, from_scores.power_index);
+    EXPECT_EQ(direct.feasible, from_scores.feasible);
+  }
+}
+
+TEST_F(DecisionEngineTest, SelectBestBatchMatchesPerJobSelectBest) {
+  const std::vector<DecisionInputs> inputs = {Inputs(1.0, 0.1), Inputs(1.25, 0.2),
+                                              Inputs(1.0, 0.1)};
+  std::vector<Goals> goals(3);
+  for (size_t j = 0; j < goals.size(); ++j) {
+    goals[j].mode = j == 1 ? GoalMode::kMinimizeEnergy : GoalMode::kMaximizeAccuracy;
+    goals[j].deadline = 0.08;
+    goals[j].accuracy_goal = 0.9;
+    goals[j].energy_budget = 2.5;
+  }
+  const std::vector<Joules> allowances = {2.5, 0.0, 1.8};
+  const std::vector<Watts> limits = {1e9, 25.0, 15.0};
+  std::vector<DecisionEngine::Selection> out(3);
+  std::vector<ConfigScore> batch_scratch;
+  engine_.SelectBestBatch(inputs, goals, allowances, limits, out, batch_scratch);
+
+  std::vector<DecisionEngine::ScoredEntry> scratch;
+  for (size_t j = 0; j < inputs.size(); ++j) {
+    const auto direct =
+        engine_.SelectBest(goals[j], allowances[j], inputs[j], limits[j], scratch);
+    EXPECT_EQ(out[j].candidate_index, direct.candidate_index) << "job " << j;
+    EXPECT_EQ(out[j].power_index, direct.power_index);
+    EXPECT_EQ(out[j].feasible, direct.feasible);
+  }
+}
+
 TEST_F(DecisionEngineTest, ConcurrentScoringIsRaceFreeAndDeterministic) {
   // One const engine instance scanned by many threads (the ParallelFor sweep shape):
   // every thread must reproduce the single-threaded scores bit-for-bit.

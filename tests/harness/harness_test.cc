@@ -3,7 +3,7 @@
 
 #include "src/harness/constraint_grid.h"
 #include "src/harness/evaluation.h"
-#include "src/harness/parallel.h"
+#include "src/common/parallel.h"
 #include "src/harness/schemes.h"
 #include "src/harness/static_oracle.h"
 

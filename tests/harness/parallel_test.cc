@@ -1,4 +1,4 @@
-#include "src/harness/parallel.h"
+#include "src/common/parallel.h"
 
 #include <gtest/gtest.h>
 
