@@ -1,0 +1,149 @@
+// Sweep-plan plane throughput: enumeration, partitioning, and serde, measured in
+// units/s on a Table-4-scale plan (15 cells x 2 modes x 6 schemes x 36 settings x 3
+// seeds ~ 23k units).  Establishes the trajectory baseline for the decision-plane of
+// distributed sweeps: these paths run once per shard dispatch and once per merge, and
+// must stay negligible next to the experiment runs themselves.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/harness/sweep_io.h"
+#include "src/harness/sweep_plan.h"
+
+using namespace alert;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+SweepSpec Table4ScaleSpec() {
+  SweepSpec spec;
+  const struct {
+    PlatformId platform;
+    TaskId task;
+    ContentionType contention;
+  } cells[] = {
+      {PlatformId::kCpu1, TaskId::kImageClassification, ContentionType::kNone},
+      {PlatformId::kCpu1, TaskId::kImageClassification, ContentionType::kCompute},
+      {PlatformId::kCpu1, TaskId::kImageClassification, ContentionType::kMemory},
+      {PlatformId::kCpu1, TaskId::kSentencePrediction, ContentionType::kNone},
+      {PlatformId::kCpu1, TaskId::kSentencePrediction, ContentionType::kCompute},
+      {PlatformId::kCpu1, TaskId::kSentencePrediction, ContentionType::kMemory},
+      {PlatformId::kCpu2, TaskId::kImageClassification, ContentionType::kNone},
+      {PlatformId::kCpu2, TaskId::kImageClassification, ContentionType::kCompute},
+      {PlatformId::kCpu2, TaskId::kImageClassification, ContentionType::kMemory},
+      {PlatformId::kCpu2, TaskId::kSentencePrediction, ContentionType::kNone},
+      {PlatformId::kCpu2, TaskId::kSentencePrediction, ContentionType::kCompute},
+      {PlatformId::kCpu2, TaskId::kSentencePrediction, ContentionType::kMemory},
+      {PlatformId::kGpu, TaskId::kImageClassification, ContentionType::kNone},
+      {PlatformId::kGpu, TaskId::kImageClassification, ContentionType::kCompute},
+      {PlatformId::kGpu, TaskId::kImageClassification, ContentionType::kMemory},
+  };
+  for (const auto& cell : cells) {
+    for (const GoalMode mode :
+         {GoalMode::kMinimizeEnergy, GoalMode::kMaximizeAccuracy}) {
+      spec.cells.push_back(SweepCellSpec{cell.task, cell.platform, cell.contention, mode});
+    }
+  }
+  spec.schemes = {SchemeId::kAlert,   SchemeId::kAlertAny, SchemeId::kSysOnly,
+                  SchemeId::kAppOnly, SchemeId::kNoCoord,  SchemeId::kOracle};
+  spec.seeds = {1, 2, 3};
+  spec.num_inputs = 300;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const SweepSpec spec = Table4ScaleSpec();
+
+  auto start = Clock::now();
+  const SweepPlan plan = BuildSweepPlan(spec);
+  const double enumerate_s = SecondsSince(start);
+  const double units = static_cast<double>(plan.units.size());
+  std::printf("plan: %zu units (%zu cells x %zu seeds x %zu settings x %zu workloads)\n",
+              plan.units.size(), spec.cells.size(), spec.seeds.size(),
+              plan.grid_indices.size(), 1 + spec.schemes.size());
+  std::printf("%-28s %10.3f ms   %12.0f units/s\n", "enumerate (BuildSweepPlan)",
+              enumerate_s * 1e3, units / enumerate_s);
+
+  for (const ShardStrategy strategy :
+       {ShardStrategy::kRoundRobin, ShardStrategy::kCostWeighted}) {
+    start = Clock::now();
+    const auto shards = PartitionPlan(plan, 16, strategy);
+    const double partition_s = SecondsSince(start);
+    ALERT_CHECK(shards.size() == 16);
+    char label[64];
+    std::snprintf(label, sizeof(label), "partition K=16 (%s)",
+                  std::string(ShardStrategyName(strategy)).c_str());
+    std::printf("%-28s %10.3f ms   %12.0f units/s\n", label, partition_s * 1e3,
+                units / partition_s);
+  }
+
+  start = Clock::now();
+  std::string blob;
+  for (const SweepUnit& unit : plan.units) {
+    blob += SerializeSweepUnit(unit);
+    blob += '\n';
+  }
+  const double serialize_s = SecondsSince(start);
+  std::printf("%-28s %10.3f ms   %12.0f units/s   (%zu bytes, %.1f B/unit)\n",
+              "serialize units", serialize_s * 1e3, units / serialize_s, blob.size(),
+              static_cast<double>(blob.size()) / units);
+
+  start = Clock::now();
+  std::vector<SweepUnit> parsed;
+  parsed.reserve(plan.units.size());
+  for (const std::string_view line : serde::DataLines(blob)) {
+    SweepUnit unit;
+    const serde::Status s = ParseSweepUnit(line, &unit);
+    ALERT_CHECK(s.ok);
+    parsed.push_back(unit);
+  }
+  const double parse_s = SecondsSince(start);
+  ALERT_CHECK(parsed == plan.units);
+  std::printf("%-28s %10.3f ms   %12.0f units/s\n", "parse units", parse_s * 1e3,
+              units / parse_s);
+
+  // Results serde: the merge plane's ingest path.
+  std::vector<SweepUnitResult> results(plan.units.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    results[i].unit_id = static_cast<int>(i);
+    results[i].usable = (i % 7) != 0;
+    results[i].metric = results[i].usable ? 0.81501470984072988 + 1e-9 * i : 0.0;
+  }
+  start = Clock::now();
+  std::string results_blob;
+  for (const SweepUnitResult& result : results) {
+    results_blob += SerializeSweepUnitResult(result);
+    results_blob += '\n';
+  }
+  const double res_ser_s = SecondsSince(start);
+  std::printf("%-28s %10.3f ms   %12.0f units/s\n", "serialize results",
+              res_ser_s * 1e3, units / res_ser_s);
+
+  start = Clock::now();
+  size_t count = 0;
+  for (const std::string_view line : serde::DataLines(results_blob)) {
+    SweepUnitResult result;
+    const serde::Status s = ParseSweepUnitResult(line, &result);
+    ALERT_CHECK(s.ok);
+    ++count;
+  }
+  const double res_parse_s = SecondsSince(start);
+  ALERT_CHECK(count == results.size());
+  std::printf("%-28s %10.3f ms   %12.0f units/s\n", "parse results", res_parse_s * 1e3,
+              units / res_parse_s);
+
+  start = Clock::now();
+  const uint64_t fingerprint = PlanFingerprint(plan);
+  const double fp_s = SecondsSince(start);
+  std::printf("%-28s %10.3f ms   %12.0f units/s   (plan=%llu)\n", "fingerprint plan",
+              fp_s * 1e3, units / fp_s, static_cast<unsigned long long>(fingerprint));
+  return 0;
+}

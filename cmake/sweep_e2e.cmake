@@ -1,0 +1,57 @@
+# End-to-end check of the sharded sweep pipeline, run as a ctest (and as a CI step):
+#   1. sweep_shard writes its example spec;
+#   2. the monolithic path (K=1) produces mono.csv;
+#   3. a 2-shard round-robin run produces s0/s1.results, merged into merged_rr.csv;
+#   4. a 2-shard cost-weighted run produces c0/c1.results, merged into merged_cw.csv;
+#   5. both merged CSVs must be byte-identical to mono.csv.
+# Invoked with -DSWEEP_SHARD=... -DSWEEP_MERGE=... -DWORK_DIR=...
+foreach(var SWEEP_SHARD SWEEP_MERGE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_e2e: ${var} not defined")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep_e2e: '${ARGV}' failed with exit code ${rc}")
+  endif()
+endfunction()
+
+function(compare_files a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${WORK_DIR}/${a}
+                  ${WORK_DIR}/${b} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep_e2e: ${a} and ${b} differ")
+  endif()
+endfunction()
+
+run_step(${SWEEP_SHARD} --write-default-spec=spec.txt)
+run_step(${SWEEP_SHARD} --spec=spec.txt --shards=1 --shard=0
+         --out=mono.results --csv=mono.csv)
+
+run_step(${SWEEP_SHARD} --spec=spec.txt --shards=2 --shard=0 --out=s0.results)
+run_step(${SWEEP_SHARD} --spec=spec.txt --shards=2 --shard=1 --out=s1.results)
+run_step(${SWEEP_MERGE} --spec=spec.txt --out=merged_rr.csv s0.results s1.results)
+compare_files(mono.csv merged_rr.csv)
+
+run_step(${SWEEP_SHARD} --spec=spec.txt --shards=2 --shard=0
+         --strategy=cost-weighted --out=c0.results)
+run_step(${SWEEP_SHARD} --spec=spec.txt --shards=2 --shard=1
+         --strategy=cost-weighted --out=c1.results)
+run_step(${SWEEP_MERGE} --spec=spec.txt --out=merged_cw.csv c0.results c1.results)
+compare_files(mono.csv merged_cw.csv)
+
+# K=4 (the acceptance-level shard count), merged from shards listed out of order.
+foreach(i RANGE 3)
+  run_step(${SWEEP_SHARD} --spec=spec.txt --shards=4 --shard=${i}
+           --out=k4_${i}.results)
+endforeach()
+run_step(${SWEEP_MERGE} --spec=spec.txt --out=merged_k4.csv k4_3.results
+         k4_0.results k4_2.results k4_1.results)
+compare_files(mono.csv merged_k4.csv)
+
+message(STATUS "sweep_e2e: merged shard CSVs byte-identical to the monolithic sweep")

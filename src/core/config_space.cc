@@ -119,4 +119,25 @@ int ConfigSpace::AnytimeModel() const {
   return -1;
 }
 
+ProfileSnapshot CaptureProfileSnapshot(const ConfigSpace& space) {
+  ProfileSnapshot snap;
+  snap.num_models = space.num_models();
+  snap.num_powers = space.num_powers();
+  snap.caps = space.caps();
+  snap.candidates.assign(space.candidates().begin(), space.candidates().end());
+  snap.candidate_accuracy.reserve(snap.candidates.size());
+  for (const Candidate& c : snap.candidates) {
+    snap.candidate_accuracy.push_back(space.CandidateAccuracy(c));
+  }
+  snap.profile_latency.reserve(static_cast<size_t>(snap.num_models * snap.num_powers));
+  snap.inference_power.reserve(static_cast<size_t>(snap.num_models * snap.num_powers));
+  for (int m = 0; m < snap.num_models; ++m) {
+    for (int p = 0; p < snap.num_powers; ++p) {
+      snap.profile_latency.push_back(space.ProfileLatency(m, p));
+      snap.inference_power.push_back(space.InferencePower(m, p));
+    }
+  }
+  return snap;
+}
+
 }  // namespace alert

@@ -27,6 +27,8 @@ struct Candidate {
   // -1 for traditional networks; otherwise the 0-based index of the last stage the
   // network is allowed to run to.
   int stage_limit = -1;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
 };
 
 // A full configuration: candidate + power setting.
@@ -87,6 +89,25 @@ class ConfigSpace {
   std::vector<Seconds> profile_latency_;
   std::vector<Watts> inference_power_;
 };
+
+// The profiled constants a scoring plane is built from, flattened into plain vectors.
+// This is the state a remote sweep shard would need to rebuild a DecisionEngine without
+// re-profiling (the engine's SoA tables are a pure function of it); src/harness/sweep_io
+// gives it a text serialization.  Captured, not referenced: safe to ship across
+// processes with no shared memory.
+struct ProfileSnapshot {
+  int num_models = 0;
+  int num_powers = 0;
+  std::vector<Watts> caps;                 // per power index, ascending
+  std::vector<Candidate> candidates;       // space enumeration order
+  std::vector<double> candidate_accuracy;  // final accuracy per candidate
+  std::vector<Seconds> profile_latency;    // row-major [model][power]
+  std::vector<Watts> inference_power;      // row-major [model][power]
+
+  friend bool operator==(const ProfileSnapshot&, const ProfileSnapshot&) = default;
+};
+
+ProfileSnapshot CaptureProfileSnapshot(const ConfigSpace& space);
 
 }  // namespace alert
 

@@ -1,9 +1,10 @@
 #include "src/harness/evaluation.h"
 
-#include <mutex>
+#include <utility>
 
 #include "src/common/check.h"
-#include "src/common/parallel.h"
+#include "src/harness/sweep_plan.h"
+#include "src/harness/sweep_runner.h"
 
 namespace alert {
 
@@ -30,90 +31,27 @@ double MetricValue(GoalMode mode, TaskId task, const RunResult& result) {
   return result.avg_energy;
 }
 
+// One cell is just a single-cell sweep plan: the same enumeration (BuildSweepPlan),
+// execution (RunSweepUnits) and aggregation (MergeSweepResults) code paths that the
+// sweep_shard / sweep_merge CLIs use, so in-process and sharded sweeps cannot drift.
 CellResult EvaluateCell(const CellSpec& spec, std::span<const SchemeId> schemes,
                         int threads) {
-  const Experiment experiment(spec.task, spec.platform, spec.contention, spec.options);
-  const std::vector<Goals> grid = BuildConstraintGrid(spec.mode, spec.task, spec.platform);
+  SweepSpec sweep;
+  sweep.cells.push_back(
+      SweepCellSpec{spec.task, spec.platform, spec.contention, spec.mode});
+  sweep.schemes.assign(schemes.begin(), schemes.end());
+  sweep.seeds = {spec.options.seed};
+  sweep.num_inputs = spec.options.num_inputs;
+  sweep.contention_scale = spec.options.contention_scale;
+  sweep.profile_noise_sigma = spec.options.profile_noise_sigma;
+  sweep.contention_window = spec.options.contention_window;
 
-  struct SettingOutcome {
-    bool usable = false;
-    double static_metric = 0.0;
-    std::vector<double> scheme_metric;  // parallel to `schemes`; <0 == violated
-  };
-  std::vector<SettingOutcome> outcomes(grid.size());
-
-  ParallelFor(static_cast<int>(grid.size()), [&](int gi) {
-    const Goals& goals = grid[static_cast<size_t>(gi)];
-    SettingOutcome& out = outcomes[static_cast<size_t>(gi)];
-
-    const StaticOracleResult static_best =
-        FindStaticOracle(experiment, experiment.stack(DnnSetChoice::kBoth), goals);
-    if (!static_best.feasible) {
-      return;  // unusable setting: even a clairvoyant static config violates > 10%
-    }
-    out.usable = true;
-    out.static_metric = MetricValue(spec.mode, spec.task, static_best.result);
-
-    out.scheme_metric.resize(schemes.size(), -1.0);
-    for (size_t si = 0; si < schemes.size(); ++si) {
-      auto scheduler = MakeScheduler(schemes[si], experiment, goals);
-      const RunResult r =
-          experiment.Run(experiment.stack(SchemeDnnSet(schemes[si])), *scheduler, goals);
-      if (!SettingViolated(goals, r)) {
-        out.scheme_metric[si] = MetricValue(spec.mode, spec.task, r);
-      }
-    }
-  }, threads);
-
-  CellResult cell;
-  cell.spec = spec;
-  cell.total_settings = static_cast<int>(grid.size());
-  cell.schemes.resize(schemes.size());
-  for (size_t si = 0; si < schemes.size(); ++si) {
-    cell.schemes[si].scheme = schemes[si];
-  }
-
-  for (const SettingOutcome& out : outcomes) {
-    if (!out.usable) {
-      ++cell.skipped_settings;
-      continue;
-    }
-    ALERT_CHECK(out.static_metric > 0.0);
-    cell.static_raw_values.push_back(out.static_metric);
-    for (size_t si = 0; si < schemes.size(); ++si) {
-      SchemeCellStats& stats = cell.schemes[si];
-      ++stats.usable_settings;
-      const double metric = out.scheme_metric[si];
-      if (metric < 0.0) {
-        ++stats.violated_settings;
-        continue;
-      }
-      stats.raw_values.push_back(metric);
-      stats.normalized_values.push_back(metric / out.static_metric);
-    }
-  }
-
-  double static_sum = 0.0;
-  for (double v : cell.static_raw_values) {
-    static_sum += v;
-  }
-  cell.static_mean_raw = cell.static_raw_values.empty()
-                             ? 0.0
-                             : static_sum / static_cast<double>(cell.static_raw_values.size());
-
-  for (SchemeCellStats& stats : cell.schemes) {
-    double norm_sum = 0.0;
-    double raw_sum = 0.0;
-    for (double v : stats.normalized_values) {
-      norm_sum += v;
-    }
-    for (double v : stats.raw_values) {
-      raw_sum += v;
-    }
-    const double n = static_cast<double>(stats.normalized_values.size());
-    stats.mean_normalized = n > 0 ? norm_sum / n : 0.0;
-    stats.mean_raw = n > 0 ? raw_sum / n : 0.0;
-  }
+  SweepRunOptions run_options;
+  run_options.threads = threads;
+  std::vector<CellResult> cells = RunSweep(BuildSweepPlan(sweep), run_options);
+  ALERT_CHECK(cells.size() == 1);
+  CellResult cell = std::move(cells.front());
+  cell.spec = spec;  // preserve the caller's options verbatim
   return cell;
 }
 

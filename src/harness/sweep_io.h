@@ -1,0 +1,78 @@
+// Text serialization for sweep specs, work units, per-unit results, profile
+// snapshots, and the aggregate sweep CSV.
+//
+// These are the wire formats of the sharded sweep pipeline (record grammar in
+// src/common/serde.h):
+//
+//   spec file      — `sweep-spec v=1` header, then `option`/`cell`/`scheme`/`seed`/
+//                    `grid` records and an `end` line.  sweep_shard and sweep_merge
+//                    both rebuild the plan from it, so every process enumerates the
+//                    identical unit list.
+//   unit line      — one self-describing record per SweepUnit (`--print-units`,
+//                    benches, tests).
+//   results file   — `sweep-results v=1` header carrying the plan fingerprint and the
+//                    shard coordinates, then one `result` record per executed unit.
+//                    The fingerprint lets sweep_merge reject results produced from a
+//                    different spec instead of quietly mis-merging them.
+//   profile snapshot — the flattened ConfigSpace profile (see ProfileSnapshot), the
+//                    state a remote shard would need to rebuild a DecisionEngine
+//                    without re-profiling.
+//   aggregate CSV  — the sweep's deliverable: one row per (cell, seed, scheme) with
+//                    the Table 4 accounting (usable/violated settings, mean normalized
+//                    and raw metrics, the OracleStatic baseline).  Deterministically
+//                    formatted, so the merged K-shard sweep is byte-identical to the
+//                    monolithic one.
+//
+// Every parser returns serde::Status; malformed input is a diagnostic, never a crash.
+#ifndef SRC_HARNESS_SWEEP_IO_H_
+#define SRC_HARNESS_SWEEP_IO_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/serde.h"
+#include "src/core/config_space.h"
+#include "src/harness/evaluation.h"
+#include "src/harness/sweep_plan.h"
+
+namespace alert {
+
+std::string SerializeSweepSpec(const SweepSpec& spec);
+serde::Status ParseSweepSpec(std::string_view text, SweepSpec* out);
+
+// One-line unit record (no trailing newline).
+std::string SerializeSweepUnit(const SweepUnit& unit);
+serde::Status ParseSweepUnit(std::string_view line, SweepUnit* out);
+
+std::string SerializeSweepUnitResult(const SweepUnitResult& result);
+serde::Status ParseSweepUnitResult(std::string_view line, SweepUnitResult* out);
+
+// Stable fingerprint over the serialized spec plus the unit list; identifies "the same
+// plan" across processes.
+uint64_t PlanFingerprint(const SweepPlan& plan);
+
+// One shard's executed units.
+struct ShardResults {
+  uint64_t plan_fingerprint = 0;
+  int num_shards = 1;
+  int shard_index = 0;
+  ShardStrategy strategy = ShardStrategy::kRoundRobin;
+  std::vector<SweepUnitResult> results;
+
+  friend bool operator==(const ShardResults&, const ShardResults&) = default;
+};
+
+std::string SerializeShardResults(const ShardResults& shard);
+serde::Status ParseShardResults(std::string_view text, ShardResults* out);
+
+std::string SerializeProfileSnapshot(const ProfileSnapshot& snapshot);
+serde::Status ParseProfileSnapshot(std::string_view text, ProfileSnapshot* out);
+
+// The aggregate CSV over merged cell results (one CellResult per (cell, seed) in plan
+// order, as produced by MergeSweepResults / RunSweep).
+std::string SweepAggregateCsv(const SweepPlan& plan, std::span<const CellResult> cells);
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_SWEEP_IO_H_

@@ -1,0 +1,252 @@
+#include "src/harness/sweep_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/dnn/zoo.h"
+#include "src/harness/constraint_grid.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+bool InRange(int value, int limit) { return value >= 0 && value < limit; }
+
+// Configurations in the (task, choice, platform) space, without building a simulator:
+// candidates (traditional models count one, anytime models one per stage) times the
+// platform's power settings.  Memoized — partitioning calls this once per unit.
+int NumConfigurations(TaskId task, DnnSetChoice choice, PlatformId platform) {
+  using Key = std::tuple<int, int, int>;
+  static std::mutex mutex;
+  static std::map<Key, int>* cache = new std::map<Key, int>();
+  const Key key{static_cast<int>(task), static_cast<int>(choice),
+                static_cast<int>(platform)};
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache->find(key);
+    if (it != cache->end()) {
+      return it->second;
+    }
+  }
+  int candidates = 0;
+  for (const DnnModel& model : BuildEvaluationSet(task, choice)) {
+    candidates += model.is_anytime() ? static_cast<int>(model.anytime_stages.size()) : 1;
+  }
+  const int powers = static_cast<int>(GetPlatform(platform).PowerSettings().size());
+  const int configs = candidates * powers;
+  const std::lock_guard<std::mutex> lock(mutex);
+  (*cache)[key] = configs;
+  return configs;
+}
+
+}  // namespace
+
+serde::Status ValidateSweepSpec(const SweepSpec& spec) {
+  if (spec.cells.empty()) {
+    return serde::Error("spec has no cells");
+  }
+  if (spec.schemes.empty()) {
+    return serde::Error("spec has no schemes");
+  }
+  if (spec.seeds.empty()) {
+    return serde::Error("spec has no seeds");
+  }
+  if (spec.num_inputs <= 0) {
+    return serde::Error("num_inputs must be positive");
+  }
+  for (const SweepCellSpec& cell : spec.cells) {
+    if (!InRange(static_cast<int>(cell.task), 3) ||
+        cell.task == TaskId::kQuestionAnswering) {
+      return serde::Error("cell task has no evaluation family");
+    }
+    if (!InRange(static_cast<int>(cell.platform), kNumPlatforms)) {
+      return serde::Error("cell platform out of range");
+    }
+    if (!InRange(static_cast<int>(cell.contention), 3)) {
+      return serde::Error("cell contention out of range");
+    }
+    if (!InRange(static_cast<int>(cell.mode), 3)) {
+      return serde::Error("cell mode out of range");
+    }
+    if (std::count(spec.cells.begin(), spec.cells.end(), cell) != 1) {
+      return serde::Error("duplicate cell in spec");
+    }
+  }
+  for (const SchemeId scheme : spec.schemes) {
+    if (!InRange(static_cast<int>(scheme), kNumSchemeIds)) {
+      return serde::Error("scheme id out of range");
+    }
+    if (std::count(spec.schemes.begin(), spec.schemes.end(), scheme) != 1) {
+      return serde::Error("duplicate scheme in spec");
+    }
+  }
+  for (const uint64_t seed : spec.seeds) {
+    if (std::count(spec.seeds.begin(), spec.seeds.end(), seed) != 1) {
+      return serde::Error("duplicate seed in spec");
+    }
+  }
+  for (const SweepCellSpec& cell : spec.cells) {
+    // Guard before touching BuildConstraintGrid / the simulator: both ALERT_CHECK
+    // platform support, and a bad spec file must stay a diagnostic, not an abort.
+    for (const DnnModel& model : BuildEvaluationSet(cell.task, DnnSetChoice::kBoth)) {
+      if (!model.SupportsPlatform(cell.platform)) {
+        return serde::Error("model '" + model.name + "' of task " +
+                            std::string(TaskName(cell.task)) + " cannot run on " +
+                            std::string(PlatformName(cell.platform)));
+      }
+    }
+    const size_t grid_size =
+        BuildConstraintGrid(cell.mode, cell.task, cell.platform).size();
+    for (const int gi : spec.grid_indices) {
+      if (gi < 0 || static_cast<size_t>(gi) >= grid_size) {
+        return serde::Error("grid index " + std::to_string(gi) + " outside the " +
+                            std::to_string(grid_size) + "-setting grid");
+      }
+    }
+  }
+  return serde::Ok();
+}
+
+SweepPlan BuildSweepPlan(const SweepSpec& spec) {
+  const serde::Status valid = ValidateSweepSpec(spec);
+  if (!valid) {
+    std::fprintf(stderr, "BuildSweepPlan: %s\n", valid.message.c_str());
+    ALERT_CHECK(valid.ok);
+  }
+
+  SweepPlan plan;
+  plan.spec = spec;
+  std::sort(plan.spec.grid_indices.begin(), plan.spec.grid_indices.end());
+  plan.spec.grid_indices.erase(
+      std::unique(plan.spec.grid_indices.begin(), plan.spec.grid_indices.end()),
+      plan.spec.grid_indices.end());
+
+  if (plan.spec.grid_indices.empty()) {
+    // Every cell's grid has the same shape (6 x 6); validated above.
+    const size_t grid_size = BuildConstraintGrid(spec.cells[0].mode, spec.cells[0].task,
+                                                 spec.cells[0].platform)
+                                 .size();
+    plan.grid_indices.resize(grid_size);
+    std::iota(plan.grid_indices.begin(), plan.grid_indices.end(), 0);
+  } else {
+    plan.grid_indices = plan.spec.grid_indices;
+  }
+
+  for (const SweepCellSpec& cell : plan.spec.cells) {
+    for (const uint64_t seed : plan.spec.seeds) {
+      for (const int grid_index : plan.grid_indices) {
+        SweepUnit unit;
+        unit.cell = cell;
+        unit.seed = seed;
+        unit.grid_index = grid_index;
+        unit.num_inputs = plan.spec.num_inputs;
+
+        unit.kind = SweepUnitKind::kStaticOracle;
+        unit.id = static_cast<int>(plan.units.size());
+        plan.units.push_back(unit);
+
+        unit.kind = SweepUnitKind::kScheme;
+        for (const SchemeId scheme : plan.spec.schemes) {
+          unit.scheme = scheme;
+          unit.id = static_cast<int>(plan.units.size());
+          plan.units.push_back(unit);
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+double SweepUnitCost(const SweepUnit& unit) {
+  const TaskId task = unit.cell.task;
+  const PlatformId platform = unit.cell.platform;
+  double configs_per_input = 0.0;
+  if (unit.kind == SweepUnitKind::kStaticOracle) {
+    // One full trace replay per configuration of the kBoth space.
+    configs_per_input = NumConfigurations(task, DnnSetChoice::kBoth, platform);
+  } else {
+    switch (unit.scheme) {
+      case SchemeId::kAppOnly:
+        configs_per_input = 1.0;  // fixed candidate, default power
+        break;
+      case SchemeId::kSysOnly:
+      case SchemeId::kNoCoord:
+        // Fixed candidate; the system layer scans the power ladder.
+        configs_per_input = static_cast<double>(
+            GetPlatform(platform).PowerSettings().size());
+        break;
+      default:
+        // ALERT variants score, and the clairvoyant Oracle searches, every
+        // configuration of their candidate set per input.
+        configs_per_input =
+            NumConfigurations(task, SchemeDnnSet(unit.scheme), platform);
+        break;
+    }
+  }
+  return static_cast<double>(unit.num_inputs) * configs_per_input;
+}
+
+std::string_view ShardStrategyName(ShardStrategy strategy) {
+  switch (strategy) {
+    case ShardStrategy::kRoundRobin:
+      return "round-robin";
+    case ShardStrategy::kCostWeighted:
+      return "cost-weighted";
+  }
+  return "?";
+}
+
+serde::Status ParseShardStrategy(std::string_view name, ShardStrategy* out) {
+  if (name == ShardStrategyName(ShardStrategy::kRoundRobin)) {
+    *out = ShardStrategy::kRoundRobin;
+    return serde::Ok();
+  }
+  if (name == ShardStrategyName(ShardStrategy::kCostWeighted)) {
+    *out = ShardStrategy::kCostWeighted;
+    return serde::Ok();
+  }
+  return serde::Error("unknown shard strategy '" + std::string(name) +
+                      "' (want round-robin or cost-weighted)");
+}
+
+std::vector<std::vector<SweepUnit>> PartitionPlan(const SweepPlan& plan, int num_shards,
+                                                  ShardStrategy strategy) {
+  ALERT_CHECK(num_shards > 0);
+  std::vector<std::vector<SweepUnit>> shards(static_cast<size_t>(num_shards));
+  if (strategy == ShardStrategy::kRoundRobin) {
+    for (size_t i = 0; i < plan.units.size(); ++i) {
+      shards[i % static_cast<size_t>(num_shards)].push_back(plan.units[i]);
+    }
+    return shards;
+  }
+
+  // Longest-processing-time greedy: heaviest unit first onto the lightest shard, ties
+  // broken by unit id and shard index so the partition is deterministic.
+  std::vector<int> order(plan.units.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> costs(plan.units.size());
+  for (size_t i = 0; i < plan.units.size(); ++i) {
+    costs[i] = SweepUnitCost(plan.units[i]);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return costs[static_cast<size_t>(a)] >
+                                              costs[static_cast<size_t>(b)]; });
+  std::vector<double> load(static_cast<size_t>(num_shards), 0.0);
+  for (const int i : order) {
+    const size_t lightest = static_cast<size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    shards[lightest].push_back(plan.units[static_cast<size_t>(i)]);
+    load[lightest] += costs[static_cast<size_t>(i)];
+  }
+  for (std::vector<SweepUnit>& shard : shards) {
+    std::sort(shard.begin(), shard.end(),
+              [](const SweepUnit& a, const SweepUnit& b) { return a.id < b.id; });
+  }
+  return shards;
+}
+
+}  // namespace alert

@@ -1,0 +1,263 @@
+#include "src/harness/sweep_runner.h"
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/parallel.h"
+#include "src/harness/constraint_grid.h"
+#include "src/harness/static_oracle.h"
+
+namespace alert {
+namespace {
+
+// Experiments depend on everything in a cell except the goal mode (the trace and the
+// profiled stacks are goal-agnostic), so cells differing only in mode share one.
+using ExperimentKey = std::tuple<int, int, int, uint64_t>;
+using GridKey = std::tuple<int, int, int>;  // mode, task, platform
+using SettingKey = std::tuple<int, int, int, int, uint64_t, int>;
+
+ExperimentKey KeyOf(const SweepUnit& unit) {
+  return ExperimentKey{static_cast<int>(unit.cell.task),
+                       static_cast<int>(unit.cell.platform),
+                       static_cast<int>(unit.cell.contention), unit.seed};
+}
+
+GridKey GridKeyOf(const SweepCellSpec& cell) {
+  return GridKey{static_cast<int>(cell.mode), static_cast<int>(cell.task),
+                 static_cast<int>(cell.platform)};
+}
+
+SettingKey SettingKeyOf(const SweepUnit& unit) {
+  return SettingKey{static_cast<int>(unit.cell.task),
+                    static_cast<int>(unit.cell.platform),
+                    static_cast<int>(unit.cell.contention),
+                    static_cast<int>(unit.cell.mode), unit.seed, unit.grid_index};
+}
+
+ExperimentOptions MakeExperimentOptions(const SweepSpec& spec, uint64_t seed) {
+  ExperimentOptions options;
+  options.num_inputs = spec.num_inputs;
+  options.seed = seed;
+  options.contention_window = spec.contention_window;
+  options.contention_scale = spec.contention_scale;
+  options.profile_noise_sigma = spec.profile_noise_sigma;
+  return options;
+}
+
+}  // namespace
+
+std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
+                                           std::span<const SweepUnit> units,
+                                           const SweepRunOptions& options) {
+  // Units executed together for one constraint setting: the static-oracle search (if
+  // present in `units`) plus any scheme runs.  Grouping preserves the historical
+  // skip-schemes-when-static-infeasible shortcut and gives ParallelFor the same
+  // per-setting granularity the monolithic sweep always had.
+  struct SettingGroup {
+    int static_pos = -1;        // index into `units`, -1 if absent
+    std::vector<int> scheme_pos;
+  };
+
+  std::map<SettingKey, SettingGroup> groups;
+  std::map<ExperimentKey, std::unique_ptr<Experiment>> experiments;
+  std::map<GridKey, std::vector<Goals>> grids;
+  for (size_t i = 0; i < units.size(); ++i) {
+    const SweepUnit& unit = units[i];
+    ALERT_CHECK(unit.id >= 0 && static_cast<size_t>(unit.id) < plan.units.size());
+    ALERT_CHECK(unit == plan.units[static_cast<size_t>(unit.id)]);
+    SettingGroup& group = groups[SettingKeyOf(unit)];
+    if (unit.kind == SweepUnitKind::kStaticOracle) {
+      ALERT_CHECK(group.static_pos < 0);  // plans carry one static unit per setting
+      group.static_pos = static_cast<int>(i);
+    } else {
+      group.scheme_pos.push_back(static_cast<int>(i));
+    }
+    auto& experiment = experiments[KeyOf(unit)];
+    if (experiment == nullptr) {
+      experiment = std::make_unique<Experiment>(
+          unit.cell.task, unit.cell.platform, unit.cell.contention,
+          MakeExperimentOptions(plan.spec, unit.seed));
+    }
+    auto& grid = grids[GridKeyOf(unit.cell)];
+    if (grid.empty()) {
+      grid = BuildConstraintGrid(unit.cell.mode, unit.cell.task, unit.cell.platform);
+    }
+    ALERT_CHECK(static_cast<size_t>(unit.grid_index) < grid.size());
+  }
+
+  std::vector<const SettingGroup*> group_list;
+  group_list.reserve(groups.size());
+  for (const auto& [key, group] : groups) {
+    group_list.push_back(&group);
+  }
+
+  std::vector<SweepUnitResult> results(units.size());
+  ParallelFor(
+      static_cast<int>(group_list.size()),
+      [&](int g) {
+        const SettingGroup& group = *group_list[static_cast<size_t>(g)];
+        const int any_pos =
+            group.static_pos >= 0 ? group.static_pos : group.scheme_pos.front();
+        const SweepUnit& any_unit = units[static_cast<size_t>(any_pos)];
+        const Experiment& experiment = *experiments.at(KeyOf(any_unit));
+        const Goals& goals =
+            grids.at(GridKeyOf(any_unit.cell))[static_cast<size_t>(any_unit.grid_index)];
+        const GoalMode mode = any_unit.cell.mode;
+        const TaskId task = any_unit.cell.task;
+
+        bool static_infeasible = false;
+        if (group.static_pos >= 0) {
+          const SweepUnit& unit = units[static_cast<size_t>(group.static_pos)];
+          const StaticOracleResult static_best = FindStaticOracle(
+              experiment, experiment.stack(DnnSetChoice::kBoth), goals);
+          SweepUnitResult& out = results[static_cast<size_t>(group.static_pos)];
+          out.unit_id = unit.id;
+          out.usable = static_best.feasible;
+          if (static_best.feasible) {
+            out.metric = MetricValue(mode, task, static_best.result);
+          }
+          static_infeasible = !static_best.feasible;
+        }
+
+        for (const int pos : group.scheme_pos) {
+          const SweepUnit& unit = units[static_cast<size_t>(pos)];
+          SweepUnitResult& out = results[static_cast<size_t>(pos)];
+          out.unit_id = unit.id;
+          if (static_infeasible) {
+            // The merge plane drops this setting wholesale; don't spend the run.
+            out.skipped = true;
+            continue;
+          }
+          auto scheduler = MakeScheduler(unit.scheme, experiment, goals);
+          const RunResult run = experiment.Run(
+              experiment.stack(SchemeDnnSet(unit.scheme)), *scheduler, goals);
+          if (!SettingViolated(goals, run)) {
+            out.usable = true;
+            out.metric = MetricValue(mode, task, run);
+          }
+        }
+      },
+      options.threads);
+  return results;
+}
+
+serde::Status MergeSweepResults(const SweepPlan& plan,
+                                std::span<const SweepUnitResult> results,
+                                std::vector<CellResult>* out) {
+  out->clear();
+  std::vector<const SweepUnitResult*> by_id(plan.units.size(), nullptr);
+  for (const SweepUnitResult& result : results) {
+    if (result.unit_id < 0 || static_cast<size_t>(result.unit_id) >= plan.units.size()) {
+      return serde::Error("result for unknown unit id " +
+                          std::to_string(result.unit_id));
+    }
+    if (by_id[static_cast<size_t>(result.unit_id)] != nullptr) {
+      return serde::Error("duplicate result for unit id " +
+                          std::to_string(result.unit_id));
+    }
+    by_id[static_cast<size_t>(result.unit_id)] = &result;
+  }
+  for (size_t id = 0; id < by_id.size(); ++id) {
+    if (by_id[id] == nullptr) {
+      return serde::Error("missing result for unit id " + std::to_string(id) +
+                          " (incomplete shard set?)");
+    }
+  }
+
+  // Walk the plan in its enumeration order: cells x seeds x settings x
+  // (static, schemes...).  The arithmetic below is the monolithic EvaluateCell
+  // accounting, verbatim, so merged aggregates are bit-identical to in-process ones.
+  const size_t num_schemes = plan.spec.schemes.size();
+  size_t next = 0;
+  for (const SweepCellSpec& cell_spec : plan.spec.cells) {
+    for (const uint64_t seed : plan.spec.seeds) {
+      CellResult cell;
+      cell.spec.task = cell_spec.task;
+      cell.spec.platform = cell_spec.platform;
+      cell.spec.contention = cell_spec.contention;
+      cell.spec.mode = cell_spec.mode;
+      cell.spec.options = MakeExperimentOptions(plan.spec, seed);
+      cell.total_settings = static_cast<int>(plan.grid_indices.size());
+      cell.schemes.resize(num_schemes);
+      for (size_t si = 0; si < num_schemes; ++si) {
+        cell.schemes[si].scheme = plan.spec.schemes[si];
+      }
+
+      for (size_t gi = 0; gi < plan.grid_indices.size(); ++gi) {
+        const SweepUnit& static_unit = plan.units[next];
+        ALERT_CHECK(static_unit.kind == SweepUnitKind::kStaticOracle);
+        const SweepUnitResult& static_result = *by_id[next];
+        ++next;
+        if (!static_result.usable) {
+          ++cell.skipped_settings;
+          next += num_schemes;
+          continue;
+        }
+        if (!(static_result.metric > 0.0)) {
+          return serde::Error("unit " + std::to_string(static_unit.id) +
+                              ": usable static oracle with non-positive metric");
+        }
+        cell.static_raw_values.push_back(static_result.metric);
+        for (size_t si = 0; si < num_schemes; ++si) {
+          ALERT_CHECK(plan.units[next].kind == SweepUnitKind::kScheme);
+          const SweepUnitResult& result = *by_id[next];
+          ++next;
+          SchemeCellStats& stats = cell.schemes[si];
+          if (result.skipped) {
+            return serde::Error("unit " + std::to_string(result.unit_id) +
+                                " skipped although its static oracle was feasible");
+          }
+          ++stats.usable_settings;
+          if (!result.usable) {
+            ++stats.violated_settings;
+            continue;
+          }
+          stats.raw_values.push_back(result.metric);
+          stats.normalized_values.push_back(result.metric / static_result.metric);
+        }
+      }
+
+      double static_sum = 0.0;
+      for (double v : cell.static_raw_values) {
+        static_sum += v;
+      }
+      cell.static_mean_raw =
+          cell.static_raw_values.empty()
+              ? 0.0
+              : static_sum / static_cast<double>(cell.static_raw_values.size());
+
+      for (SchemeCellStats& stats : cell.schemes) {
+        double norm_sum = 0.0;
+        double raw_sum = 0.0;
+        for (double v : stats.normalized_values) {
+          norm_sum += v;
+        }
+        for (double v : stats.raw_values) {
+          raw_sum += v;
+        }
+        const double n = static_cast<double>(stats.normalized_values.size());
+        stats.mean_normalized = n > 0 ? norm_sum / n : 0.0;
+        stats.mean_raw = n > 0 ? raw_sum / n : 0.0;
+      }
+      out->push_back(std::move(cell));
+    }
+  }
+  ALERT_CHECK(next == plan.units.size());
+  return serde::Ok();
+}
+
+std::vector<CellResult> RunSweep(const SweepPlan& plan, const SweepRunOptions& options) {
+  const std::vector<SweepUnitResult> results = RunSweepUnits(plan, plan.units, options);
+  std::vector<CellResult> cells;
+  const serde::Status merged = MergeSweepResults(plan, results, &cells);
+  if (!merged) {
+    std::fprintf(stderr, "RunSweep: %s\n", merged.message.c_str());
+    ALERT_CHECK(merged.ok);
+  }
+  return cells;
+}
+
+}  // namespace alert

@@ -1,0 +1,57 @@
+// Execution and merge plane for sharded constraint-grid sweeps.
+//
+// `RunSweepUnits` executes any subset of a plan's units in-process — one shard, or the
+// whole plan — sharing Experiments (trace + stacks) across units of the same
+// (task, platform, contention, seed) and parallelizing across constraint settings with
+// ParallelFor.  Every unit is a pure function of (plan spec, unit fields), so the
+// results are independent of thread count, unit order, and how the plan was sharded.
+//
+// `MergeSweepResults` is the single aggregation implementation: it folds per-unit
+// results back into the Table 4 accounting (CellResult per (cell, seed), in plan
+// order) with the exact arithmetic the monolithic harness always used.  Merging K
+// shard result sets is byte-for-byte identical to aggregating the monolithic run —
+// the shard-equivalence tests and the sweep_merge CLI both lean on that.
+//
+// `EvaluateCell` (evaluation.h) routes through this plane with a single-cell plan, so
+// grid enumeration and aggregation exist exactly once in the codebase.
+#ifndef SRC_HARNESS_SWEEP_RUNNER_H_
+#define SRC_HARNESS_SWEEP_RUNNER_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/harness/evaluation.h"
+#include "src/harness/sweep_plan.h"
+
+namespace alert {
+
+struct SweepRunOptions {
+  int threads = 0;  // ParallelFor width across settings; 0 = hardware concurrency
+};
+
+// Executes `units` (any subset of plan.units; checked) and returns one result per
+// unit, in the same order.  When a setting's static-oracle unit is part of `units` and
+// turns out infeasible, that setting's scheme units in `units` are marked skipped
+// instead of run — the merge plane excludes such settings wholesale, so skipping never
+// changes the aggregate (only saves the work, matching the historical in-process
+// sweep).
+std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
+                                           std::span<const SweepUnit> units,
+                                           const SweepRunOptions& options = {});
+
+// Folds unit results into one CellResult per (cell, seed), ordered cells-major as the
+// plan enumerates them.  Errors (never aborts) on unknown/duplicate/missing unit ids,
+// on a non-positive usable static metric, and on a scheme result that was skipped even
+// though its setting's static oracle was feasible.
+serde::Status MergeSweepResults(const SweepPlan& plan,
+                                std::span<const SweepUnitResult> results,
+                                std::vector<CellResult>* out);
+
+// The monolithic in-process sweep: run every unit, merge, return the cells.
+std::vector<CellResult> RunSweep(const SweepPlan& plan,
+                                 const SweepRunOptions& options = {});
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_SWEEP_RUNNER_H_

@@ -1,0 +1,178 @@
+// Record-grammar tests for src/common/serde: exact round trips for every value type
+// and strict, status-based (never crashing) rejection of malformed input.
+#include "src/common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace alert::serde {
+namespace {
+
+TEST(SerdeDoubleTest, FormatRoundTripsExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           -2.2250738585072014e-308,  // smallest normal
+                           5e-324,                    // smallest denormal
+                           std::numeric_limits<double>::max(),
+                           0.064 * 0.4,
+                           123456.78901234567};
+  for (const double v : values) {
+    double parsed = 0.0;
+    const Status s = ParseDouble(FormatDouble(v), &parsed);
+    ASSERT_TRUE(s.ok) << s.message;
+    EXPECT_EQ(std::signbit(parsed), std::signbit(v));
+    EXPECT_EQ(parsed, v);
+  }
+}
+
+TEST(SerdeDoubleTest, RejectsNonFiniteAndMalformed) {
+  double out = 0.0;
+  EXPECT_FALSE(ParseDouble("nan", &out).ok);
+  EXPECT_FALSE(ParseDouble("inf", &out).ok);
+  EXPECT_FALSE(ParseDouble("-inf", &out).ok);
+  EXPECT_FALSE(ParseDouble("1e999", &out).ok);  // overflows to inf
+  EXPECT_FALSE(ParseDouble("", &out).ok);
+  EXPECT_FALSE(ParseDouble("1.5x", &out).ok);
+  EXPECT_FALSE(ParseDouble("one", &out).ok);
+}
+
+TEST(SerdeIntTest, ParsesAndRangeChecks) {
+  int out = 0;
+  EXPECT_TRUE(ParseInt("-42", &out).ok);
+  EXPECT_EQ(out, -42);
+  EXPECT_FALSE(ParseInt("4e2", &out).ok);
+  EXPECT_FALSE(ParseInt("42.0", &out).ok);
+  EXPECT_FALSE(ParseInt("99999999999999", &out).ok);  // fits int64, not int
+
+  int64_t wide = 0;
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &wide).ok);
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &wide).ok);
+
+  uint64_t u = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u).ok);
+  EXPECT_EQ(u, 18446744073709551615ull);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &u).ok);
+  EXPECT_FALSE(ParseUint64("-1", &u).ok);
+}
+
+TEST(SerdeBoolTest, OnlyZeroAndOne) {
+  bool out = false;
+  EXPECT_TRUE(ParseBool("1", &out).ok);
+  EXPECT_TRUE(out);
+  EXPECT_TRUE(ParseBool("0", &out).ok);
+  EXPECT_FALSE(out);
+  EXPECT_FALSE(ParseBool("true", &out).ok);
+  EXPECT_FALSE(ParseBool("2", &out).ok);
+}
+
+TEST(SerdeRecordTest, WriterReaderRoundTrip) {
+  const std::string line = RecordWriter("unit")
+                               .Field("id", 7)
+                               .Field("name", "alpha")
+                               .Field("metric", 1.0 / 3.0)
+                               .Field("seed", uint64_t{18446744073709551615ull})
+                               .Field("flag", true)
+                               .line();
+  RecordReader reader;
+  ASSERT_TRUE(RecordReader::Parse(line, &reader).ok);
+  EXPECT_TRUE(reader.ExpectTag("unit").ok);
+  EXPECT_FALSE(reader.ExpectTag("result").ok);
+
+  int id = 0;
+  std::string name;
+  double metric = 0.0;
+  uint64_t seed = 0;
+  bool flag = false;
+  EXPECT_TRUE(reader.Get("id", &id).ok);
+  EXPECT_TRUE(reader.Get("name", &name).ok);
+  EXPECT_TRUE(reader.Get("metric", &metric).ok);
+  EXPECT_TRUE(reader.Get("seed", &seed).ok);
+  EXPECT_TRUE(reader.Get("flag", &flag).ok);
+  EXPECT_EQ(id, 7);
+  EXPECT_EQ(name, "alpha");
+  EXPECT_EQ(metric, 1.0 / 3.0);
+  EXPECT_EQ(seed, 18446744073709551615ull);
+  EXPECT_TRUE(flag);
+  EXPECT_TRUE(reader.ExpectAllConsumed().ok);
+}
+
+TEST(SerdeRecordTest, MissingFieldNamesTheKey) {
+  RecordReader reader;
+  ASSERT_TRUE(RecordReader::Parse("unit id=1", &reader).ok);
+  double metric = 0.0;
+  const Status s = reader.Get("metric", &metric);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.message.find("metric"), std::string::npos);
+}
+
+TEST(SerdeRecordTest, UnknownFieldRejectedByExpectAllConsumed) {
+  RecordReader reader;
+  ASSERT_TRUE(RecordReader::Parse("unit id=1 bogus=3", &reader).ok);
+  int id = 0;
+  ASSERT_TRUE(reader.Get("id", &id).ok);
+  const Status s = reader.ExpectAllConsumed();
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.message.find("bogus"), std::string::npos);
+}
+
+TEST(SerdeRecordTest, MalformedLinesAreErrorsNotCrashes) {
+  RecordReader reader;
+  EXPECT_FALSE(RecordReader::Parse("", &reader).ok);
+  EXPECT_FALSE(RecordReader::Parse("   ", &reader).ok);
+  EXPECT_FALSE(RecordReader::Parse("key=value", &reader).ok);  // tag missing
+  EXPECT_FALSE(RecordReader::Parse("unit id", &reader).ok);    // bare token
+  EXPECT_FALSE(RecordReader::Parse("unit id=", &reader).ok);   // empty value
+  EXPECT_FALSE(RecordReader::Parse("unit =3", &reader).ok);    // empty key
+  EXPECT_FALSE(RecordReader::Parse("unit id=1 id=2", &reader).ok);  // duplicate
+}
+
+TEST(SerdeRecordTest, DoubleReadOfAFieldFails) {
+  RecordReader reader;
+  ASSERT_TRUE(RecordReader::Parse("unit id=1", &reader).ok);
+  int id = 0;
+  EXPECT_TRUE(reader.Get("id", &id).ok);
+  EXPECT_FALSE(reader.Get("id", &id).ok);
+}
+
+TEST(SerdeLinesTest, SkipsBlanksAndComments) {
+  const auto lines = DataLines("a b=1\n\n# comment\n  \t\n c d=2 \r\n# x\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a b=1");
+  EXPECT_EQ(lines[1], "c d=2");
+}
+
+TEST(SerdeHashTest, Fnv1a64KnownVectorsAndSensitivity) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(Fnv1a64("unit id=1"), Fnv1a64("unit id=2"));
+}
+
+TEST(SerdeFileTest, ReadMissingFileIsStatusError) {
+  std::string contents;
+  const Status s = ReadFile("/nonexistent/definitely/missing.txt", &contents);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.message.find("missing.txt"), std::string::npos);
+}
+
+TEST(SerdeFileTest, WriteThenReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/serde_file_test.txt";
+  const std::string payload = "unit id=1\nresult unit=1 usable=0\n";
+  ASSERT_TRUE(WriteFile(path, payload).ok);
+  std::string back;
+  ASSERT_TRUE(ReadFile(path, &back).ok);
+  EXPECT_EQ(back, payload);
+}
+
+TEST(SerdeFileTest, WriteToUnwritablePathIsStatusError) {
+  EXPECT_FALSE(WriteFile("/nonexistent/dir/out.txt", "x").ok);
+}
+
+}  // namespace
+}  // namespace alert::serde

@@ -1,0 +1,63 @@
+// Golden-file regression pin for BuildConstraintGrid: every value of the 36-setting
+// Table 3 grid (image task, CPU1, both goal modes), formatted with full %.17g
+// precision.  Sweep units address settings by grid index, and shard/merge
+// byte-identity depends on every process enumerating the identical grid — so a change
+// here must be deliberate (regenerate with:
+//   ctest -R ConstraintGridGolden --output-on-failure
+// failing output shows the freshly formatted grid; or run this binary with
+// --gtest_also_run_disabled_tests to print it).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/serde.h"
+#include "src/harness/constraint_grid.h"
+
+namespace alert {
+namespace {
+
+std::string FormatGrid(GoalMode mode, TaskId task, PlatformId platform) {
+  std::string text = "grid mode=" + std::string(GoalModeName(mode)) +
+                     " task=" + std::string(TaskName(task)) +
+                     " platform=" + std::string(PlatformName(platform)) + "\n";
+  const std::vector<Goals> grid = BuildConstraintGrid(mode, task, platform);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const Goals& g = grid[i];
+    text += "setting=" + std::to_string(i) +
+            " deadline=" + serde::FormatDouble(g.deadline) +
+            " accuracy_goal=" + serde::FormatDouble(g.accuracy_goal) +
+            " energy_budget=" + serde::FormatDouble(g.energy_budget) +
+            " prob_threshold=" + serde::FormatDouble(g.prob_threshold) + "\n";
+  }
+  return text;
+}
+
+std::string FormatBothModes() {
+  return FormatGrid(GoalMode::kMinimizeEnergy, TaskId::kImageClassification,
+                    PlatformId::kCpu1) +
+         FormatGrid(GoalMode::kMaximizeAccuracy, TaskId::kImageClassification,
+                    PlatformId::kCpu1);
+}
+
+TEST(ConstraintGridGoldenTest, ImageCpu1GridMatchesGoldenFile) {
+  const std::string path =
+      std::string(ALERT_TESTDATA_DIR) + "/constraint_grid_cpu1_image.golden";
+  std::string golden;
+  const serde::Status s = serde::ReadFile(path, &golden);
+  ASSERT_TRUE(s.ok) << s.message;
+  const std::string actual = FormatBothModes();
+  EXPECT_EQ(actual, golden)
+      << "BuildConstraintGrid output changed.  If deliberate, update " << path
+      << " with the 'actual' text above (grid indices are the sharded sweeps' unit "
+         "addressing, so merged results from mixed-version shards would be wrong).";
+}
+
+// Not a check — a regeneration helper: prints the current grid so the golden file can
+// be refreshed after an intentional grid change.
+TEST(ConstraintGridGoldenTest, DISABLED_PrintCurrentGrid) {
+  std::fputs(FormatBothModes().c_str(), stdout);
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,263 @@
+// Round-trip property tests for the sweep wire formats: serialize -> parse ->
+// serialize must be the identity (both on values and on bytes), and malformed input
+// must come back as a Status error, never a crash.
+#include "src/harness/sweep_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace alert {
+namespace {
+
+SweepSpec ExampleSpec() {
+  SweepSpec spec;
+  spec.cells.push_back(SweepCellSpec{TaskId::kImageClassification, PlatformId::kCpu1,
+                                     ContentionType::kNone, GoalMode::kMinimizeEnergy});
+  spec.cells.push_back(SweepCellSpec{TaskId::kSentencePrediction, PlatformId::kCpu2,
+                                     ContentionType::kMemory,
+                                     GoalMode::kMaximizeAccuracy});
+  spec.schemes = {SchemeId::kAlert, SchemeId::kSysOnly, SchemeId::kOracle};
+  spec.seeds = {1, 20200715};
+  spec.num_inputs = 120;
+  spec.grid_indices = {0, 7, 35};
+  spec.contention_scale = 1.25;
+  spec.profile_noise_sigma = 0.1;
+  return spec;
+}
+
+TEST(SweepSpecSerdeTest, RoundTripIsIdentity) {
+  const SweepSpec spec = ExampleSpec();
+  const std::string text = SerializeSweepSpec(spec);
+  SweepSpec parsed;
+  const serde::Status s = ParseSweepSpec(text, &parsed);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(parsed, spec);
+  EXPECT_EQ(SerializeSweepSpec(parsed), text);  // byte-stable second generation
+}
+
+TEST(SweepSpecSerdeTest, ContentionWindowSurvives) {
+  SweepSpec spec = ExampleSpec();
+  spec.contention_window = std::make_pair(46, 119);
+  SweepSpec parsed;
+  ASSERT_TRUE(ParseSweepSpec(SerializeSweepSpec(spec), &parsed).ok);
+  EXPECT_EQ(parsed, spec);
+}
+
+TEST(SweepSpecSerdeTest, MalformedSpecsAreStatusErrors) {
+  SweepSpec out;
+  EXPECT_FALSE(ParseSweepSpec("", &out).ok);
+  EXPECT_FALSE(ParseSweepSpec("bogus v=1\nend\n", &out).ok);
+  EXPECT_FALSE(ParseSweepSpec("sweep-spec v=99\nend\n", &out).ok);  // bad version
+  const std::string good = SerializeSweepSpec(ExampleSpec());
+  // Truncation (missing 'end') is detected.
+  EXPECT_FALSE(ParseSweepSpec(good.substr(0, good.size() - 4), &out).ok);
+  // An unknown record tag is rejected.
+  std::string unknown = good;
+  unknown.insert(unknown.find("end\n"), "mystery field=1\n");
+  EXPECT_FALSE(ParseSweepSpec(unknown, &out).ok);
+  // Out-of-range enum values are rejected.
+  std::string bad_scheme = good;
+  bad_scheme.replace(bad_scheme.find("scheme id=0"), 11, "scheme id=99");
+  EXPECT_FALSE(ParseSweepSpec(bad_scheme, &out).ok);
+  // Semantic validation runs after parsing: duplicate seeds are rejected.
+  std::string dup_seed = good;
+  dup_seed.insert(dup_seed.find("end\n"), "seed value=1\n");
+  EXPECT_FALSE(ParseSweepSpec(dup_seed, &out).ok);
+  // Grid indices outside the 36-setting grid are rejected.
+  std::string bad_grid = good;
+  bad_grid.insert(bad_grid.find("end\n"), "grid setting=36\n");
+  EXPECT_FALSE(ParseSweepSpec(bad_grid, &out).ok);
+}
+
+TEST(SweepUnitSerdeTest, RoundTripBothKinds) {
+  SweepUnit unit;
+  unit.id = 41;
+  unit.cell = SweepCellSpec{TaskId::kSentencePrediction, PlatformId::kGpu,
+                            ContentionType::kCompute, GoalMode::kMaximizeAccuracy};
+  unit.seed = 987654321098765ull;
+  unit.grid_index = 35;
+  unit.num_inputs = 300;
+
+  unit.kind = SweepUnitKind::kStaticOracle;
+  SweepUnit parsed;
+  ASSERT_TRUE(ParseSweepUnit(SerializeSweepUnit(unit), &parsed).ok);
+  EXPECT_EQ(parsed, unit);
+
+  unit.kind = SweepUnitKind::kScheme;
+  unit.scheme = SchemeId::kNoCoord;
+  ASSERT_TRUE(ParseSweepUnit(SerializeSweepUnit(unit), &parsed).ok);
+  EXPECT_EQ(parsed, unit);
+  EXPECT_EQ(SerializeSweepUnit(parsed), SerializeSweepUnit(unit));
+}
+
+TEST(SweepUnitSerdeTest, MalformedUnitsAreStatusErrors) {
+  SweepUnit out;
+  EXPECT_FALSE(ParseSweepUnit("", &out).ok);
+  EXPECT_FALSE(ParseSweepUnit("result unit=1", &out).ok);  // wrong tag
+  // Missing scheme on a scheme-kind unit.
+  EXPECT_FALSE(
+      ParseSweepUnit(
+          "unit id=1 task=0 platform=1 contention=0 mode=0 seed=1 grid=0 kind=1 "
+          "inputs=30",
+          &out)
+          .ok);
+  // Unknown field.
+  EXPECT_FALSE(
+      ParseSweepUnit(
+          "unit id=1 task=0 platform=1 contention=0 mode=0 seed=1 grid=0 kind=0 "
+          "inputs=30 extra=1",
+          &out)
+          .ok);
+  // Out-of-range platform.
+  EXPECT_FALSE(
+      ParseSweepUnit(
+          "unit id=1 task=0 platform=9 contention=0 mode=0 seed=1 grid=0 kind=0 "
+          "inputs=30",
+          &out)
+          .ok);
+  // Non-positive inputs.
+  EXPECT_FALSE(
+      ParseSweepUnit(
+          "unit id=1 task=0 platform=1 contention=0 mode=0 seed=1 grid=0 kind=0 "
+          "inputs=0",
+          &out)
+          .ok);
+}
+
+TEST(SweepResultSerdeTest, RoundTripAllShapes) {
+  SweepUnitResult usable;
+  usable.unit_id = 3;
+  usable.usable = true;
+  usable.metric = 0.83769326123830135;
+  SweepUnitResult violated;
+  violated.unit_id = 4;
+  SweepUnitResult skipped;
+  skipped.unit_id = 5;
+  skipped.skipped = true;
+  for (const SweepUnitResult& result : {usable, violated, skipped}) {
+    SweepUnitResult parsed;
+    ASSERT_TRUE(ParseSweepUnitResult(SerializeSweepUnitResult(result), &parsed).ok);
+    EXPECT_EQ(parsed, result);
+  }
+}
+
+TEST(SweepResultSerdeTest, MalformedResultsAreStatusErrors) {
+  SweepUnitResult out;
+  EXPECT_FALSE(ParseSweepUnitResult("result unit=1 skipped=0 usable=1", &out).ok)
+      << "usable result must carry a metric";
+  EXPECT_FALSE(
+      ParseSweepUnitResult("result unit=1 skipped=1 usable=1 metric=1", &out).ok)
+      << "skipped and usable are mutually exclusive";
+  EXPECT_FALSE(
+      ParseSweepUnitResult("result unit=1 skipped=0 usable=1 metric=nan", &out).ok)
+      << "NaN metrics must not reach the merge plane";
+  EXPECT_FALSE(
+      ParseSweepUnitResult("result unit=-2 skipped=0 usable=0", &out).ok);
+}
+
+TEST(ShardResultsSerdeTest, RoundTripAndPlanFingerprintGuard) {
+  ShardResults shard;
+  shard.plan_fingerprint = 13678292389700777394ull;
+  shard.num_shards = 4;
+  shard.shard_index = 2;
+  shard.strategy = ShardStrategy::kCostWeighted;
+  SweepUnitResult r;
+  r.unit_id = 0;
+  r.usable = true;
+  r.metric = 0.5;
+  shard.results.push_back(r);
+  r.unit_id = 7;
+  r.usable = false;
+  r.metric = 0.0;
+  shard.results.push_back(r);
+
+  const std::string text = SerializeShardResults(shard);
+  ShardResults parsed;
+  const serde::Status s = ParseShardResults(text, &parsed);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(parsed, shard);
+  EXPECT_EQ(SerializeShardResults(parsed), text);
+}
+
+TEST(ShardResultsSerdeTest, MalformedFilesAreStatusErrors) {
+  ShardResults out;
+  EXPECT_FALSE(ParseShardResults("", &out).ok);
+  ShardResults shard;
+  shard.results.push_back(SweepUnitResult{.unit_id = 0});
+  const std::string good = SerializeShardResults(shard);
+  // Truncated: no 'end'.
+  EXPECT_FALSE(ParseShardResults(good.substr(0, good.size() - 4), &out).ok);
+  // Header unit count disagrees with the body.
+  std::string wrong_count = good;
+  wrong_count.replace(wrong_count.find("units=1"), 7, "units=2");
+  EXPECT_FALSE(ParseShardResults(wrong_count, &out).ok);
+  // Shard index out of range.
+  std::string bad_shard = good;
+  bad_shard.replace(bad_shard.find("shard=0"), 7, "shard=5");
+  EXPECT_FALSE(ParseShardResults(bad_shard, &out).ok);
+  // Content after 'end'.
+  EXPECT_FALSE(ParseShardResults(good + "result unit=1 skipped=0 usable=0\n", &out).ok);
+}
+
+TEST(ProfileSnapshotSerdeTest, RoundTripFromARealConfigSpace) {
+  ExperimentOptions options;
+  options.num_inputs = 10;
+  options.seed = 3;
+  const Experiment experiment(TaskId::kImageClassification, PlatformId::kCpu1,
+                              ContentionType::kNone, options);
+  const ProfileSnapshot snapshot =
+      CaptureProfileSnapshot(experiment.stack(DnnSetChoice::kBoth).space());
+  ASSERT_GT(snapshot.num_models, 0);
+  ASSERT_GT(snapshot.num_powers, 0);
+  ASSERT_EQ(snapshot.profile_latency.size(),
+            static_cast<size_t>(snapshot.num_models * snapshot.num_powers));
+
+  const std::string text = SerializeProfileSnapshot(snapshot);
+  ProfileSnapshot parsed;
+  const serde::Status s = ParseProfileSnapshot(text, &parsed);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(parsed, snapshot);
+  EXPECT_EQ(SerializeProfileSnapshot(parsed), text);
+}
+
+TEST(ProfileSnapshotSerdeTest, MissingCellsAndDuplicatesAreStatusErrors) {
+  ProfileSnapshot snapshot;
+  snapshot.num_models = 1;
+  snapshot.num_powers = 1;
+  snapshot.caps = {10.0};
+  snapshot.candidates = {Candidate{.model_index = 0, .stage_limit = -1}};
+  snapshot.candidate_accuracy = {0.9};
+  snapshot.profile_latency = {0.01};
+  snapshot.inference_power = {8.0};
+  const std::string good = SerializeProfileSnapshot(snapshot);
+  ProfileSnapshot out;
+  ASSERT_TRUE(ParseProfileSnapshot(good, &out).ok);
+
+  // Drop the profile line: the parser reports the missing cell.
+  std::string missing = good;
+  const size_t at = missing.find("profile ");
+  missing.erase(at, missing.find('\n', at) - at + 1);
+  const serde::Status s = ParseProfileSnapshot(missing, &out);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.message.find("missing profile"), std::string::npos);
+
+  // Duplicate the cap line: rejected.
+  std::string dup = good;
+  const size_t cap_at = dup.find("cap ");
+  const std::string cap_line = dup.substr(cap_at, dup.find('\n', cap_at) - cap_at + 1);
+  dup.insert(cap_at, cap_line);
+  EXPECT_FALSE(ParseProfileSnapshot(dup, &out).ok);
+}
+
+TEST(ProfileSnapshotSerdeTest, ImplausibleHeaderCountsAreStatusErrorsNotBadAlloc) {
+  ProfileSnapshot out;
+  const serde::Status s = ParseProfileSnapshot(
+      "profile-snapshot v=1 models=2000000000 powers=2000000000 candidates=1\nend\n",
+      &out);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.message.find("implausibly large"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alert

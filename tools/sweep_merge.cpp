@@ -1,0 +1,123 @@
+// sweep_merge — deterministic merge plane for sharded sweep results.
+//
+// Rebuilds the unit list from the spec (the same BuildSweepPlan every shard used),
+// reads any number of shard results files, verifies they belong to this plan and cover
+// every unit exactly once, and aggregates them into the sweep CSV.  The output is
+// byte-identical to the monolithic sweep's CSV no matter how the units were sharded —
+// aggregation only depends on (plan, per-unit results).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/harness/sweep_io.h"
+#include "src/harness/sweep_plan.h"
+#include "src/harness/sweep_runner.h"
+
+using namespace alert;
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s --spec=FILE [--out=CSV] [--print] RESULTS_FILE...\n"
+      "  --spec=FILE   the sweep spec every shard ran from\n"
+      "  --out=CSV     write the aggregate CSV here\n"
+      "  --print       print the aggregate CSV to stdout\n",
+      argv0);
+  std::exit(2);
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "sweep_merge: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::optional<std::string> ArgValue(const char* arg, const char* name) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::string(arg + len + 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  bool print = false;
+  std::vector<std::string> results_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (auto v = ArgValue(arg, "--spec")) {
+      spec_path = *v;
+    } else if (auto v = ArgValue(arg, "--out")) {
+      out_path = *v;
+    } else if (std::strcmp(arg, "--print") == 0) {
+      print = true;
+    } else if (arg[0] == '-') {
+      Usage(argv[0]);
+    } else {
+      results_paths.push_back(arg);
+    }
+  }
+  if (spec_path.empty() || results_paths.empty() || (out_path.empty() && !print)) {
+    Usage(argv[0]);
+  }
+
+  std::string spec_text;
+  serde::Status s = serde::ReadFile(spec_path, &spec_text);
+  if (!s) {
+    Fail(s.message);
+  }
+  SweepSpec spec;
+  s = ParseSweepSpec(spec_text, &spec);
+  if (!s) {
+    Fail("spec '" + spec_path + "': " + s.message);
+  }
+  const SweepPlan plan = BuildSweepPlan(spec);
+  const uint64_t fingerprint = PlanFingerprint(plan);
+
+  std::vector<SweepUnitResult> results;
+  for (const std::string& path : results_paths) {
+    std::string text;
+    s = serde::ReadFile(path, &text);
+    if (!s) {
+      Fail(s.message);
+    }
+    ShardResults shard;
+    s = ParseShardResults(text, &shard);
+    if (!s) {
+      Fail("results '" + path + "': " + s.message);
+    }
+    if (shard.plan_fingerprint != fingerprint) {
+      Fail("results '" + path + "' were produced from a different plan (fingerprint " +
+           std::to_string(shard.plan_fingerprint) + ", spec builds " +
+           std::to_string(fingerprint) + ")");
+    }
+    results.insert(results.end(), shard.results.begin(), shard.results.end());
+  }
+
+  std::vector<CellResult> cells;
+  s = MergeSweepResults(plan, results, &cells);
+  if (!s) {
+    Fail(s.message);
+  }
+  const std::string csv = SweepAggregateCsv(plan, cells);
+  if (!out_path.empty()) {
+    s = serde::WriteFile(out_path, csv);
+    if (!s) {
+      Fail(s.message);
+    }
+  }
+  if (print) {
+    std::fputs(csv.c_str(), stdout);
+  }
+  std::fprintf(stderr, "sweep_merge: merged %zu results from %zu shards into %zu cells\n",
+               results.size(), results_paths.size(), cells.size());
+  return 0;
+}

@@ -1,0 +1,220 @@
+// sweep_shard — run one shard of a constraint-grid sweep plan.
+//
+// Both sweep_shard and sweep_merge rebuild the identical, deterministic unit list from
+// the spec file, so the only thing shards have to exchange is the spec and their
+// per-unit results (plain text, no shared memory).  A results file carries the plan
+// fingerprint; sweep_merge refuses to mix results from different specs.
+//
+// Typical 2-shard session (run the shards on different machines if you like):
+//   sweep_shard --write-default-spec=spec.txt
+//   sweep_shard --spec=spec.txt --shards=2 --shard=0 --out=s0.results
+//   sweep_shard --spec=spec.txt --shards=2 --shard=1 --out=s1.results
+//   sweep_merge --spec=spec.txt --out=sweep.csv s0.results s1.results
+// The monolithic path is the same pipeline with K=1:
+//   sweep_shard --spec=spec.txt --shards=1 --shard=0 --out=mono.results --csv=mono.csv
+// and mono.csv is byte-identical to any merged K-shard sweep.csv.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/harness/sweep_io.h"
+#include "src/harness/sweep_plan.h"
+#include "src/harness/sweep_runner.h"
+
+using namespace alert;
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s --spec=FILE --shards=K --shard=I --out=FILE [options]\n"
+      "       %s --write-default-spec=FILE\n"
+      "  --spec=FILE              sweep spec (see --write-default-spec for an example)\n"
+      "  --shards=K --shard=I     run shard I of a K-way partition (I in [0, K))\n"
+      "  --strategy=round-robin|cost-weighted   partition strategy (default "
+      "round-robin)\n"
+      "  --out=FILE               per-unit results file for sweep_merge\n"
+      "  --csv=FILE               also write the aggregate CSV (full plan only, i.e.\n"
+      "                           --shards=1: this is the monolithic sweep)\n"
+      "  --threads=N              worker threads across settings (default: hardware)\n"
+      "  --print-units            list this shard's serialized units and exit\n"
+      "  --dump-profile=FILE      dump the first unit's kBoth profile snapshot\n"
+      "  --write-default-spec=FILE  write a small example spec and exit\n",
+      argv0, argv0);
+  std::exit(2);
+}
+
+std::optional<std::string> ArgValue(const char* arg, const char* name) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::string(arg + len + 1);
+  }
+  return std::nullopt;
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "sweep_shard: %s\n", message.c_str());
+  std::exit(1);
+}
+
+// A toy plan that exercises both goal dimensions and the infeasible-setting path
+// (grid index 0 is the 0.4x deadline) while staying CI-fast.
+SweepSpec DefaultSpec() {
+  SweepSpec spec;
+  spec.cells.push_back(SweepCellSpec{TaskId::kImageClassification, PlatformId::kCpu1,
+                                     ContentionType::kNone, GoalMode::kMinimizeEnergy});
+  spec.schemes = {SchemeId::kAlert, SchemeId::kNoCoord};
+  spec.seeds = {1};
+  spec.num_inputs = 30;
+  spec.grid_indices = {0, 7, 14, 21, 28, 35};
+  return spec;
+}
+
+int ParseIntOrDie(const std::string& value, const char* flag) {
+  int out = 0;
+  const serde::Status s = serde::ParseInt(value, &out);
+  if (!s) {
+    Fail(std::string(flag) + ": " + s.message);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  std::string csv_path;
+  std::string profile_path;
+  std::string default_spec_path;
+  int num_shards = -1;
+  int shard_index = -1;
+  int threads = 0;
+  bool print_units = false;
+  ShardStrategy strategy = ShardStrategy::kRoundRobin;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (auto v = ArgValue(arg, "--spec")) {
+      spec_path = *v;
+    } else if (auto v = ArgValue(arg, "--shards")) {
+      num_shards = ParseIntOrDie(*v, "--shards");
+    } else if (auto v = ArgValue(arg, "--shard")) {
+      shard_index = ParseIntOrDie(*v, "--shard");
+    } else if (auto v = ArgValue(arg, "--strategy")) {
+      const serde::Status s = ParseShardStrategy(*v, &strategy);
+      if (!s) {
+        Fail(s.message);
+      }
+    } else if (auto v = ArgValue(arg, "--out")) {
+      out_path = *v;
+    } else if (auto v = ArgValue(arg, "--csv")) {
+      csv_path = *v;
+    } else if (auto v = ArgValue(arg, "--threads")) {
+      threads = ParseIntOrDie(*v, "--threads");
+    } else if (auto v = ArgValue(arg, "--dump-profile")) {
+      profile_path = *v;
+    } else if (auto v = ArgValue(arg, "--write-default-spec")) {
+      default_spec_path = *v;
+    } else if (std::strcmp(arg, "--print-units") == 0) {
+      print_units = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  if (!default_spec_path.empty()) {
+    const serde::Status s =
+        serde::WriteFile(default_spec_path, SerializeSweepSpec(DefaultSpec()));
+    if (!s) {
+      Fail(s.message);
+    }
+    std::printf("wrote example spec to %s\n", default_spec_path.c_str());
+    return 0;
+  }
+
+  if (spec_path.empty() || num_shards <= 0 || shard_index < 0 ||
+      shard_index >= num_shards) {
+    Usage(argv[0]);
+  }
+
+  std::string spec_text;
+  serde::Status s = serde::ReadFile(spec_path, &spec_text);
+  if (!s) {
+    Fail(s.message);
+  }
+  SweepSpec spec;
+  s = ParseSweepSpec(spec_text, &spec);
+  if (!s) {
+    Fail("spec '" + spec_path + "': " + s.message);
+  }
+
+  const SweepPlan plan = BuildSweepPlan(spec);
+  const auto shards = PartitionPlan(plan, num_shards, strategy);
+  const std::vector<SweepUnit>& units = shards[static_cast<size_t>(shard_index)];
+  std::fprintf(stderr, "sweep_shard: shard %d/%d (%s): %zu of %zu units\n", shard_index,
+               num_shards, std::string(ShardStrategyName(strategy)).c_str(),
+               units.size(), plan.units.size());
+
+  // The snapshot is a function of the plan's first cell, not of this shard's units,
+  // so it is written even for an empty shard or under --print-units.
+  if (!profile_path.empty()) {
+    const SweepUnit& first = plan.units.front();
+    ExperimentOptions options;
+    options.num_inputs = spec.num_inputs;
+    options.seed = first.seed;
+    options.contention_window = spec.contention_window;
+    options.contention_scale = spec.contention_scale;
+    options.profile_noise_sigma = spec.profile_noise_sigma;
+    const Experiment experiment(first.cell.task, first.cell.platform,
+                                first.cell.contention, options);
+    const ProfileSnapshot snapshot =
+        CaptureProfileSnapshot(experiment.stack(DnnSetChoice::kBoth).space());
+    s = serde::WriteFile(profile_path, SerializeProfileSnapshot(snapshot));
+    if (!s) {
+      Fail(s.message);
+    }
+  }
+
+  if (print_units) {
+    for (const SweepUnit& unit : units) {
+      std::printf("%s\n", SerializeSweepUnit(unit).c_str());
+    }
+    return 0;
+  }
+  if (out_path.empty()) {
+    Usage(argv[0]);
+  }
+  if (!csv_path.empty() && units.size() != plan.units.size()) {
+    Fail("--csv needs the full plan in one shard (use --shards=1)");
+  }
+
+  SweepRunOptions run_options;
+  run_options.threads = threads;
+  ShardResults results;
+  results.plan_fingerprint = PlanFingerprint(plan);
+  results.num_shards = num_shards;
+  results.shard_index = shard_index;
+  results.strategy = strategy;
+  results.results = RunSweepUnits(plan, units, run_options);
+
+  s = serde::WriteFile(out_path, SerializeShardResults(results));
+  if (!s) {
+    Fail(s.message);
+  }
+
+  if (!csv_path.empty()) {
+    std::vector<CellResult> cells;
+    s = MergeSweepResults(plan, results.results, &cells);
+    if (!s) {
+      Fail(s.message);
+    }
+    s = serde::WriteFile(csv_path, SweepAggregateCsv(plan, cells));
+    if (!s) {
+      Fail(s.message);
+    }
+  }
+  return 0;
+}
