@@ -1,0 +1,99 @@
+// Line-oriented child processes over stdin/stdout pipes (POSIX).
+//
+// The remote shard dispatcher talks to its workers through exactly one primitive: a
+// bidirectional stream of text lines (the serde record grammar of src/common/serde.h).
+// `Child` is that primitive for local processes — fork/exec with the child's stdin and
+// stdout redirected to pipes — and doubles as the transport for anything reachable
+// through a command line (`/bin/sh -c "ssh host ..."`).
+//
+// == API contract ==
+//
+// Spawning: `SpawnArgv` executes a program directly (no shell); `SpawnShell` runs a
+// command line under `/bin/sh -c`, which is how command-template transports reach
+// remote machines.  Both return a Status instead of aborting — a missing binary is an
+// operator error, not a logic error.  Spawning installs a process-wide SIG_IGN for
+// SIGPIPE (once) so that writing to a dead child surfaces as an EPIPE Status, not a
+// process kill.
+//
+// I/O: `WriteLine` appends '\n' and writes the whole line (short writes retried); it
+// fails once the child's stdin is closed.  `ReadLine` returns the next complete line
+// without its terminator, waiting up to `timeout_ms` (-1 = block indefinitely,
+// 0 = poll).  Readback is internally buffered; after the child exits, buffered lines
+// are still drained before kClosed is reported, so no output is lost.  A final
+// unterminated partial line is delivered as a line when the stream closes.
+//
+// Lifecycle: the destructor closes the pipes, kills (SIGKILL) a still-running child,
+// and reaps it — a Child can never leak a zombie.  `Kill` + `Wait` do the same
+// explicitly when the caller wants the exit status.  None of the methods are
+// thread-safe; a Child belongs to one thread (the dispatcher event loop).
+#ifndef SRC_COMMON_SUBPROCESS_H_
+#define SRC_COMMON_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/serde.h"
+
+namespace alert::subprocess {
+
+// Outcome of a ReadLine call.
+enum class ReadStatus : int {
+  kLine = 0,     // *out holds the next line
+  kTimeout = 1,  // nothing arrived within timeout_ms; stream still open
+  kClosed = 2,   // stream closed and the buffer is drained
+};
+
+class Child {
+ public:
+  // Executes argv[0] with the given argument vector (no shell involved).
+  static serde::Status SpawnArgv(const std::vector<std::string>& argv,
+                                 std::unique_ptr<Child>* out);
+  // Runs `command` under `/bin/sh -c` (shell syntax, e.g. an ssh invocation).
+  static serde::Status SpawnShell(const std::string& command,
+                                  std::unique_ptr<Child>* out);
+
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+  ~Child();
+
+  // Writes `line` plus a newline to the child's stdin.  Errors once the child has
+  // exited or closed its stdin (EPIPE), never raises SIGPIPE.
+  serde::Status WriteLine(std::string_view line);
+
+  // Closes the child's stdin (EOF for a line-loop worker); WriteLine fails afterwards.
+  void CloseStdin();
+
+  // Next complete line from the child's stdout.  timeout_ms < 0 blocks, 0 polls.
+  ReadStatus ReadLine(int timeout_ms, std::string* out);
+
+  // SIGKILLs the child if it is still running (idempotent; does not reap).
+  void Kill();
+
+  // Reaps the child (blocking) and returns its raw waitpid status; -1 if already
+  // reaped.  Call Kill first unless the child is known to be exiting.
+  int Wait();
+
+  pid_t pid() const { return pid_; }
+
+ private:
+  Child(pid_t pid, int stdin_fd, int stdout_fd);
+
+  static serde::Status Spawn(const std::vector<std::string>& argv,
+                             std::unique_ptr<Child>* out);
+
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool stdout_eof_ = false;
+  std::string buffer_;  // bytes read but not yet returned as lines
+  size_t scan_pos_ = 0; // buffer_ prefix already known to contain no '\n'
+};
+
+}  // namespace alert::subprocess
+
+#endif  // SRC_COMMON_SUBPROCESS_H_

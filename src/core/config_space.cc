@@ -45,6 +45,38 @@ ConfigSpace::ConfigSpace(const PlatformSimulator& sim, double profile_noise_sigm
   }
 }
 
+ConfigSpace::ConfigSpace(const PlatformSimulator& sim, const ProfileSnapshot& snapshot)
+    : sim_(&sim), caps_(sim.platform().PowerSettings()) {
+  const int num_models = static_cast<int>(sim.models().size());
+  const int num_powers = static_cast<int>(caps_.size());
+  ALERT_CHECK(num_models > 0 && num_powers > 0);
+  ALERT_CHECK(snapshot.num_models == num_models);
+  ALERT_CHECK(snapshot.num_powers == num_powers);
+  ALERT_CHECK(snapshot.caps == caps_);
+
+  // Enumerate candidates from the simulator's models exactly as profiled
+  // construction does, then require the snapshot to agree — the snapshot carries
+  // measurements for *this* space, not a way to define a different one.
+  for (int m = 0; m < num_models; ++m) {
+    const DnnModel& model = sim.models()[static_cast<size_t>(m)];
+    first_candidate_of_model_.push_back(static_cast<int>(candidates_.size()));
+    if (model.is_anytime()) {
+      for (int k = 0; k < static_cast<int>(model.anytime_stages.size()); ++k) {
+        candidates_.push_back(Candidate{.model_index = m, .stage_limit = k});
+      }
+    } else {
+      candidates_.push_back(Candidate{.model_index = m, .stage_limit = -1});
+    }
+  }
+  ALERT_CHECK(snapshot.candidates == candidates_);
+  ALERT_CHECK(snapshot.profile_latency.size() ==
+              static_cast<size_t>(num_models * num_powers));
+  ALERT_CHECK(snapshot.inference_power.size() ==
+              static_cast<size_t>(num_models * num_powers));
+  profile_latency_ = snapshot.profile_latency;
+  inference_power_ = snapshot.inference_power;
+}
+
 const DnnModel& ConfigSpace::model(int model_index) const {
   return sim_->model(model_index);
 }

@@ -37,12 +37,25 @@ struct Configuration {
   int power_index = 0;
 };
 
+struct ProfileSnapshot;
+
 class ConfigSpace {
  public:
   // `sim` must outlive the space.  `profile_noise_sigma` > 0 adds a systematic
   // lognormal perturbation to each profiled cell (seeded by `seed`).
   explicit ConfigSpace(const PlatformSimulator& sim, double profile_noise_sigma = 0.0,
                        uint64_t seed = 0);
+
+  // Warm-start construction: adopt the profiled tables of `snapshot` instead of
+  // re-profiling — this is how a remote sweep worker rebuilds the space its
+  // dispatcher already profiled.  The snapshot must have been captured from a space
+  // over an identically-configured simulator: model/cap counts, the cap ladder, and
+  // the candidate enumeration are cross-checked against `sim` (ALERT_CHECK — a
+  // mismatch is a dispatch logic error, not an input error; wire-level corruption is
+  // already rejected by ParseProfileSnapshot).  A space built this way is
+  // indistinguishable from a locally profiled one: the snapshot carries the final
+  // (noise-applied) values, so downstream decisions are bit-identical.
+  ConfigSpace(const PlatformSimulator& sim, const ProfileSnapshot& snapshot);
 
   int num_models() const { return static_cast<int>(sim_->models().size()); }
   int num_powers() const { return static_cast<int>(caps_.size()); }

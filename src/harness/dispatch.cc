@@ -1,0 +1,915 @@
+#include "src/harness/dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/subprocess.h"
+#include "src/harness/sweep_io.h"
+
+namespace alert {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ElapsedMs(Clock::time_point since) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - since)
+                              .count());
+}
+
+// Splits serialized block text into its lines (no empties; serializers never emit
+// blank lines or comments).
+std::vector<std::string> BlockLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    const size_t end = nl == std::string::npos ? text.size() : nl;
+    if (end > pos) {
+      lines.emplace_back(text, pos, end - pos);
+    }
+    pos = end + 1;
+  }
+  return lines;
+}
+
+// ----------------------------------------------------------------------------------
+// In-process transport: a worker thread per launch, in-memory line queues.
+
+class LineQueue {
+ public:
+  void Push(std::string line) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return;  // receiver is gone; the line would never be read
+      }
+      lines_.push_back(std::move(line));
+    }
+    cv_.notify_one();
+  }
+
+  ChannelRead Pop(int timeout_ms, std::string* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [this] { return !lines_.empty() || closed_; };
+    if (timeout_ms < 0) {
+      cv_.wait(lock, ready);
+    } else if (!ready()) {
+      cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
+    }
+    if (!lines_.empty()) {
+      *out = std::move(lines_.front());
+      lines_.pop_front();
+      return ChannelRead::kLine;
+    }
+    return closed_ ? ChannelRead::kClosed : ChannelRead::kTimeout;
+  }
+
+  void Close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  bool closed_ = false;
+};
+
+// The worker thread's view of its channel.
+class QueueWorkerLink final : public WorkerLink {
+ public:
+  QueueWorkerLink(LineQueue& incoming, LineQueue& outgoing)
+      : incoming_(incoming), outgoing_(outgoing) {}
+
+  bool ReadLine(std::string* line) override {
+    return incoming_.Pop(-1, line) == ChannelRead::kLine;
+  }
+  serde::Status WriteLine(std::string_view line) override {
+    outgoing_.Push(std::string(line));
+    return serde::Ok();
+  }
+
+ private:
+  LineQueue& incoming_;
+  LineQueue& outgoing_;
+};
+
+class InProcessChannel final : public WorkerChannel {
+ public:
+  explicit InProcessChannel(const DispatchWorkerOptions& options) {
+    thread_ = std::thread([this, options] {
+      QueueWorkerLink link(to_worker_, from_worker_);
+      RunDispatchWorker(link, options);
+      from_worker_.Close();  // flushes nothing; queued lines stay readable
+    });
+  }
+
+  ~InProcessChannel() override { Close(); }
+
+  serde::Status Send(std::string_view line) override {
+    // A dead worker silently drops the line; the dispatcher notices via kClosed on
+    // its next drain, exactly as with a dead subprocess.
+    to_worker_.Push(std::string(line));
+    return serde::Ok();
+  }
+
+  ChannelRead Recv(int timeout_ms, std::string* line) override {
+    return from_worker_.Pop(timeout_ms, line);
+  }
+
+  void Close() override {
+    to_worker_.Close();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    from_worker_.Close();
+  }
+
+ private:
+  LineQueue to_worker_;
+  LineQueue from_worker_;
+  std::thread thread_;
+};
+
+// ----------------------------------------------------------------------------------
+// Subprocess-backed channels.
+
+class SubprocessChannel final : public WorkerChannel {
+ public:
+  explicit SubprocessChannel(std::unique_ptr<subprocess::Child> child)
+      : child_(std::move(child)) {}
+
+  ~SubprocessChannel() override { Close(); }
+
+  serde::Status Send(std::string_view line) override {
+    return child_->WriteLine(line);
+  }
+
+  ChannelRead Recv(int timeout_ms, std::string* line) override {
+    switch (child_->ReadLine(timeout_ms, line)) {
+      case subprocess::ReadStatus::kLine:
+        return ChannelRead::kLine;
+      case subprocess::ReadStatus::kTimeout:
+        return ChannelRead::kTimeout;
+      case subprocess::ReadStatus::kClosed:
+        break;
+    }
+    return ChannelRead::kClosed;
+  }
+
+  void Close() override {
+    if (child_ != nullptr) {
+      child_->CloseStdin();
+      child_->Kill();
+      child_->Wait();
+    }
+  }
+
+ private:
+  std::unique_ptr<subprocess::Child> child_;
+};
+
+}  // namespace
+
+InProcessTransport::InProcessTransport() : InProcessTransport(Options{}) {}
+
+InProcessTransport::InProcessTransport(Options options) : options_(std::move(options)) {}
+
+serde::Status InProcessTransport::Launch(int worker_index,
+                                         std::unique_ptr<WorkerChannel>* out) {
+  DispatchWorkerOptions worker;
+  worker.threads = options_.threads;
+  if (const auto it = options_.fail_after.find(worker_index);
+      it != options_.fail_after.end()) {
+    worker.fail_after_results = it->second;
+  }
+  if (const auto it = options_.hang_after.find(worker_index);
+      it != options_.hang_after.end()) {
+    worker.hang_after_results = it->second;
+  }
+  worker.duplicate_results = options_.duplicate_results.count(worker_index) > 0;
+  *out = std::make_unique<InProcessChannel>(worker);
+  return serde::Ok();
+}
+
+SubprocessTransport::SubprocessTransport(
+    std::function<std::vector<std::string>(int)> argv_for_worker)
+    : argv_for_worker_(std::move(argv_for_worker)) {
+  ALERT_CHECK(argv_for_worker_ != nullptr);
+}
+
+serde::Status SubprocessTransport::Launch(int worker_index,
+                                          std::unique_ptr<WorkerChannel>* out) {
+  std::unique_ptr<subprocess::Child> child;
+  const serde::Status s = subprocess::Child::SpawnArgv(argv_for_worker_(worker_index),
+                                                       &child);
+  if (!s) {
+    return s;
+  }
+  *out = std::make_unique<SubprocessChannel>(std::move(child));
+  return serde::Ok();
+}
+
+CommandTransport::CommandTransport(std::function<std::string(int)> command_for_worker)
+    : command_for_worker_(std::move(command_for_worker)) {
+  ALERT_CHECK(command_for_worker_ != nullptr);
+}
+
+serde::Status CommandTransport::Launch(int worker_index,
+                                       std::unique_ptr<WorkerChannel>* out) {
+  std::unique_ptr<subprocess::Child> child;
+  const serde::Status s =
+      subprocess::Child::SpawnShell(command_for_worker_(worker_index), &child);
+  if (!s) {
+    return s;
+  }
+  *out = std::make_unique<SubprocessChannel>(std::move(child));
+  return serde::Ok();
+}
+
+// ----------------------------------------------------------------------------------
+// Worker loop.
+
+namespace {
+
+// Injected mid-shard death: thrown from the result stream, unwound through
+// ParallelFor (which rethrows the first worker exception on the caller).
+struct InjectedWorkerDeath {};
+
+struct WorkerPlanCache {
+  uint64_t fingerprint = 0;
+  bool valid = false;
+  SweepPlan plan;
+};
+
+// Reads lines up to and including the block-terminating bare `end`, returning the
+// joined block text.  False when the stream ends first.
+bool ReadBlock(WorkerLink& link, std::string* out) {
+  out->clear();
+  std::string line;
+  for (;;) {
+    if (!link.ReadLine(&line)) {
+      return false;
+    }
+    out->append(line);
+    out->push_back('\n');
+    if (line == "end") {
+      return true;
+    }
+  }
+}
+
+serde::Status FailWorker(WorkerLink& link, int seq, const std::string& reason) {
+  (void)link.WriteLine(SerializeWorkerError(seq, reason));
+  return serde::Error(reason);
+}
+
+// One assignment: parse, execute, stream.  Status errors are protocol-fatal (the
+// caller exits 4); `died` reports injected death (exit 3).
+serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
+                               const DispatchWorkerOptions& options,
+                               WorkerPlanCache& cache, bool* died) {
+  *died = false;
+  AssignHeader header;
+  serde::Status s = ParseAssignHeader(header_line, &header);
+  if (!s) {
+    return FailWorker(link, 0, s.message);
+  }
+
+  std::string block;
+  if (!ReadBlock(link, &block)) {
+    return serde::Error("stream closed inside assignment spec");
+  }
+  if (!cache.valid || cache.fingerprint != header.plan_fingerprint) {
+    SweepSpec spec;
+    s = ParseSweepSpec(block, &spec);
+    if (!s) {
+      return FailWorker(link, header.seq, "spec: " + s.message);
+    }
+    cache.plan = BuildSweepPlan(spec);
+    cache.fingerprint = PlanFingerprint(cache.plan);
+    cache.valid = true;
+  }
+  if (cache.fingerprint != header.plan_fingerprint) {
+    return FailWorker(link, header.seq,
+                      "plan fingerprint mismatch: dispatcher sent " +
+                          std::to_string(header.plan_fingerprint) + ", spec builds " +
+                          std::to_string(cache.fingerprint));
+  }
+  const SweepPlan& plan = cache.plan;
+
+  ProfileSnapshotStore store;
+  std::string line;
+  for (int i = 0; i < header.num_snapshots; ++i) {
+    if (!link.ReadLine(&line)) {
+      return serde::Error("stream closed inside assignment snapshots");
+    }
+    SnapshotKey key;
+    s = ParseSnapshotKey(line, &key);
+    if (!s) {
+      return FailWorker(link, header.seq, s.message);
+    }
+    if (!ReadBlock(link, &block)) {
+      return serde::Error("stream closed inside a profile snapshot");
+    }
+    ProfileSnapshot snapshot;
+    s = ParseProfileSnapshot(block, &snapshot);
+    if (!s) {
+      return FailWorker(link, header.seq, "snapshot: " + s.message);
+    }
+    store.Put(key.task, key.platform, key.seed, key.choice, std::move(snapshot));
+  }
+
+  std::vector<int> ids;
+  for (;;) {
+    if (!link.ReadLine(&line)) {
+      return serde::Error("stream closed inside assignment unit ids");
+    }
+    int end_seq = 0;
+    if (ParseAssignEnd(line, &end_seq)) {
+      if (end_seq != header.seq) {
+        return FailWorker(link, header.seq, "assign-end seq mismatch");
+      }
+      break;
+    }
+    s = ParseUnitIdLine(line, &ids);
+    if (!s) {
+      return FailWorker(link, header.seq, s.message);
+    }
+  }
+  if (static_cast<int>(ids.size()) != header.num_units) {
+    return FailWorker(link, header.seq, "assignment id count mismatch");
+  }
+  std::vector<SweepUnit> units;
+  units.reserve(ids.size());
+  for (const int id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= plan.units.size()) {
+      return FailWorker(link, header.seq,
+                        "assigned unit id " + std::to_string(id) + " not in plan");
+    }
+    units.push_back(plan.units[static_cast<size_t>(id)]);
+  }
+
+  std::atomic<int> sent{0};
+  // hang_after 0 is the fully silent worker: it executes but never reports, not even
+  // the initial heartbeat — the pure deadline-retry case.
+  std::atomic<bool> quiet{options.hang_after_results == 0};
+  // The result stream (serialized by the sweep runner) and the heartbeat thread
+  // below both write; one mutex keeps lines whole on the shared byte stream.
+  std::mutex write_mutex;
+  const auto write_line = [&](const std::string& line_out) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    (void)link.WriteLine(line_out);
+  };
+  if (!quiet.load()) {
+    write_line(SerializeHeartbeat(header.seq, 0));
+  }
+
+  SweepRunOptions run;
+  run.threads = options.threads;
+  run.warm_start = &store;
+  run.on_result = [&](const SweepUnitResult& result) {
+    if (!quiet.load()) {
+      write_line(SerializeWorkerResult(header.seq, result));
+      if (options.duplicate_results) {
+        write_line(SerializeWorkerResult(header.seq, result));
+      }
+    }
+    const int count = sent.fetch_add(1) + 1;
+    if (options.hang_after_results > 0 && count >= options.hang_after_results) {
+      quiet.store(true);  // keep executing, report nothing: the silent-straggler case
+    }
+    if (options.fail_after_results >= 0 && count >= options.fail_after_results) {
+      throw InjectedWorkerDeath{};
+    }
+  };
+
+  // Periodic liveness while executing: a setting group can legitimately run longer
+  // than the dispatcher's straggler deadline, and silence must mean trouble, not
+  // depth of work.
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat;
+  if (options.heartbeat_interval_ms > 0) {
+    heartbeat = std::thread([&] {
+      std::unique_lock<std::mutex> lock(hb_mutex);
+      while (!hb_cv.wait_for(lock,
+                             std::chrono::milliseconds(options.heartbeat_interval_ms),
+                             [&] { return hb_stop; })) {
+        if (!quiet.load()) {
+          write_line(SerializeHeartbeat(header.seq, sent.load()));
+        }
+      }
+    });
+  }
+  const auto stop_heartbeat = [&] {
+    if (heartbeat.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(hb_mutex);
+        hb_stop = true;
+      }
+      hb_cv.notify_all();
+      heartbeat.join();
+    }
+  };
+
+  try {
+    RunSweepUnits(plan, units, run);
+  } catch (const InjectedWorkerDeath&) {
+    stop_heartbeat();
+    *died = true;
+    return serde::Ok();
+  }
+  stop_heartbeat();
+  if (!quiet.load()) {
+    write_line(SerializeAssignDone(header.seq, static_cast<int>(units.size()),
+                                   cache.fingerprint));
+  }
+  return serde::Ok();
+}
+
+}  // namespace
+
+int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options) {
+  if (!link.WriteLine(SerializeWorkerHello())) {
+    return 4;
+  }
+  WorkerPlanCache cache;
+  std::string line;
+  while (link.ReadLine(&line)) {
+    if (line == kShutdownLine) {
+      return 0;
+    }
+    bool died = false;
+    const serde::Status s = HandleAssignment(link, line, options, cache, &died);
+    if (died) {
+      return 3;
+    }
+    if (!s) {
+      std::fprintf(stderr, "dispatch worker: %s\n", s.message.c_str());
+      return 4;
+    }
+  }
+  return 0;  // dispatcher closed the stream: normal shutdown
+}
+
+// ----------------------------------------------------------------------------------
+// Dispatcher.
+
+ProfileSnapshotStore CapturePlanSnapshots(const SweepPlan& plan) {
+  ProfileSnapshotStore store;
+  // (task, platform, seed) -> a contention to build the experiment with (profiles are
+  // contention-independent; any representative works).
+  std::map<std::tuple<int, int, uint64_t>, ContentionType> triples;
+  for (const SweepUnit& unit : plan.units) {
+    triples.emplace(std::tuple<int, int, uint64_t>{static_cast<int>(unit.cell.task),
+                                                   static_cast<int>(unit.cell.platform),
+                                                   unit.seed},
+                    unit.cell.contention);
+  }
+  for (const auto& [key, contention] : triples) {
+    const TaskId task = static_cast<TaskId>(std::get<0>(key));
+    const PlatformId platform = static_cast<PlatformId>(std::get<1>(key));
+    const uint64_t seed = std::get<2>(key);
+    ExperimentOptions options;
+    options.num_inputs = plan.spec.num_inputs;
+    options.seed = seed;
+    options.contention_window = plan.spec.contention_window;
+    options.contention_scale = plan.spec.contention_scale;
+    options.profile_noise_sigma = plan.spec.profile_noise_sigma;
+    const Experiment experiment(task, platform, contention, options);
+    for (const DnnSetChoice choice :
+         {DnnSetChoice::kTraditionalOnly, DnnSetChoice::kAnytimeOnly,
+          DnnSetChoice::kBoth}) {
+      store.Put(task, platform, seed, choice,
+                CaptureProfileSnapshot(experiment.stack(choice).space()));
+    }
+  }
+  return store;
+}
+
+namespace {
+
+struct WorkerState {
+  std::unique_ptr<WorkerChannel> channel;
+  int launch_index = -1;
+  enum class Mode { kIdle, kWorking, kStraggler, kDead } mode = Mode::kIdle;
+  int seq = -1;                   // current (or last) assignment
+  std::vector<int> assigned_ids;  // ids of the current assignment
+  Clock::time_point last_activity;
+};
+
+// Everything an assignment message needs that is constant per dispatch: the spec and
+// each snapshot's wire lines are serialized once here, then spliced into every
+// assignment — snapshots are the bulk of the payload and identical across waves.
+struct AssignmentContext {
+  const SweepPlan* plan;
+  std::vector<std::string> spec_lines;
+  // (task, platform, seed) -> the ready-to-send lines of its three snapshots
+  // (each: `snapshot-for` key line + profile-snapshot block).
+  std::map<std::tuple<int, int, uint64_t>, std::vector<std::string>> snapshot_lines;
+  uint64_t fingerprint = 0;
+
+  void CacheSnapshots(const ProfileSnapshotStore& store) {
+    for (const auto& [key, snapshot] : store.entries()) {
+      SnapshotKey snapshot_key;
+      snapshot_key.task = static_cast<TaskId>(std::get<0>(key));
+      snapshot_key.platform = static_cast<PlatformId>(std::get<1>(key));
+      snapshot_key.seed = std::get<2>(key);
+      snapshot_key.choice = static_cast<DnnSetChoice>(std::get<3>(key));
+      std::vector<std::string>& lines =
+          snapshot_lines[std::tuple<int, int, uint64_t>{
+              std::get<0>(key), std::get<1>(key), std::get<2>(key)}];
+      lines.push_back(SerializeSnapshotKey(snapshot_key));
+      for (std::string& body_line : BlockLines(SerializeProfileSnapshot(snapshot))) {
+        lines.push_back(std::move(body_line));
+      }
+    }
+  }
+};
+
+// Sends one assignment (spec + the snapshots its units need + ids).  A Send error
+// means the worker is gone; the caller handles requeueing.
+serde::Status SendAssignment(const AssignmentContext& context, WorkerState& worker,
+                             int seq, std::span<const int> ids) {
+  const SweepPlan& plan = *context.plan;
+  std::map<std::tuple<int, int, uint64_t>, bool> triples;
+  for (const int id : ids) {
+    const SweepUnit& unit = plan.units[static_cast<size_t>(id)];
+    triples[std::tuple<int, int, uint64_t>{static_cast<int>(unit.cell.task),
+                                           static_cast<int>(unit.cell.platform),
+                                           unit.seed}] = true;
+  }
+
+  AssignHeader header;
+  header.seq = seq;
+  header.plan_fingerprint = context.fingerprint;
+  header.num_units = static_cast<int>(ids.size());
+  header.num_snapshots = static_cast<int>(triples.size()) * 3;
+
+  const auto send = [&](const std::string& line) {
+    return worker.channel->Send(line);
+  };
+  serde::Status s = send(SerializeAssignHeader(header));
+  for (const std::string& line : context.spec_lines) {
+    if (!s) {
+      return s;
+    }
+    s = send(line);
+  }
+  for (const auto& [key, unused] : triples) {
+    const auto it = context.snapshot_lines.find(key);
+    ALERT_CHECK(it != context.snapshot_lines.end());  // CapturePlanSnapshots covers all
+    for (const std::string& line : it->second) {
+      if (!s) {
+        return s;
+      }
+      s = send(line);
+    }
+  }
+  for (const std::string& id_line : SerializeUnitIdLines(ids)) {
+    if (!s) {
+      return s;
+    }
+    s = send(id_line);
+  }
+  if (s) {
+    s = send(SerializeAssignEnd(seq));
+  }
+  return s;
+}
+
+}  // namespace
+
+serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
+                            const DispatchOptions& options,
+                            std::vector<CellResult>* out, DispatchStats* stats) {
+  DispatchStats local_stats;
+  DispatchStats& st = stats != nullptr ? *stats : local_stats;
+  st = DispatchStats{};
+  out->clear();
+  if (options.num_workers <= 0) {
+    return serde::Error("dispatch needs at least one worker");
+  }
+  const int max_launches = options.max_worker_launches > 0
+                               ? options.max_worker_launches
+                               : options.num_workers + 8;
+
+  const auto log = [&](const std::string& event) {
+    if (options.on_event) {
+      options.on_event(event);
+    }
+  };
+
+  AssignmentContext context;
+  context.plan = &plan;
+  const ProfileSnapshotStore snapshots = CapturePlanSnapshots(plan);
+  context.CacheSnapshots(snapshots);
+  context.spec_lines = BlockLines(SerializeSweepSpec(plan.spec));
+  context.fingerprint = PlanFingerprint(plan);
+
+  SweepMergeAccumulator accumulator(plan);
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  std::vector<int> retry_queue;  // unit ids awaiting reassignment
+  int next_launch_index = 0;
+  int next_seq = 0;
+  const Clock::time_point start = Clock::now();
+
+  const auto launch_worker = [&]() -> WorkerState* {
+    while (next_launch_index < max_launches) {
+      const int index = next_launch_index++;
+      auto state = std::make_unique<WorkerState>();
+      const serde::Status s = transport.Launch(index, &state->channel);
+      if (!s) {
+        ++st.failed_launches;
+        log("launch " + std::to_string(index) + " failed: " + s.message);
+        continue;
+      }
+      ++st.workers_launched;
+      state->launch_index = index;
+      state->mode = WorkerState::Mode::kIdle;
+      state->last_activity = Clock::now();
+      workers.push_back(std::move(state));
+      return workers.back().get();
+    }
+    return nullptr;
+  };
+
+  // Requeues the not-yet-merged remainder of a worker's assignment.
+  const auto requeue_unfinished = [&](WorkerState& worker) {
+    for (const int id : worker.assigned_ids) {
+      if (!accumulator.IsRecorded(id)) {
+        retry_queue.push_back(id);
+      }
+    }
+    worker.assigned_ids.clear();
+  };
+
+  const auto fail_worker = [&](WorkerState& worker, const std::string& why) {
+    if (worker.mode == WorkerState::Mode::kDead) {
+      return;
+    }
+    log("worker " + std::to_string(worker.launch_index) + " failed: " + why);
+    ++st.worker_failures;
+    requeue_unfinished(worker);
+    worker.mode = WorkerState::Mode::kDead;
+    worker.channel->Close();
+  };
+
+  const auto assign_ids = [&](WorkerState& worker, std::vector<int> ids,
+                              bool is_retry) {
+    ALERT_CHECK(!ids.empty());
+    for (const int id : ids) {
+      ALERT_CHECK(!accumulator.IsRecorded(id));  // never re-run a completed unit
+    }
+    const int seq = next_seq++;
+    if (is_retry) {
+      ++st.retry_assignments;
+    }
+    if (options.on_assign) {
+      options.on_assign(worker.launch_index, seq, ids);
+    }
+    worker.seq = seq;
+    worker.assigned_ids = std::move(ids);
+    worker.mode = WorkerState::Mode::kWorking;
+    worker.last_activity = Clock::now();
+    const serde::Status s = SendAssignment(context, worker, seq, worker.assigned_ids);
+    if (!s) {
+      fail_worker(worker, "send: " + s.message);
+    }
+  };
+
+  // Handles one parsed worker line; returns a fatal dispatch error or Ok.
+  const auto handle_message = [&](WorkerState& worker,
+                                  const std::string& line) -> serde::Status {
+    worker.last_activity = Clock::now();
+    WorkerMessage message;
+    const serde::Status parsed = ParseWorkerMessage(line, &message);
+    if (!parsed) {
+      fail_worker(worker, parsed.message);
+      return serde::Ok();
+    }
+    switch (message.kind) {
+      case WorkerMessage::Kind::kHello:
+      case WorkerMessage::Kind::kHeartbeat:
+        break;
+      case WorkerMessage::Kind::kResult: {
+        ++st.results_received;
+        bool newly = false;
+        const serde::Status s = accumulator.Add(message.result, &newly);
+        if (!s) {
+          // Unknown id or conflicting payload: the sweep's determinism contract is
+          // broken — refuse to produce a CSV that might be wrong.
+          return serde::Wrap(
+              "worker " + std::to_string(worker.launch_index) + " result", s);
+        }
+        if (!newly) {
+          ++st.duplicate_results;
+        }
+        if (options.on_result) {
+          options.on_result(worker.launch_index, message.result, newly);
+        }
+        break;
+      }
+      case WorkerMessage::Kind::kAssignDone:
+        if (message.plan_fingerprint != context.fingerprint) {
+          fail_worker(worker, "assign-done fingerprint mismatch");
+          break;
+        }
+        if (message.seq == worker.seq) {
+          // A straggler that eventually finishes becomes schedulable again.
+          worker.assigned_ids.clear();
+          worker.mode = WorkerState::Mode::kIdle;
+        }
+        break;
+      case WorkerMessage::Kind::kError:
+        fail_worker(worker, "worker-error: " + message.reason);
+        break;
+    }
+    return serde::Ok();
+  };
+
+  // Initial wave: launch and assign the plan's shards.
+  const auto initial_shards =
+      PartitionPlan(plan, options.num_workers, options.strategy);
+  for (int i = 0; i < options.num_workers; ++i) {
+    WorkerState* worker = launch_worker();
+    if (worker == nullptr) {
+      break;
+    }
+    const std::vector<SweepUnit>& shard = initial_shards[static_cast<size_t>(i)];
+    if (shard.empty()) {
+      continue;  // stays idle; may pick up retries
+    }
+    std::vector<int> ids;
+    ids.reserve(shard.size());
+    for (const SweepUnit& unit : shard) {
+      ids.push_back(unit.id);
+    }
+    assign_ids(*worker, std::move(ids), /*is_retry=*/false);
+  }
+  if (workers.empty()) {
+    return serde::Error("no worker could be launched (after " +
+                        std::to_string(st.failed_launches) + " failed launches)");
+  }
+  // Workers that never got an initial shard still cover launch failures: units of a
+  // worker that failed to launch were simply never assigned, so queue them.
+  {
+    std::vector<bool> assigned(plan.units.size(), false);
+    for (const auto& worker : workers) {
+      for (const int id : worker->assigned_ids) {
+        assigned[static_cast<size_t>(id)] = true;
+      }
+    }
+    for (size_t id = 0; id < assigned.size(); ++id) {
+      if (!assigned[id]) {
+        retry_queue.push_back(static_cast<int>(id));
+      }
+    }
+  }
+
+  std::string line;
+  while (!accumulator.complete()) {
+    bool progress = false;
+
+    for (const auto& worker_ptr : workers) {
+      WorkerState& worker = *worker_ptr;
+      if (worker.mode == WorkerState::Mode::kDead) {
+        continue;
+      }
+      for (;;) {
+        const ChannelRead read = worker.channel->Recv(0, &line);
+        if (read == ChannelRead::kLine) {
+          progress = true;
+          const serde::Status s = handle_message(worker, line);
+          if (!s) {
+            for (const auto& w : workers) {
+              w->channel->Close();
+            }
+            return s;
+          }
+          if (accumulator.complete()) {
+            break;
+          }
+          continue;
+        }
+        if (read == ChannelRead::kClosed) {
+          if (worker.mode == WorkerState::Mode::kIdle && worker.assigned_ids.empty()) {
+            // A worker that exits after finishing everything is not a failure.
+            worker.mode = WorkerState::Mode::kDead;
+            worker.channel->Close();
+          } else {
+            fail_worker(worker, "channel closed mid-assignment");
+          }
+        }
+        break;
+      }
+      if (accumulator.complete()) {
+        break;
+      }
+      if (worker.mode == WorkerState::Mode::kWorking &&
+          options.straggler_deadline_ms > 0 &&
+          ElapsedMs(worker.last_activity) > options.straggler_deadline_ms) {
+        ++st.stragglers;
+        log("worker " + std::to_string(worker.launch_index) +
+            " exceeded the straggler deadline; re-partitioning its unfinished units");
+        requeue_unfinished(worker);
+        // Not killed and not schedulable: late results still merge, but no new work
+        // until it reports assign-done for the abandoned assignment.
+        worker.mode = WorkerState::Mode::kStraggler;
+      }
+    }
+    if (accumulator.complete()) {
+      break;
+    }
+
+    // Reassignment pump: drop already-merged ids, then re-partition the queue across
+    // every idle worker (launching replacements only when nobody is working).
+    if (!retry_queue.empty()) {
+      std::vector<int> pending;
+      for (const int id : retry_queue) {
+        if (!accumulator.IsRecorded(id)) {
+          pending.push_back(id);
+        }
+      }
+      std::sort(pending.begin(), pending.end());
+      pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
+      retry_queue = std::move(pending);
+      if (!retry_queue.empty()) {
+        std::vector<WorkerState*> idle;
+        bool anyone_working = false;
+        for (const auto& worker : workers) {
+          if (worker->mode == WorkerState::Mode::kIdle) {
+            idle.push_back(worker.get());
+          } else if (worker->mode == WorkerState::Mode::kWorking) {
+            anyone_working = true;
+          }
+        }
+        if (idle.empty() && !anyone_working) {
+          WorkerState* replacement = launch_worker();
+          if (replacement == nullptr) {
+            for (const auto& w : workers) {
+              w->channel->Close();
+            }
+            return serde::Error(
+                "launch budget exhausted with " +
+                std::to_string(retry_queue.size()) +
+                " units unfinished (workers kept failing or stalling)");
+          }
+          idle.push_back(replacement);
+        }
+        if (!idle.empty()) {
+          std::vector<std::vector<int>> split(idle.size());
+          for (size_t i = 0; i < retry_queue.size(); ++i) {
+            split[i % idle.size()].push_back(retry_queue[i]);
+          }
+          retry_queue.clear();
+          for (size_t i = 0; i < idle.size(); ++i) {
+            if (!split[i].empty()) {
+              assign_ids(*idle[i], std::move(split[i]), /*is_retry=*/true);
+            }
+          }
+          progress = true;
+        }
+      }
+    }
+
+    if (options.global_deadline_ms > 0 && ElapsedMs(start) > options.global_deadline_ms) {
+      for (const auto& w : workers) {
+        w->channel->Close();
+      }
+      return serde::Error("dispatch exceeded its global deadline with " +
+                          std::to_string(accumulator.num_expected() -
+                                         accumulator.num_recorded()) +
+                          " units unfinished");
+    }
+    if (!progress) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, options.poll_interval_ms)));
+    }
+  }
+
+  for (const auto& worker : workers) {
+    if (worker->mode != WorkerState::Mode::kDead) {
+      (void)worker->channel->Send(std::string(kShutdownLine));
+    }
+    worker->channel->Close();
+  }
+  return accumulator.Finalize(out);
+}
+
+}  // namespace alert

@@ -1,0 +1,238 @@
+// Remote shard dispatcher: push sweep shards to workers, merge results as they
+// stream back, re-partition stragglers.  (Protocol: dispatch_protocol.h; unit
+// enumeration/partitioning: sweep_plan.h; execution + aggregation: sweep_runner.h.)
+//
+// The sharded sweep pipeline (PR 3) made every unit of the Table 4 evaluation a pure
+// function of (spec, unit id) and the merge a pure function of (plan, per-unit
+// results).  This module adds the missing control plane for running that at
+// multi-machine scale: a dispatcher that owns the plan, profiles once, and drives any
+// number of workers that own nothing.
+//
+// == Roles and guarantees ==
+//
+// `DispatchSweep` partitions the plan across `num_workers` workers, ships each worker
+// (spec + warm-start profile snapshots + its unit ids) over a `Transport`, folds
+// results into a `SweepMergeAccumulator` the moment they arrive, and finalizes to the
+// exact CellResult vector the monolithic sweep produces.  The invariant that makes
+// this trustworthy: for any worker count, transport, failure schedule, or retry
+// timing, the aggregate CSV is byte-identical to `sweep_shard --shards=1 --csv`
+// (results are deterministic per unit; the accumulator is order-independent and
+// first-wins on redelivery; Finalize walks the plan in its enumeration order).
+//
+// Failure handling: a worker whose channel closes mid-assignment (crash, lost ssh) or
+// that stays silent past `straggler_deadline_ms` has its *unfinished* unit ids —
+// assigned minus already-merged — re-partitioned across idle workers, relaunching
+// replacements when none are idle (bounded by `max_worker_launches`).  A completed
+// unit id is never reassigned (ALERT_CHECKed at every assignment).  Stragglers are
+// not killed: their late results still merge (first duplicate wins), so a deadline
+// that fires on a merely-slow worker costs duplicate work, never correctness.
+//
+// == Transports ==
+//
+// A `Transport` launches workers and yields `WorkerChannel`s (line-oriented, same
+// grammar everywhere):
+//   InProcessTransport  — worker loop on a std::thread with in-memory queues; zero
+//                         process overhead, plus deterministic failure injection for
+//                         tests (die / go quiet after N results, duplicate delivery);
+//   SubprocessTransport — one local child process per worker (sweep_shard --worker),
+//                         stdin/stdout pipes (src/common/subprocess.h);
+//   CommandTransport    — like SubprocessTransport but the command line is an
+//                         operator-supplied template run under /bin/sh — `ssh host
+//                         sweep_shard --worker` turns any reachable machine into a
+//                         worker with no shared filesystem.
+//
+// Thread-safety: DispatchSweep runs a single-threaded event loop; Transport/
+// WorkerChannel implementations are called only from that thread (the in-process
+// transport synchronizes its internal queues itself).
+#ifndef SRC_HARNESS_DISPATCH_H_
+#define SRC_HARNESS_DISPATCH_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/harness/dispatch_protocol.h"
+#include "src/harness/sweep_runner.h"
+
+namespace alert {
+
+// Outcome of one non-blocking/timed channel read.
+enum class ChannelRead : int {
+  kLine = 0,     // *line holds the next record line
+  kTimeout = 1,  // nothing available within the timeout; channel still open
+  kClosed = 2,   // the worker is gone and every buffered line has been delivered
+};
+
+// One live worker connection, as seen by the dispatcher.  Implementations must
+// deliver lines in order and must keep already-received lines readable after the
+// worker dies (kClosed only once the buffer is drained) — the dispatcher merges a
+// dead worker's last results before requeueing the remainder.
+class WorkerChannel {
+ public:
+  virtual ~WorkerChannel() = default;
+  // Queues one protocol line to the worker.  An error means the worker is gone; the
+  // dispatcher then requeues the assignment elsewhere.
+  virtual serde::Status Send(std::string_view line) = 0;
+  // Next line from the worker.  timeout_ms 0 polls, < 0 blocks.
+  virtual ChannelRead Recv(int timeout_ms, std::string* line) = 0;
+  // Tears the worker down (kill the process / close the queues and join the thread).
+  // Idempotent; called by the dispatcher on failure and at the end of every run.
+  virtual void Close() = 0;
+};
+
+// Worker factory.  `Launch(i)` starts worker i (a monotonically increasing launch
+// index — replacement workers get fresh indices) and returns its channel; a Status
+// error (binary missing, ssh refused) makes the dispatcher count a failed launch
+// against `max_worker_launches` and try the next index.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual serde::Status Launch(int worker_index,
+                               std::unique_ptr<WorkerChannel>* out) = 0;
+};
+
+// --- worker side -------------------------------------------------------------------
+
+// Worker-side view of the byte stream: blocking line reads, line writes.
+class WorkerLink {
+ public:
+  virtual ~WorkerLink() = default;
+  // Blocks for the next line; false once the dispatcher is gone (EOF) — the worker
+  // then exits cleanly.
+  virtual bool ReadLine(std::string* line) = 0;
+  virtual serde::Status WriteLine(std::string_view line) = 0;
+};
+
+struct DispatchWorkerOptions {
+  int threads = 0;  // RunSweepUnits width on this worker; 0 = hardware concurrency
+  // While executing, a background thread emits a heartbeat line at this interval so
+  // the dispatcher's straggler deadline measures *liveness*, not time-between-results
+  // — a healthy worker grinding through one long setting group must not look silent.
+  // 0 disables (then only results and the initial heartbeat prove liveness; pair
+  // with a straggler deadline longer than the longest single group).
+  int heartbeat_interval_ms = 5000;
+  // Failure injection (tests and the CI e2e): after sending N results, die
+  // (fail_after_results) or go silent while still executing (hang_after_results,
+  // where 0 means silent from the very first line — the worker that "never
+  // reports"); -1 disables.  duplicate_results sends every result line twice,
+  // exercising the dispatcher's first-wins dedup.
+  int fail_after_results = -1;
+  int hang_after_results = -1;
+  bool duplicate_results = false;
+};
+
+// Runs the worker side of the protocol over `link` until EOF or `shutdown`: for each
+// assignment, rebuild the plan from the inlined spec, verify its fingerprint, adopt
+// the inlined profile snapshots (the worker never re-profiles), execute the assigned
+// units, and stream results back.  Returns a process exit code: 0 clean, 3 injected
+// death, 4 protocol/spec error (after sending `worker-error`).  The plan is cached
+// across assignments keyed by fingerprint, so straggler-retry waves on a warm worker
+// skip re-parsing.
+int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options = {});
+
+// --- transports --------------------------------------------------------------------
+
+// Workers as std::threads in this process, channels as in-memory line queues.
+class InProcessTransport : public Transport {
+ public:
+  struct Options {
+    int threads = 1;  // per worker; keep 1 unless the test wants nested parallelism
+    std::map<int, int> fail_after;    // launch index -> die after N results
+    std::map<int, int> hang_after;    // launch index -> go quiet after N results
+    std::set<int> duplicate_results;  // launch indices that double-send every result
+  };
+  InProcessTransport();  // default options
+  explicit InProcessTransport(Options options);
+  serde::Status Launch(int worker_index, std::unique_ptr<WorkerChannel>* out) override;
+
+ private:
+  Options options_;
+};
+
+// Workers as local child processes; `argv_for_worker` builds each launch's argument
+// vector (typically `{"./sweep_shard", "--worker", ...}` plus injection flags).
+class SubprocessTransport : public Transport {
+ public:
+  explicit SubprocessTransport(
+      std::function<std::vector<std::string>(int worker_index)> argv_for_worker);
+  serde::Status Launch(int worker_index, std::unique_ptr<WorkerChannel>* out) override;
+
+ private:
+  std::function<std::vector<std::string>(int)> argv_for_worker_;
+};
+
+// Workers behind an arbitrary `/bin/sh -c` command line (ssh, container exec, …);
+// `command_for_worker` renders the full command for a launch index.  The command must
+// speak the worker protocol on its stdin/stdout (i.e. end in `sweep_shard --worker`).
+class CommandTransport : public Transport {
+ public:
+  explicit CommandTransport(std::function<std::string(int worker_index)> command_for_worker);
+  serde::Status Launch(int worker_index, std::unique_ptr<WorkerChannel>* out) override;
+
+ private:
+  std::function<std::string(int)> command_for_worker_;
+};
+
+// --- dispatcher --------------------------------------------------------------------
+
+struct DispatchOptions {
+  int num_workers = 2;
+  ShardStrategy strategy = ShardStrategy::kRoundRobin;
+  // A worker with outstanding units that produces no line for this long is declared a
+  // straggler and its unfinished units are re-partitioned.  Generous by default: a
+  // false positive only duplicates work, but on a shared CI box a tight deadline
+  // would requeue everything.
+  int straggler_deadline_ms = 60000;
+  // Launch budget: initial workers + replacements (0 = num_workers + 8).  Exhausting
+  // it with units still unfinished fails the dispatch with a diagnostic.
+  int max_worker_launches = 0;
+  // Wall-clock bound on the whole dispatch; 0 = unbounded.
+  int global_deadline_ms = 600000;
+  int poll_interval_ms = 2;  // event-loop sleep when no channel has traffic
+
+  // Observability hooks, all invoked on the dispatcher thread, in event order.
+  // on_assign fires before the assignment is sent; its ids never include a unit that
+  // already has a merged result (the no-rerun invariant — also ALERT_CHECKed).
+  std::function<void(int worker, int seq, std::span<const int> unit_ids)> on_assign;
+  // on_result fires per received result line; newly_recorded=false marks a
+  // first-wins-discarded duplicate.
+  std::function<void(int worker, const SweepUnitResult& result, bool newly_recorded)>
+      on_result;
+  std::function<void(const std::string& event)> on_event;  // human-readable progress
+};
+
+struct DispatchStats {
+  int workers_launched = 0;   // successful Launch calls
+  int failed_launches = 0;    // Launch calls that returned an error
+  int worker_failures = 0;    // channels that closed before finishing an assignment
+  int stragglers = 0;         // deadline expiries that triggered a re-partition
+  int retry_assignments = 0;  // assignments beyond the initial wave
+  int results_received = 0;   // result lines parsed (duplicates included)
+  int duplicate_results = 0;  // redeliveries discarded by first-wins
+};
+
+// Captures the warm-start payload for a plan: for every (task, platform, seed) its
+// units touch, profile once locally and snapshot all three candidate-set stacks.
+// This is the only profiling in a dispatched sweep; workers adopt these snapshots.
+ProfileSnapshotStore CapturePlanSnapshots(const SweepPlan& plan);
+
+// Runs the whole plan through `transport` and finalizes into `*out` (one CellResult
+// per (cell, seed), plan order — identical to RunSweep).  Returns an error (never
+// aborts on worker misbehavior) when the launch budget or a deadline is exhausted
+// before every unit has a result, or when two workers return conflicting results for
+// one unit (a determinism violation worth failing loudly on).  `*stats`, when
+// non-null, is filled even on failure.
+serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
+                            const DispatchOptions& options,
+                            std::vector<CellResult>* out,
+                            DispatchStats* stats = nullptr);
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_DISPATCH_H_

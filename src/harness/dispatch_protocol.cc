@@ -1,0 +1,308 @@
+#include "src/harness/dispatch_protocol.h"
+
+#include <cctype>
+
+#include "src/common/check.h"
+
+namespace alert {
+namespace {
+
+using serde::RecordReader;
+using serde::RecordWriter;
+using serde::Status;
+
+constexpr int kProtocolVersion = 1;
+
+Status CheckVersion(RecordReader& reader) {
+  int version = 0;
+  Status s = reader.Get("v", &version);
+  if (!s) {
+    return s;
+  }
+  if (version != kProtocolVersion) {
+    return serde::Error("unsupported protocol version " + std::to_string(version));
+  }
+  return serde::Ok();
+}
+
+template <typename E>
+Status GetEnum(RecordReader& reader, std::string_view key, int limit, E* out) {
+  int value = 0;
+  Status s = reader.Get(key, &value);
+  if (!s) {
+    return s;
+  }
+  if (value < 0 || value >= limit) {
+    return serde::Error("field '" + std::string(key) + "' value " +
+                        std::to_string(value) + " out of range [0, " +
+                        std::to_string(limit) + ")");
+  }
+  *out = static_cast<E>(value);
+  return serde::Ok();
+}
+
+std::string SanitizeToken(std::string_view text) {
+  std::string token;
+  token.reserve(text.size());
+  for (const char c : text) {
+    token.push_back(std::isspace(static_cast<unsigned char>(c)) ? '_' : c);
+  }
+  if (token.empty()) {
+    token = "unspecified";
+  }
+  return token;
+}
+
+}  // namespace
+
+std::string SerializeAssignHeader(const AssignHeader& header) {
+  return RecordWriter("assign")
+      .Field("v", kProtocolVersion)
+      .Field("seq", header.seq)
+      .Field("plan", header.plan_fingerprint)
+      .Field("units", header.num_units)
+      .Field("snapshots", header.num_snapshots)
+      .line();
+}
+
+serde::Status ParseAssignHeader(std::string_view line, AssignHeader* out) {
+  *out = AssignHeader{};
+  RecordReader reader;
+  Status s = RecordReader::Parse(line, &reader);
+  if (s) {
+    s = reader.ExpectTag("assign");
+  }
+  if (s) {
+    s = CheckVersion(reader);
+  }
+  if (s) {
+    s = reader.Get("seq", &out->seq);
+  }
+  if (s) {
+    s = reader.Get("plan", &out->plan_fingerprint);
+  }
+  if (s) {
+    s = reader.Get("units", &out->num_units);
+  }
+  if (s) {
+    s = reader.Get("snapshots", &out->num_snapshots);
+  }
+  if (s && (out->seq < 0 || out->num_units <= 0 || out->num_snapshots < 0)) {
+    s = serde::Error("assign header with negative seq/snapshots or no units");
+  }
+  if (s) {
+    s = reader.ExpectAllConsumed();
+  }
+  return serde::Wrap("assign", s);
+}
+
+std::string SerializeSnapshotKey(const SnapshotKey& key) {
+  return RecordWriter("snapshot-for")
+      .Field("task", static_cast<int>(key.task))
+      .Field("platform", static_cast<int>(key.platform))
+      .Field("seed", key.seed)
+      .Field("choice", static_cast<int>(key.choice))
+      .line();
+}
+
+serde::Status ParseSnapshotKey(std::string_view line, SnapshotKey* out) {
+  *out = SnapshotKey{};
+  RecordReader reader;
+  Status s = RecordReader::Parse(line, &reader);
+  if (s) {
+    s = reader.ExpectTag("snapshot-for");
+  }
+  if (s) {
+    s = GetEnum(reader, "task", 3, &out->task);
+  }
+  if (s) {
+    s = GetEnum(reader, "platform", kNumPlatforms, &out->platform);
+  }
+  if (s) {
+    s = reader.Get("seed", &out->seed);
+  }
+  if (s) {
+    s = GetEnum(reader, "choice", 3, &out->choice);
+  }
+  if (s) {
+    s = reader.ExpectAllConsumed();
+  }
+  return serde::Wrap("snapshot-for", s);
+}
+
+std::vector<std::string> SerializeUnitIdLines(std::span<const int> ids) {
+  std::vector<std::string> lines;
+  for (size_t start = 0; start < ids.size(); start += kMaxIdsPerLine) {
+    const size_t end = std::min(ids.size(), start + kMaxIdsPerLine);
+    std::string values;
+    for (size_t i = start; i < end; ++i) {
+      ALERT_CHECK(ids[i] >= 0);
+      if (!values.empty()) {
+        values.push_back(',');
+      }
+      values += std::to_string(ids[i]);
+    }
+    lines.push_back(RecordWriter("ids").Field("values", values).line());
+  }
+  return lines;
+}
+
+serde::Status ParseUnitIdLine(std::string_view line, std::vector<int>* out) {
+  RecordReader reader;
+  Status s = RecordReader::Parse(line, &reader);
+  if (s) {
+    s = reader.ExpectTag("ids");
+  }
+  std::string values;
+  if (s) {
+    s = reader.Get("values", &values);
+  }
+  if (s) {
+    s = reader.ExpectAllConsumed();
+  }
+  if (!s) {
+    return serde::Wrap("ids", s);
+  }
+  size_t pos = 0;
+  while (pos <= values.size()) {
+    const size_t comma = values.find(',', pos);
+    const std::string_view token =
+        std::string_view(values).substr(pos, comma == std::string::npos ? comma
+                                                                        : comma - pos);
+    int id = 0;
+    s = serde::ParseInt(token, &id);
+    if (s && id < 0) {
+      s = serde::Error("negative unit id");
+    }
+    if (!s) {
+      return serde::Wrap("ids", s);
+    }
+    out->push_back(id);
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return serde::Ok();
+}
+
+std::string SerializeAssignEnd(int seq) {
+  return RecordWriter("assign-end").Field("seq", seq).line();
+}
+
+serde::Status ParseAssignEnd(std::string_view line, int* seq) {
+  RecordReader reader;
+  Status s = RecordReader::Parse(line, &reader);
+  if (s) {
+    s = reader.ExpectTag("assign-end");
+  }
+  if (s) {
+    s = reader.Get("seq", seq);
+  }
+  if (s) {
+    s = reader.ExpectAllConsumed();
+  }
+  return serde::Wrap("assign-end", s);
+}
+
+std::string SerializeWorkerHello() {
+  return RecordWriter("worker-hello").Field("v", kProtocolVersion).line();
+}
+
+std::string SerializeHeartbeat(int seq, int done) {
+  return RecordWriter("heartbeat").Field("seq", seq).Field("done", done).line();
+}
+
+std::string SerializeWorkerResult(int seq, const SweepUnitResult& result) {
+  RecordWriter w("result");
+  w.Field("seq", seq)
+      .Field("unit", result.unit_id)
+      .Field("skipped", result.skipped)
+      .Field("usable", result.usable);
+  if (result.usable) {
+    w.Field("metric", result.metric);
+  }
+  return w.line();
+}
+
+std::string SerializeAssignDone(int seq, int num_units, uint64_t plan_fingerprint) {
+  return RecordWriter("assign-done")
+      .Field("seq", seq)
+      .Field("units", num_units)
+      .Field("plan", plan_fingerprint)
+      .line();
+}
+
+std::string SerializeWorkerError(int seq, std::string_view reason) {
+  return RecordWriter("worker-error")
+      .Field("seq", seq)
+      .Field("reason", SanitizeToken(reason))
+      .line();
+}
+
+serde::Status ParseWorkerMessage(std::string_view line, WorkerMessage* out) {
+  *out = WorkerMessage{};
+  RecordReader reader;
+  Status s = RecordReader::Parse(line, &reader);
+  if (!s) {
+    return serde::Wrap("worker message", s);
+  }
+  const std::string& tag = reader.tag();
+  if (tag == "worker-hello") {
+    out->kind = WorkerMessage::Kind::kHello;
+    s = CheckVersion(reader);
+  } else if (tag == "heartbeat") {
+    out->kind = WorkerMessage::Kind::kHeartbeat;
+    s = reader.Get("seq", &out->seq);
+    if (s) {
+      s = reader.Get("done", &out->done);
+    }
+    if (s && out->done < 0) {
+      s = serde::Error("negative done count");
+    }
+  } else if (tag == "result") {
+    out->kind = WorkerMessage::Kind::kResult;
+    s = reader.Get("seq", &out->seq);
+    if (s) {
+      s = reader.Get("unit", &out->result.unit_id);
+    }
+    if (s) {
+      s = reader.Get("skipped", &out->result.skipped);
+    }
+    if (s) {
+      s = reader.Get("usable", &out->result.usable);
+    }
+    if (s && out->result.usable) {
+      s = reader.Get("metric", &out->result.metric);
+    }
+    if (s && out->result.unit_id < 0) {
+      s = serde::Error("negative unit id");
+    }
+    if (s && out->result.skipped && out->result.usable) {
+      s = serde::Error("result cannot be both skipped and usable");
+    }
+  } else if (tag == "assign-done") {
+    out->kind = WorkerMessage::Kind::kAssignDone;
+    s = reader.Get("seq", &out->seq);
+    if (s) {
+      s = reader.Get("units", &out->num_units);
+    }
+    if (s) {
+      s = reader.Get("plan", &out->plan_fingerprint);
+    }
+  } else if (tag == "worker-error") {
+    out->kind = WorkerMessage::Kind::kError;
+    s = reader.Get("seq", &out->seq);
+    if (s) {
+      s = reader.Get("reason", &out->reason);
+    }
+  } else {
+    s = serde::Error("unknown record '" + tag + "'");
+  }
+  if (s) {
+    s = reader.ExpectAllConsumed();
+  }
+  return serde::Wrap("worker message", s);
+}
+
+}  // namespace alert

@@ -1,0 +1,126 @@
+// Wire protocol of the remote shard dispatcher (record grammar: src/common/serde.h).
+//
+// The dispatcher and its workers exchange newline-delimited serde records over an
+// arbitrary byte stream (pipes to local subprocesses, ssh to remote ones, in-memory
+// queues in tests).  The conversation, per worker:
+//
+//   worker -> dispatcher   worker-hello v=1
+//   dispatcher -> worker   assign v=1 seq=S plan=FP units=N snapshots=M
+//                          <sweep-spec block, ending with its own `end` line>
+//                          M x ( snapshot-for task=T platform=P seed=E choice=C
+//                                <profile-snapshot block, ending with `end`> )
+//                          ids values=I,I,...        (repeated; N ids total)
+//                          assign-end seq=S
+//   worker -> dispatcher   heartbeat seq=S done=K    (periodic liveness while
+//                                                     executing; K units finished)
+//                          result seq=S unit=U skipped=B usable=B [metric=X]
+//                          ...                       (streamed as units finish)
+//                          assign-done seq=S units=N plan=FP
+//   dispatcher -> worker   (next assign, for straggler-retry waves)  |  shutdown
+//   worker -> dispatcher   worker-error seq=S reason=TOKEN   (fatal; worker exits)
+//
+// Design rules: every record is one line, so a killed worker can never corrupt more
+// than its final line (which the dispatcher discards); the spec and the profile
+// snapshots ride inside the assignment, so a worker needs no shared filesystem; the
+// plan fingerprint appears in `assign` and is echoed in `assign-done`, so a worker
+// that rebuilt a different plan from the same bytes fails loudly instead of returning
+// mis-numbered unit ids.  Parsing is strict serde: unknown tags, duplicate keys, or
+// out-of-range enums are diagnostics, never aborts.
+#ifndef SRC_HARNESS_DISPATCH_PROTOCOL_H_
+#define SRC_HARNESS_DISPATCH_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/serde.h"
+#include "src/dnn/zoo.h"
+#include "src/harness/sweep_plan.h"
+
+namespace alert {
+
+// Header of one work assignment (`assign`).  `seq` numbers assignments globally
+// across workers, so late results from a superseded assignment are still
+// attributable.  `num_snapshots` profile snapshots and `num_units` unit ids follow.
+struct AssignHeader {
+  int seq = 0;
+  uint64_t plan_fingerprint = 0;
+  int num_units = 0;
+  int num_snapshots = 0;
+
+  friend bool operator==(const AssignHeader&, const AssignHeader&) = default;
+};
+
+// Key line preceding one serialized ProfileSnapshot inside an assignment
+// (`snapshot-for`): which (task, platform, seed, candidate-set choice) the snapshot
+// warm-starts.
+struct SnapshotKey {
+  TaskId task = TaskId::kImageClassification;
+  PlatformId platform = PlatformId::kCpu1;
+  uint64_t seed = 1;
+  DnnSetChoice choice = DnnSetChoice::kBoth;
+
+  friend bool operator==(const SnapshotKey&, const SnapshotKey&) = default;
+};
+
+// One message from a worker, as the dispatcher sees it.  A tagged union rather than a
+// class hierarchy: the dispatcher switches on `kind` in its event loop.
+struct WorkerMessage {
+  enum class Kind : int {
+    kHello = 0,      // worker-hello: worker is up and speaks this protocol version
+    kHeartbeat = 1,  // liveness while executing (done = units finished so far)
+    kResult = 2,     // one finished unit
+    kAssignDone = 3, // assignment complete (echoes unit count + plan fingerprint)
+    kError = 4,      // fatal worker-side error; the worker exits after sending it
+  };
+  Kind kind = Kind::kHello;
+  int seq = 0;                    // all kinds except hello
+  int done = 0;                   // heartbeat
+  SweepUnitResult result;         // result
+  int num_units = 0;              // assign-done
+  uint64_t plan_fingerprint = 0;  // assign-done
+  std::string reason;             // error (whitespace-free token)
+};
+
+// --- dispatcher -> worker ----------------------------------------------------------
+
+std::string SerializeAssignHeader(const AssignHeader& header);
+serde::Status ParseAssignHeader(std::string_view line, AssignHeader* out);
+
+std::string SerializeSnapshotKey(const SnapshotKey& key);
+serde::Status ParseSnapshotKey(std::string_view line, SnapshotKey* out);
+
+// Unit ids packed `ids values=1,2,3`, at most kMaxIdsPerLine per line so that any
+// single record stays far below pipe-atomicity limits.
+inline constexpr int kMaxIdsPerLine = 64;
+std::vector<std::string> SerializeUnitIdLines(std::span<const int> ids);
+// Appends the line's ids to `out` (ids must be non-negative; duplicates are the
+// caller's concern — the dispatcher never emits them).
+serde::Status ParseUnitIdLine(std::string_view line, std::vector<int>* out);
+
+std::string SerializeAssignEnd(int seq);
+// Matches `assign-end`; fills `*seq`.
+serde::Status ParseAssignEnd(std::string_view line, int* seq);
+
+// The shutdown record (no fields).  Workers exit cleanly on receipt (or on EOF).
+inline constexpr std::string_view kShutdownLine = "shutdown";
+
+// --- worker -> dispatcher ----------------------------------------------------------
+
+std::string SerializeWorkerHello();
+std::string SerializeHeartbeat(int seq, int done);
+std::string SerializeWorkerResult(int seq, const SweepUnitResult& result);
+std::string SerializeAssignDone(int seq, int num_units, uint64_t plan_fingerprint);
+// `reason` is sanitized (whitespace -> '_') to satisfy the record grammar.
+std::string SerializeWorkerError(int seq, std::string_view reason);
+
+// Classifies and parses any worker -> dispatcher line.  Unknown tags and malformed
+// records are Status errors; the dispatcher treats them as a worker failure.
+serde::Status ParseWorkerMessage(std::string_view line, WorkerMessage* out);
+
+}  // namespace alert
+
+#endif  // SRC_HARNESS_DISPATCH_PROTOCOL_H_

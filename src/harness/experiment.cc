@@ -18,17 +18,35 @@ std::unique_ptr<DeadlinePolicy> MakeDeadlinePolicy(const EnvironmentTrace& trace
 
 }  // namespace
 
+void ProfileSnapshotStore::Put(TaskId task, PlatformId platform, uint64_t seed,
+                               DnnSetChoice choice, ProfileSnapshot snapshot) {
+  snapshots_[Key{static_cast<int>(task), static_cast<int>(platform), seed,
+                 static_cast<int>(choice)}] = std::move(snapshot);
+}
+
+const ProfileSnapshot* ProfileSnapshotStore::Find(TaskId task, PlatformId platform,
+                                                  uint64_t seed,
+                                                  DnnSetChoice choice) const {
+  const auto it = snapshots_.find(Key{static_cast<int>(task), static_cast<int>(platform),
+                                      seed, static_cast<int>(choice)});
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
 Stack::Stack(DnnSetChoice choice, std::vector<DnnModel> models,
-             const PlatformSpec& platform, double profile_noise_sigma, uint64_t seed)
+             const PlatformSpec& platform, double profile_noise_sigma, uint64_t seed,
+             const ProfileSnapshot* warm_start)
     : choice_(choice), models_(std::move(models)) {
   ALERT_CHECK(!models_.empty());
   sim_ = std::make_unique<PlatformSimulator>(platform, models_);
-  space_ = std::make_unique<ConfigSpace>(*sim_, profile_noise_sigma, seed);
+  space_ = warm_start != nullptr
+               ? std::make_unique<ConfigSpace>(*sim_, *warm_start)
+               : std::make_unique<ConfigSpace>(*sim_, profile_noise_sigma, seed);
   engine_ = std::make_unique<DecisionEngine>(*space_);
 }
 
 Experiment::Experiment(TaskId task, PlatformId platform, ContentionType contention,
-                       const ExperimentOptions& options)
+                       const ExperimentOptions& options,
+                       const ProfileSnapshotStore* warm_start)
     : task_(task), contention_(contention), platform_(GetPlatform(platform)),
       options_(options) {
   TraceOptions trace_options;
@@ -40,9 +58,12 @@ Experiment::Experiment(TaskId task, PlatformId platform, ContentionType contenti
 
   for (DnnSetChoice choice : {DnnSetChoice::kTraditionalOnly, DnnSetChoice::kAnytimeOnly,
                               DnnSetChoice::kBoth}) {
+    const ProfileSnapshot* snapshot =
+        warm_start != nullptr ? warm_start->Find(task, platform, options.seed, choice)
+                              : nullptr;
     stacks_.push_back(std::make_unique<Stack>(choice, BuildEvaluationSet(task, choice),
                                               platform_, options.profile_noise_sigma,
-                                              options.seed));
+                                              options.seed, snapshot));
   }
 }
 

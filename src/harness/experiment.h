@@ -11,12 +11,15 @@
 #ifndef SRC_HARNESS_EXPERIMENT_H_
 #define SRC_HARNESS_EXPERIMENT_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "src/common/ids.h"
 #include "src/core/config_space.h"
 #include "src/core/decision_engine.h"
 #include "src/core/goals.h"
@@ -27,11 +30,39 @@
 
 namespace alert {
 
+// Warm-start profiles keyed by (task, platform, seed, candidate-set choice) — the
+// payload a sweep dispatcher captures once and ships to every worker so that no
+// worker ever re-profiles.  Within one sweep the spec-global knobs
+// (profile_noise_sigma) are shared, so this key identifies a profile uniquely.
+// Values are owned copies: a store is safe to build in one process, serialize
+// (sweep_io), and rebuild in another.
+class ProfileSnapshotStore {
+ public:
+  // Inserts or replaces the snapshot for a key.
+  void Put(TaskId task, PlatformId platform, uint64_t seed, DnnSetChoice choice,
+           ProfileSnapshot snapshot);
+  // Borrowed pointer, valid until the next Put; nullptr when absent.
+  const ProfileSnapshot* Find(TaskId task, PlatformId platform, uint64_t seed,
+                              DnnSetChoice choice) const;
+  size_t size() const { return snapshots_.size(); }
+
+  // Stable iteration order (the map key order) — serialization walks this.
+  using Key = std::tuple<int, int, uint64_t, int>;  // task, platform, seed, choice
+  const std::map<Key, ProfileSnapshot>& entries() const { return snapshots_; }
+
+ private:
+  std::map<Key, ProfileSnapshot> snapshots_;
+};
+
 // A candidate set together with its simulator and profiled config space.
 class Stack {
  public:
+  // Profiles the space locally, unless `warm_start` is non-null, in which case the
+  // snapshot's tables are adopted (see ConfigSpace's snapshot constructor for the
+  // compatibility contract).  `warm_start` is only read during construction.
   Stack(DnnSetChoice choice, std::vector<DnnModel> models, const PlatformSpec& platform,
-        double profile_noise_sigma, uint64_t seed);
+        double profile_noise_sigma, uint64_t seed,
+        const ProfileSnapshot* warm_start = nullptr);
 
   Stack(const Stack&) = delete;
   Stack& operator=(const Stack&) = delete;
@@ -95,8 +126,14 @@ struct ExperimentOptions {
 
 class Experiment {
  public:
+  // `warm_start`, when non-null, supplies profile snapshots for this experiment's
+  // stacks (looked up by (task, platform, options.seed, choice)); stacks with no
+  // matching entry profile locally.  The store is only read during construction and
+  // results are bit-identical either way — a snapshot carries the exact values local
+  // profiling would produce.
   Experiment(TaskId task, PlatformId platform, ContentionType contention,
-             const ExperimentOptions& options = {});
+             const ExperimentOptions& options = {},
+             const ProfileSnapshotStore* warm_start = nullptr);
 
   const EnvironmentTrace& trace() const { return trace_; }
   const PlatformSpec& platform() const { return platform_; }

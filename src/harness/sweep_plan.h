@@ -18,7 +18,8 @@
 //   PartitionPlan — splits the plan into K disjoint shards, round-robin or
 //                cost-weighted (LPT over a deterministic per-unit cost model).
 //
-// Execution and aggregation live in sweep_runner.h; text serialization in sweep_io.h.
+// Execution and aggregation live in sweep_runner.h; text serialization in sweep_io.h;
+// the remote shard dispatcher that pushes partitions to workers is dispatch.h.
 #ifndef SRC_HARNESS_SWEEP_PLAN_H_
 #define SRC_HARNESS_SWEEP_PLAN_H_
 
@@ -109,16 +110,23 @@ struct SweepPlan {
 
 // Validates a spec without running anything: non-empty cells/schemes/seeds, positive
 // num_inputs, duplicate-free cells and schemes, grid indices within the actual grid of
-// every cell.  The CLIs call this so a bad spec file is a diagnostic, not an abort.
+// every cell.  Pure; returns a diagnostic Status, never aborts — the CLIs and the
+// dispatch worker call this so a bad spec file (or a corrupted one off the wire) is
+// an error message, not a crash.
 serde::Status ValidateSweepSpec(const SweepSpec& spec);
 
-// The single enumeration point (spec must validate; checked).
+// The single enumeration point.  Deterministic: equal specs produce equal plans
+// (same unit order, ids = positions) in every process, on every platform — the
+// foundation of the shard/merge and dispatch byte-identity guarantees.  The spec
+// must validate (ALERT_CHECKed; callers with untrusted input run ValidateSweepSpec
+// first).  Returns an owned value; the plan borrows nothing.
 SweepPlan BuildSweepPlan(const SweepSpec& spec);
 
 // Deterministic relative cost of a unit, used by cost-weighted partitioning: inputs
 // processed x configurations scanned per input.  A static-oracle unit replays the
 // trace once per configuration; an ALERT/Oracle-style scheme scores every
-// configuration per input; fixed-candidate baselines scan far less.
+// configuration per input; fixed-candidate baselines scan far less.  Pure function
+// of the unit's fields; no profiling or execution happens here.
 double SweepUnitCost(const SweepUnit& unit);
 
 enum class ShardStrategy : int {
@@ -126,12 +134,18 @@ enum class ShardStrategy : int {
   kCostWeighted = 1,  // LPT greedy over SweepUnitCost; near-even cost
 };
 
+// Stable lowercase token for a strategy ("round-robin" / "cost-weighted"); the CLI
+// flag vocabulary and the results-file field both use it.
 std::string_view ShardStrategyName(ShardStrategy strategy);
+// Inverse of ShardStrategyName; unknown names are a Status error naming the token.
 serde::Status ParseShardStrategy(std::string_view name, ShardStrategy* out);
 
-// Splits the plan into `num_shards` disjoint, exhaustive shards.  Deterministic; each
-// shard's units stay in plan (id) order.  Shards may be empty when num_shards exceeds
-// the unit count.
+// Splits the plan into `num_shards` (> 0; checked) disjoint, exhaustive shards:
+// every unit appears in exactly one shard.  Deterministic for a given (plan, K,
+// strategy) — every process computes the identical partition, so shard i means the
+// same units everywhere.  Each shard's units stay in plan (id) order; shards may be
+// empty when num_shards exceeds the unit count.  Units are copied out (shards do not
+// borrow from the plan).
 std::vector<std::vector<SweepUnit>> PartitionPlan(const SweepPlan& plan, int num_shards,
                                                   ShardStrategy strategy);
 

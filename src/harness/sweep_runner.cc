@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 #include <utility>
 
@@ -79,7 +80,7 @@ std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
     if (experiment == nullptr) {
       experiment = std::make_unique<Experiment>(
           unit.cell.task, unit.cell.platform, unit.cell.contention,
-          MakeExperimentOptions(plan.spec, unit.seed));
+          MakeExperimentOptions(plan.spec, unit.seed), options.warm_start);
     }
     auto& grid = grids[GridKeyOf(unit.cell)];
     if (grid.empty()) {
@@ -95,6 +96,7 @@ std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
   }
 
   std::vector<SweepUnitResult> results(units.size());
+  std::mutex stream_mutex;
   ParallelFor(
       static_cast<int>(group_list.size()),
       [&](int g) {
@@ -139,33 +141,75 @@ std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
             out.metric = MetricValue(mode, task, run);
           }
         }
+
+        if (options.on_result) {
+          // Stream the whole setting group at once: the skip decision above is only
+          // coherent at group granularity.
+          const std::lock_guard<std::mutex> lock(stream_mutex);
+          if (group.static_pos >= 0) {
+            options.on_result(results[static_cast<size_t>(group.static_pos)]);
+          }
+          for (const int pos : group.scheme_pos) {
+            options.on_result(results[static_cast<size_t>(pos)]);
+          }
+        }
       },
       options.threads);
   return results;
 }
 
-serde::Status MergeSweepResults(const SweepPlan& plan,
-                                std::span<const SweepUnitResult> results,
-                                std::vector<CellResult>* out) {
+SweepMergeAccumulator::SweepMergeAccumulator(const SweepPlan& plan)
+    : plan_(&plan), results_(plan.units.size()), recorded_(plan.units.size(), false) {}
+
+serde::Status SweepMergeAccumulator::Add(const SweepUnitResult& result,
+                                         bool* newly_recorded) {
+  if (newly_recorded != nullptr) {
+    *newly_recorded = false;
+  }
+  if (result.unit_id < 0 || static_cast<size_t>(result.unit_id) >= results_.size()) {
+    return serde::Error("result for unknown unit id " + std::to_string(result.unit_id));
+  }
+  const size_t id = static_cast<size_t>(result.unit_id);
+  if (recorded_[id]) {
+    if (!(results_[id] == result)) {
+      return serde::Error("conflicting duplicate result for unit id " +
+                          std::to_string(result.unit_id));
+    }
+    return serde::Ok();  // first-wins: identical redelivery is a no-op
+  }
+  results_[id] = result;
+  recorded_[id] = true;
+  ++num_recorded_;
+  if (newly_recorded != nullptr) {
+    *newly_recorded = true;
+  }
+  return serde::Ok();
+}
+
+bool SweepMergeAccumulator::IsRecorded(int unit_id) const {
+  ALERT_CHECK(unit_id >= 0 && static_cast<size_t>(unit_id) < recorded_.size());
+  return recorded_[static_cast<size_t>(unit_id)];
+}
+
+std::vector<int> SweepMergeAccumulator::MissingUnitIds() const {
+  std::vector<int> missing;
+  for (size_t id = 0; id < recorded_.size(); ++id) {
+    if (!recorded_[id]) {
+      missing.push_back(static_cast<int>(id));
+    }
+  }
+  return missing;
+}
+
+serde::Status SweepMergeAccumulator::Finalize(std::vector<CellResult>* out) const {
   out->clear();
-  std::vector<const SweepUnitResult*> by_id(plan.units.size(), nullptr);
-  for (const SweepUnitResult& result : results) {
-    if (result.unit_id < 0 || static_cast<size_t>(result.unit_id) >= plan.units.size()) {
-      return serde::Error("result for unknown unit id " +
-                          std::to_string(result.unit_id));
-    }
-    if (by_id[static_cast<size_t>(result.unit_id)] != nullptr) {
-      return serde::Error("duplicate result for unit id " +
-                          std::to_string(result.unit_id));
-    }
-    by_id[static_cast<size_t>(result.unit_id)] = &result;
+  if (!complete()) {
+    const std::vector<int> missing = MissingUnitIds();
+    return serde::Error("missing result for unit id " + std::to_string(missing.front()) +
+                        " (incomplete shard set?)");
   }
-  for (size_t id = 0; id < by_id.size(); ++id) {
-    if (by_id[id] == nullptr) {
-      return serde::Error("missing result for unit id " + std::to_string(id) +
-                          " (incomplete shard set?)");
-    }
-  }
+  const SweepPlan& plan = *plan_;
+  const auto& by_id = results_;
 
   // Walk the plan in its enumeration order: cells x seeds x settings x
   // (static, schemes...).  The arithmetic below is the monolithic EvaluateCell
@@ -189,7 +233,7 @@ serde::Status MergeSweepResults(const SweepPlan& plan,
       for (size_t gi = 0; gi < plan.grid_indices.size(); ++gi) {
         const SweepUnit& static_unit = plan.units[next];
         ALERT_CHECK(static_unit.kind == SweepUnitKind::kStaticOracle);
-        const SweepUnitResult& static_result = *by_id[next];
+        const SweepUnitResult& static_result = by_id[next];
         ++next;
         if (!static_result.usable) {
           ++cell.skipped_settings;
@@ -203,7 +247,7 @@ serde::Status MergeSweepResults(const SweepPlan& plan,
         cell.static_raw_values.push_back(static_result.metric);
         for (size_t si = 0; si < num_schemes; ++si) {
           ALERT_CHECK(plan.units[next].kind == SweepUnitKind::kScheme);
-          const SweepUnitResult& result = *by_id[next];
+          const SweepUnitResult& result = by_id[next];
           ++next;
           SchemeCellStats& stats = cell.schemes[si];
           if (result.skipped) {
@@ -247,6 +291,27 @@ serde::Status MergeSweepResults(const SweepPlan& plan,
   }
   ALERT_CHECK(next == plan.units.size());
   return serde::Ok();
+}
+
+serde::Status MergeSweepResults(const SweepPlan& plan,
+                                std::span<const SweepUnitResult> results,
+                                std::vector<CellResult>* out) {
+  out->clear();
+  SweepMergeAccumulator accumulator(plan);
+  for (const SweepUnitResult& result : results) {
+    bool newly_recorded = false;
+    const serde::Status s = accumulator.Add(result, &newly_recorded);
+    if (!s) {
+      return s;
+    }
+    if (!newly_recorded) {
+      // Batch semantics are strict: a shard set that delivers a unit twice is
+      // malformed even when the payloads agree.
+      return serde::Error("duplicate result for unit id " +
+                          std::to_string(result.unit_id));
+    }
+  }
+  return accumulator.Finalize(out);
 }
 
 std::vector<CellResult> RunSweep(const SweepPlan& plan, const SweepRunOptions& options) {

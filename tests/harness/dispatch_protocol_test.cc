@@ -1,0 +1,140 @@
+// Round-trip and malformed-input tests for the dispatcher wire protocol.  Every
+// record must serialize deterministically, parse back exactly, and reject corruption
+// with a Status (never an abort) — a flaky ssh hop must not be able to crash the
+// dispatcher or smuggle in a mis-keyed field.
+#include "src/harness/dispatch_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace alert {
+namespace {
+
+TEST(DispatchProtocolTest, AssignHeaderRoundTrips) {
+  AssignHeader header;
+  header.seq = 7;
+  header.plan_fingerprint = 0xdeadbeefcafef00dULL;
+  header.num_units = 123;
+  header.num_snapshots = 6;
+  AssignHeader parsed;
+  const serde::Status s = ParseAssignHeader(SerializeAssignHeader(header), &parsed);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(parsed, header);
+}
+
+TEST(DispatchProtocolTest, AssignHeaderRejectsCorruption) {
+  AssignHeader header;
+  header.num_units = 4;
+  const std::string good = SerializeAssignHeader(header);
+  AssignHeader out;
+  ASSERT_TRUE(ParseAssignHeader(good, &out).ok);
+
+  EXPECT_FALSE(ParseAssignHeader("result seq=0 unit=1 skipped=0 usable=0", &out).ok);
+  EXPECT_FALSE(ParseAssignHeader(good + " extra=1", &out).ok);
+  EXPECT_FALSE(ParseAssignHeader("assign v=2 seq=0 plan=1 units=4 snapshots=0", &out).ok);
+  EXPECT_FALSE(ParseAssignHeader("assign v=1 seq=0 plan=1 units=0 snapshots=0", &out).ok);
+}
+
+TEST(DispatchProtocolTest, SnapshotKeyRoundTripsAndRangeChecks) {
+  SnapshotKey key;
+  key.task = TaskId::kSentencePrediction;
+  key.platform = PlatformId::kGpu;
+  key.seed = 42;
+  key.choice = DnnSetChoice::kAnytimeOnly;
+  SnapshotKey parsed;
+  const serde::Status s = ParseSnapshotKey(SerializeSnapshotKey(key), &parsed);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(parsed, key);
+
+  EXPECT_FALSE(
+      ParseSnapshotKey("snapshot-for task=9 platform=0 seed=1 choice=0", &parsed).ok);
+  EXPECT_FALSE(
+      ParseSnapshotKey("snapshot-for task=0 platform=0 seed=1 choice=3", &parsed).ok);
+}
+
+TEST(DispatchProtocolTest, UnitIdLinesRoundTripAtAnySize) {
+  for (const int count : {1, kMaxIdsPerLine - 1, kMaxIdsPerLine, kMaxIdsPerLine + 1,
+                          5 * kMaxIdsPerLine + 3}) {
+    std::vector<int> ids(static_cast<size_t>(count));
+    std::iota(ids.begin(), ids.end(), 100);
+    const std::vector<std::string> lines = SerializeUnitIdLines(ids);
+    EXPECT_EQ(lines.size(),
+              (ids.size() + kMaxIdsPerLine - 1) / static_cast<size_t>(kMaxIdsPerLine));
+    std::vector<int> parsed;
+    for (const std::string& line : lines) {
+      const serde::Status s = ParseUnitIdLine(line, &parsed);
+      ASSERT_TRUE(s.ok) << s.message;
+    }
+    EXPECT_EQ(parsed, ids);
+  }
+}
+
+TEST(DispatchProtocolTest, UnitIdLineRejectsJunk) {
+  std::vector<int> ids;
+  EXPECT_FALSE(ParseUnitIdLine("ids values=1,,2", &ids).ok);
+  EXPECT_FALSE(ParseUnitIdLine("ids values=1,-2", &ids).ok);
+  EXPECT_FALSE(ParseUnitIdLine("ids values=1,x", &ids).ok);
+  EXPECT_FALSE(ParseUnitIdLine("ids count=3", &ids).ok);
+}
+
+TEST(DispatchProtocolTest, AssignEndRoundTrips) {
+  int seq = -1;
+  const serde::Status s = ParseAssignEnd(SerializeAssignEnd(9), &seq);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(seq, 9);
+  EXPECT_FALSE(ParseAssignEnd("assign v=1 seq=0 plan=1 units=1 snapshots=0", &seq).ok);
+}
+
+TEST(DispatchProtocolTest, WorkerMessagesRoundTrip) {
+  WorkerMessage m;
+  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerHello(), &m).ok);
+  EXPECT_EQ(m.kind, WorkerMessage::Kind::kHello);
+
+  ASSERT_TRUE(ParseWorkerMessage(SerializeHeartbeat(3, 17), &m).ok);
+  EXPECT_EQ(m.kind, WorkerMessage::Kind::kHeartbeat);
+  EXPECT_EQ(m.seq, 3);
+  EXPECT_EQ(m.done, 17);
+
+  SweepUnitResult result;
+  result.unit_id = 12;
+  result.usable = true;
+  result.metric = 0.12345678901234567;
+  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerResult(5, result), &m).ok);
+  EXPECT_EQ(m.kind, WorkerMessage::Kind::kResult);
+  EXPECT_EQ(m.seq, 5);
+  EXPECT_EQ(m.result, result);  // exact double round-trip (%.17g)
+
+  SweepUnitResult skipped;
+  skipped.unit_id = 4;
+  skipped.skipped = true;
+  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerResult(5, skipped), &m).ok);
+  EXPECT_EQ(m.result, skipped);
+
+  ASSERT_TRUE(ParseWorkerMessage(SerializeAssignDone(8, 44, 0x1234ULL), &m).ok);
+  EXPECT_EQ(m.kind, WorkerMessage::Kind::kAssignDone);
+  EXPECT_EQ(m.num_units, 44);
+  EXPECT_EQ(m.plan_fingerprint, 0x1234ULL);
+
+  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerError(2, "spec parse failed"), &m).ok);
+  EXPECT_EQ(m.kind, WorkerMessage::Kind::kError);
+  EXPECT_EQ(m.reason, "spec_parse_failed");  // sanitized to one token
+}
+
+TEST(DispatchProtocolTest, WorkerMessageRejectsMalformedLines) {
+  WorkerMessage m;
+  EXPECT_FALSE(ParseWorkerMessage("", &m).ok);
+  EXPECT_FALSE(ParseWorkerMessage("unknown-tag a=1", &m).ok);
+  EXPECT_FALSE(ParseWorkerMessage("worker-hello v=9", &m).ok);
+  // usable result without its metric, and a both-skipped-and-usable contradiction.
+  EXPECT_FALSE(ParseWorkerMessage("result seq=0 unit=1 skipped=0 usable=1", &m).ok);
+  EXPECT_FALSE(
+      ParseWorkerMessage("result seq=0 unit=1 skipped=1 usable=1 metric=1", &m).ok);
+  // A line truncated mid-key (a killed worker's torn last line).
+  EXPECT_FALSE(ParseWorkerMessage("result seq=0 uni", &m).ok);
+}
+
+}  // namespace
+}  // namespace alert

@@ -1,0 +1,416 @@
+// Dispatcher correctness under failure: the merged aggregate must be byte-identical
+// to the monolithic sweep for any worker count, kill schedule, silent straggler, or
+// duplicate delivery — and a completed unit id must never be re-assigned.  Also
+// covers the incremental merge accumulator and the warm-start (never re-profile)
+// snapshot path the dispatcher ships to workers.
+#include "src/harness/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/harness/sweep_io.h"
+#include "src/harness/sweep_plan.h"
+#include "src/harness/sweep_runner.h"
+
+namespace alert {
+namespace {
+
+// Small but representative: two schemes and the 0.4x-deadline column (grid index 0,
+// statically infeasible), so skipped settings flow through the wire protocol too.
+SweepSpec ToySpec() {
+  SweepSpec spec;
+  spec.cells.push_back(SweepCellSpec{TaskId::kImageClassification, PlatformId::kCpu1,
+                                     ContentionType::kNone, GoalMode::kMinimizeEnergy});
+  spec.schemes = {SchemeId::kAlert, SchemeId::kNoCoord};
+  spec.seeds = {1};
+  spec.num_inputs = 30;
+  spec.grid_indices = {0, 7, 14, 21, 28, 35};
+  return spec;
+}
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    plan_ = new SweepPlan(BuildSweepPlan(ToySpec()));
+    SweepRunOptions run;
+    run.threads = 2;
+    monolithic_csv_ =
+        new std::string(SweepAggregateCsv(*plan_, RunSweep(*plan_, run)));
+  }
+  static void TearDownTestSuite() {
+    delete plan_;
+    delete monolithic_csv_;
+    plan_ = nullptr;
+    monolithic_csv_ = nullptr;
+  }
+
+  // Wires the no-rerun invariant into a DispatchOptions: every id in every
+  // assignment must not already have a merged result.
+  struct NoRerunChecker {
+    std::set<int> recorded;
+    void Attach(DispatchOptions& options) {
+      options.on_result = [this](int, const SweepUnitResult& result, bool newly) {
+        if (newly) {
+          recorded.insert(result.unit_id);
+        }
+      };
+      options.on_assign = [this](int worker, int seq, std::span<const int> ids) {
+        for (const int id : ids) {
+          EXPECT_EQ(recorded.count(id), 0u)
+              << "unit " << id << " reassigned (worker " << worker << ", seq " << seq
+              << ") after its result was already merged";
+        }
+      };
+    }
+  };
+
+  // Runs a dispatch over the shared plan and returns (status, csv, stats).
+  static serde::Status Dispatch(Transport& transport, DispatchOptions options,
+                                std::string* csv, DispatchStats* stats) {
+    NoRerunChecker checker;
+    checker.Attach(options);
+    std::vector<CellResult> cells;
+    const serde::Status s = DispatchSweep(*plan_, transport, options, &cells, stats);
+    if (s.ok) {
+      *csv = SweepAggregateCsv(*plan_, cells);
+    }
+    return s;
+  }
+
+  static SweepPlan* plan_;
+  static std::string* monolithic_csv_;
+};
+
+SweepPlan* DispatchTest::plan_ = nullptr;
+std::string* DispatchTest::monolithic_csv_ = nullptr;
+
+// --- incremental merge accumulator -------------------------------------------------
+
+TEST_F(DispatchTest, AccumulatorMergesOutOfOrderIdenticallyToBatchMerge) {
+  const std::vector<SweepUnitResult> results = RunSweepUnits(*plan_, plan_->units);
+
+  std::vector<SweepUnitResult> shuffled = results;
+  std::mt19937 rng(1234);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+
+  SweepMergeAccumulator accumulator(*plan_);
+  EXPECT_FALSE(accumulator.complete());
+  EXPECT_EQ(accumulator.num_expected(), plan_->units.size());
+  for (const SweepUnitResult& result : shuffled) {
+    bool newly = false;
+    const serde::Status s = accumulator.Add(result, &newly);
+    ASSERT_TRUE(s.ok) << s.message;
+    EXPECT_TRUE(newly);
+  }
+  EXPECT_TRUE(accumulator.complete());
+  EXPECT_TRUE(accumulator.MissingUnitIds().empty());
+
+  std::vector<CellResult> incremental;
+  ASSERT_TRUE(accumulator.Finalize(&incremental).ok);
+  EXPECT_EQ(SweepAggregateCsv(*plan_, incremental), *monolithic_csv_);
+}
+
+TEST_F(DispatchTest, AccumulatorIsFirstWinsAndRejectsConflicts) {
+  const std::vector<SweepUnitResult> results = RunSweepUnits(*plan_, plan_->units);
+  SweepMergeAccumulator accumulator(*plan_);
+  bool newly = false;
+  ASSERT_TRUE(accumulator.Add(results[0], &newly).ok);
+  EXPECT_TRUE(newly);
+
+  // Identical redelivery: accepted, not recorded again.
+  ASSERT_TRUE(accumulator.Add(results[0], &newly).ok);
+  EXPECT_FALSE(newly);
+  EXPECT_EQ(accumulator.num_recorded(), 1u);
+
+  // Conflicting redelivery: a determinism violation, reported as an error.
+  SweepUnitResult conflicting = results[0];
+  conflicting.metric += 1.0;
+  conflicting.usable = true;
+  conflicting.skipped = false;
+  const serde::Status conflict = accumulator.Add(conflicting, &newly);
+  EXPECT_FALSE(conflict.ok);
+  EXPECT_NE(conflict.message.find("conflicting"), std::string::npos);
+
+  // Unknown ids are errors; missing units are reported by id.
+  SweepUnitResult unknown;
+  unknown.unit_id = static_cast<int>(plan_->units.size());
+  EXPECT_FALSE(accumulator.Add(unknown, &newly).ok);
+  std::vector<CellResult> cells;
+  const serde::Status incomplete = accumulator.Finalize(&cells);
+  EXPECT_FALSE(incomplete.ok);
+  EXPECT_NE(incomplete.message.find("missing"), std::string::npos);
+  EXPECT_EQ(accumulator.MissingUnitIds().size(), plan_->units.size() - 1);
+  EXPECT_TRUE(accumulator.IsRecorded(results[0].unit_id));
+}
+
+// --- warm-start profile snapshots --------------------------------------------------
+
+TEST_F(DispatchTest, WarmStartSnapshotsNeverChangeResults) {
+  const ProfileSnapshotStore store = CapturePlanSnapshots(*plan_);
+  // One (task, platform, seed) triple in the toy plan, three candidate-set stacks.
+  EXPECT_EQ(store.size(), 3u);
+
+  SweepRunOptions warm;
+  warm.warm_start = &store;
+  const std::vector<SweepUnitResult> with_snapshots =
+      RunSweepUnits(*plan_, plan_->units, warm);
+  const std::vector<SweepUnitResult> without = RunSweepUnits(*plan_, plan_->units);
+  EXPECT_EQ(with_snapshots, without);
+}
+
+TEST_F(DispatchTest, WarmStartedExperimentReproducesTheSnapshotExactly) {
+  const ProfileSnapshotStore store = CapturePlanSnapshots(*plan_);
+  const SweepCellSpec& cell = plan_->spec.cells.front();
+  ExperimentOptions options;
+  options.num_inputs = plan_->spec.num_inputs;
+  options.seed = plan_->spec.seeds.front();
+  const Experiment experiment(cell.task, cell.platform, cell.contention, options,
+                              &store);
+  for (const DnnSetChoice choice :
+       {DnnSetChoice::kTraditionalOnly, DnnSetChoice::kAnytimeOnly,
+        DnnSetChoice::kBoth}) {
+    const ProfileSnapshot* shipped =
+        store.Find(cell.task, cell.platform, options.seed, choice);
+    ASSERT_NE(shipped, nullptr);
+    EXPECT_EQ(CaptureProfileSnapshot(experiment.stack(choice).space()), *shipped);
+  }
+}
+
+// --- dispatch equivalence ----------------------------------------------------------
+
+TEST_F(DispatchTest, InProcessDispatchMatchesMonolithicForAnyWorkerCount) {
+  for (const int workers : {1, 2, 5}) {
+    for (const ShardStrategy strategy :
+         {ShardStrategy::kRoundRobin, ShardStrategy::kCostWeighted}) {
+      InProcessTransport transport;
+      DispatchOptions options;
+      options.num_workers = workers;
+      options.strategy = strategy;
+      std::string csv;
+      DispatchStats stats;
+      const serde::Status s = Dispatch(transport, options, &csv, &stats);
+      ASSERT_TRUE(s.ok) << s.message;
+      EXPECT_EQ(csv, *monolithic_csv_)
+          << "workers=" << workers
+          << " strategy=" << ShardStrategyName(strategy);
+      EXPECT_EQ(stats.workers_launched, workers);
+      EXPECT_EQ(stats.worker_failures, 0);
+    }
+  }
+}
+
+TEST_F(DispatchTest, WorkerDyingMidShardIsRetriedWithoutRerunningCompletedUnits) {
+  InProcessTransport::Options in_options;
+  in_options.fail_after = {{0, 2}};  // worker 0 dies after reporting two units
+  InProcessTransport transport(in_options);
+  DispatchOptions options;
+  options.num_workers = 2;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_GE(stats.worker_failures, 1);
+  EXPECT_GE(stats.retry_assignments, 1);
+}
+
+TEST_F(DispatchTest, SilentWorkerTripsTheDeadlineAndItsUnitsAreRepartitioned) {
+  InProcessTransport::Options in_options;
+  in_options.hang_after = {{0, 0}};  // worker 0 never reports anything
+  InProcessTransport transport(in_options);
+  DispatchOptions options;
+  options.num_workers = 2;
+  options.straggler_deadline_ms = 200;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_GE(stats.stragglers, 1);
+  EXPECT_GE(stats.retry_assignments, 1);
+  EXPECT_EQ(stats.worker_failures, 0);  // silence is not a crash
+}
+
+TEST_F(DispatchTest, DuplicateDeliveryIsDedupedFirstWins) {
+  InProcessTransport::Options in_options;
+  in_options.duplicate_results = {0, 1};  // both workers double-send everything
+  InProcessTransport transport(in_options);
+  DispatchOptions options;
+  options.num_workers = 2;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  // Every unit is redelivered once; the dispatcher stops reading the moment the
+  // accumulator completes, so the very last duplicate may go unread.
+  EXPECT_GE(stats.duplicate_results, static_cast<int>(plan_->units.size()) - 1);
+  EXPECT_GE(stats.results_received, 2 * static_cast<int>(plan_->units.size()) - 1);
+}
+
+TEST_F(DispatchTest, RandomizedKillSchedulesAlwaysMergeByteIdentically) {
+  for (const uint32_t seed : {1u, 2u, 3u, 4u}) {
+    std::mt19937 rng(seed);
+    InProcessTransport::Options in_options;
+    const int workers = 3;
+    for (int w = 0; w < workers; ++w) {
+      // Each initial worker independently: die after 1..5 results, go quiet, or
+      // behave; every replacement (fresh launch index) comes up clean.
+      const int roll = static_cast<int>(rng() % 4);
+      if (roll == 0) {
+        in_options.hang_after[w] = static_cast<int>(rng() % 3);
+      } else if (roll < 3) {
+        in_options.fail_after[w] = 1 + static_cast<int>(rng() % 5);
+      }
+      if (rng() % 2 == 0) {
+        in_options.duplicate_results.insert(w);
+      }
+    }
+    InProcessTransport transport(in_options);
+    DispatchOptions options;
+    options.num_workers = workers;
+    options.straggler_deadline_ms = 200;
+    options.max_worker_launches = 32;
+    std::string csv;
+    DispatchStats stats;
+    const serde::Status s = Dispatch(transport, options, &csv, &stats);
+    ASSERT_TRUE(s.ok) << "seed=" << seed << ": " << s.message;
+    EXPECT_EQ(csv, *monolithic_csv_) << "seed=" << seed;
+  }
+}
+
+// --- transport failure handling ----------------------------------------------------
+
+// Fails the first N launches, then delegates to a real in-process transport.
+class FlakyLaunchTransport : public Transport {
+ public:
+  explicit FlakyLaunchTransport(int failures) : failures_(failures) {}
+  serde::Status Launch(int worker_index, std::unique_ptr<WorkerChannel>* out) override {
+    if (failures_-- > 0) {
+      return serde::Error("injected launch failure");
+    }
+    return inner_.Launch(worker_index, out);
+  }
+
+ private:
+  int failures_;
+  InProcessTransport inner_;
+};
+
+TEST_F(DispatchTest, FailedLaunchesAreRetriedAgainstTheBudget) {
+  FlakyLaunchTransport transport(2);
+  DispatchOptions options;
+  options.num_workers = 2;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_EQ(stats.failed_launches, 2);
+  EXPECT_EQ(stats.workers_launched, 2);
+}
+
+// A channel whose worker is dead on arrival: sends succeed into the void, reads see
+// an immediately-closed stream.
+class DeadChannel : public WorkerChannel {
+ public:
+  serde::Status Send(std::string_view) override { return serde::Ok(); }
+  ChannelRead Recv(int, std::string*) override { return ChannelRead::kClosed; }
+  void Close() override {}
+};
+
+class DeadWorkerTransport : public Transport {
+ public:
+  serde::Status Launch(int, std::unique_ptr<WorkerChannel>* out) override {
+    *out = std::make_unique<DeadChannel>();
+    return serde::Ok();
+  }
+};
+
+TEST_F(DispatchTest, ExhaustedLaunchBudgetIsAnErrorNotAHang) {
+  DeadWorkerTransport transport;
+  DispatchOptions options;
+  options.num_workers = 2;
+  options.max_worker_launches = 5;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.message.find("launch budget"), std::string::npos);
+  EXPECT_EQ(stats.workers_launched, 5);
+}
+
+// --- worker-side protocol validation -----------------------------------------------
+
+// A scripted link: the worker reads the canned lines, writes into `sent`.
+class ScriptedLink : public WorkerLink {
+ public:
+  explicit ScriptedLink(std::vector<std::string> lines) : lines_(std::move(lines)) {}
+  bool ReadLine(std::string* line) override {
+    if (next_ >= lines_.size()) {
+      return false;
+    }
+    *line = lines_[next_++];
+    return true;
+  }
+  serde::Status WriteLine(std::string_view line) override {
+    sent.emplace_back(line);
+    return serde::Ok();
+  }
+  std::vector<std::string> sent;
+
+ private:
+  std::vector<std::string> lines_;
+  size_t next_ = 0;
+};
+
+TEST_F(DispatchTest, WorkerRejectsAPlanFingerprintMismatch) {
+  // A syntactically valid assignment whose claimed fingerprint does not match what
+  // the spec builds: the worker must refuse (unit ids would be meaningless) and
+  // report a worker-error instead of returning mis-numbered results.
+  AssignHeader header;
+  header.seq = 0;
+  header.plan_fingerprint = PlanFingerprint(*plan_) + 1;
+  header.num_units = 1;
+  header.num_snapshots = 0;
+  std::vector<std::string> lines = {SerializeAssignHeader(header)};
+  const std::string spec_text = SerializeSweepSpec(plan_->spec);
+  size_t pos = 0;
+  while (pos < spec_text.size()) {
+    const size_t nl = spec_text.find('\n', pos);
+    lines.emplace_back(spec_text, pos, nl - pos);
+    pos = nl + 1;
+  }
+  for (std::string& id_line : SerializeUnitIdLines(std::vector<int>{0})) {
+    lines.push_back(std::move(id_line));
+  }
+  lines.push_back(SerializeAssignEnd(0));
+
+  ScriptedLink link(lines);
+  EXPECT_EQ(RunDispatchWorker(link), 4);
+  ASSERT_FALSE(link.sent.empty());
+  WorkerMessage last;
+  ASSERT_TRUE(ParseWorkerMessage(link.sent.back(), &last).ok);
+  EXPECT_EQ(last.kind, WorkerMessage::Kind::kError);
+  EXPECT_NE(last.reason.find("fingerprint"), std::string::npos);
+}
+
+TEST_F(DispatchTest, WorkerExitsCleanlyOnShutdownAndOnEof) {
+  ScriptedLink shutdown_link({std::string(kShutdownLine)});
+  EXPECT_EQ(RunDispatchWorker(shutdown_link), 0);
+
+  ScriptedLink eof_link({});
+  EXPECT_EQ(RunDispatchWorker(eof_link), 0);
+  // Both said hello before exiting.
+  WorkerMessage hello;
+  ASSERT_TRUE(ParseWorkerMessage(eof_link.sent.front(), &hello).ok);
+  EXPECT_EQ(hello.kind, WorkerMessage::Kind::kHello);
+}
+
+}  // namespace
+}  // namespace alert

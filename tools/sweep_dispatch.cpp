@@ -1,0 +1,264 @@
+// sweep_dispatch — run a whole sweep by pushing shards to workers and merging the
+// results as they stream back (straggler retry included).
+//
+// Where sweep_shard/sweep_merge are the *manual* distributed pipeline (the operator
+// runs each shard and merges by hand), sweep_dispatch is the automated control plane:
+// it profiles once, partitions the plan, ships (spec + profile snapshots + unit ids)
+// to `--workers=K` workers over the chosen transport, merges per-unit results the
+// moment they arrive, and re-partitions the unfinished remainder of any worker that
+// dies or goes silent.  The aggregate CSV is byte-identical to the monolithic
+// `sweep_shard --shards=1 --csv` no matter the worker count or failure schedule.
+//
+// Transports:
+//   --transport=inprocess   worker threads inside this process (no binaries needed);
+//   --transport=subprocess  one local `sweep_shard --worker` child per worker
+//                           (--worker-bin overrides the binary path);
+//   --transport=command     an arbitrary shell command per worker, `{worker}`
+//                           replaced by the launch index — e.g.
+//                           --worker-cmd='ssh host-{worker} /opt/alert/sweep_shard --worker'
+//
+// A full walkthrough (including the failure-injection flags used by CI) lives in
+// docs/DISTRIBUTED.md.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/harness/dispatch.h"
+#include "src/harness/sweep_io.h"
+#include "src/harness/sweep_plan.h"
+#include "src/harness/sweep_runner.h"
+
+using namespace alert;
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s --spec=FILE --workers=K [options]\n"
+      "  --spec=FILE            sweep spec (sweep_shard --write-default-spec writes one)\n"
+      "  --workers=K            number of workers in the initial wave\n"
+      "  --transport=inprocess|subprocess|command   (default subprocess)\n"
+      "  --worker-bin=PATH      sweep_shard binary for the subprocess transport\n"
+      "                         (default: sweep_shard next to this binary)\n"
+      "  --worker-cmd=TEMPLATE  shell command per worker for the command transport;\n"
+      "                         {worker} expands to the launch index\n"
+      "  --strategy=round-robin|cost-weighted   initial partition (default round-robin)\n"
+      "  --worker-threads=N     threads per worker (default 0 = hardware)\n"
+      "  --deadline-ms=N        straggler silence deadline (default 60000)\n"
+      "  --global-deadline-ms=N abort the dispatch after N ms (default 600000)\n"
+      "  --max-launches=N       total launch budget incl. replacements (default K+8)\n"
+      "  --out=CSV              write the aggregate CSV here\n"
+      "  --print                print the aggregate CSV to stdout\n"
+      "  --inject-fail=I:N      (testing) worker launch index I dies after N results\n"
+      "  --inject-hang=I:N      (testing) worker I goes silent after N results\n"
+      "  --inject-dup=I         (testing) worker I sends every result twice\n"
+      "  -v                     log dispatch events to stderr\n",
+      argv0);
+  std::exit(2);
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "sweep_dispatch: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::optional<std::string> ArgValue(const char* arg, const char* name) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::string(arg + len + 1);
+  }
+  return std::nullopt;
+}
+
+int ParseIntOrDie(const std::string& value, const char* flag) {
+  int out = 0;
+  const serde::Status s = serde::ParseInt(value, &out);
+  if (!s) {
+    Fail(std::string(flag) + ": " + s.message);
+  }
+  return out;
+}
+
+// "I:N" -> (I, N) for the injection flags.
+std::pair<int, int> ParseIndexCount(const std::string& value, const char* flag) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    Fail(std::string(flag) + ": expected I:N, got '" + value + "'");
+  }
+  return {ParseIntOrDie(value.substr(0, colon), flag),
+          ParseIntOrDie(value.substr(colon + 1), flag)};
+}
+
+std::string ExpandWorkerTemplate(const std::string& text, int worker_index) {
+  std::string out = text;
+  const std::string token = "{worker}";
+  size_t pos = 0;
+  while ((pos = out.find(token, pos)) != std::string::npos) {
+    const std::string value = std::to_string(worker_index);
+    out.replace(pos, token.size(), value);
+    pos += value.size();
+  }
+  return out;
+}
+
+std::string DefaultWorkerBin(const char* argv0) {
+  const std::string self(argv0);
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) {
+    return "./sweep_shard";
+  }
+  return self.substr(0, slash + 1) + "sweep_shard";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  std::string transport_name = "subprocess";
+  std::string worker_bin = DefaultWorkerBin(argv[0]);
+  std::string worker_cmd;
+  bool print = false;
+  bool verbose = false;
+  int worker_threads = 0;
+  DispatchOptions options;
+  options.num_workers = -1;
+  std::map<int, int> inject_fail;
+  std::map<int, int> inject_hang;
+  std::set<int> inject_dup;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (auto v = ArgValue(arg, "--spec")) {
+      spec_path = *v;
+    } else if (auto v = ArgValue(arg, "--workers")) {
+      options.num_workers = ParseIntOrDie(*v, "--workers");
+    } else if (auto v = ArgValue(arg, "--transport")) {
+      transport_name = *v;
+    } else if (auto v = ArgValue(arg, "--worker-bin")) {
+      worker_bin = *v;
+    } else if (auto v = ArgValue(arg, "--worker-cmd")) {
+      worker_cmd = *v;
+    } else if (auto v = ArgValue(arg, "--strategy")) {
+      const serde::Status s = ParseShardStrategy(*v, &options.strategy);
+      if (!s) {
+        Fail(s.message);
+      }
+    } else if (auto v = ArgValue(arg, "--worker-threads")) {
+      worker_threads = ParseIntOrDie(*v, "--worker-threads");
+    } else if (auto v = ArgValue(arg, "--deadline-ms")) {
+      options.straggler_deadline_ms = ParseIntOrDie(*v, "--deadline-ms");
+    } else if (auto v = ArgValue(arg, "--global-deadline-ms")) {
+      options.global_deadline_ms = ParseIntOrDie(*v, "--global-deadline-ms");
+    } else if (auto v = ArgValue(arg, "--max-launches")) {
+      options.max_worker_launches = ParseIntOrDie(*v, "--max-launches");
+    } else if (auto v = ArgValue(arg, "--out")) {
+      out_path = *v;
+    } else if (auto v = ArgValue(arg, "--inject-fail")) {
+      inject_fail.insert(ParseIndexCount(*v, "--inject-fail"));
+    } else if (auto v = ArgValue(arg, "--inject-hang")) {
+      inject_hang.insert(ParseIndexCount(*v, "--inject-hang"));
+    } else if (auto v = ArgValue(arg, "--inject-dup")) {
+      inject_dup.insert(ParseIntOrDie(*v, "--inject-dup"));
+    } else if (std::strcmp(arg, "--print") == 0) {
+      print = true;
+    } else if (std::strcmp(arg, "-v") == 0) {
+      verbose = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (spec_path.empty() || options.num_workers <= 0 || (out_path.empty() && !print)) {
+    Usage(argv[0]);
+  }
+
+  std::string spec_text;
+  serde::Status s = serde::ReadFile(spec_path, &spec_text);
+  if (!s) {
+    Fail(s.message);
+  }
+  SweepSpec spec;
+  s = ParseSweepSpec(spec_text, &spec);
+  if (!s) {
+    Fail("spec '" + spec_path + "': " + s.message);
+  }
+  const SweepPlan plan = BuildSweepPlan(spec);
+
+  // Injection flags append worker-protocol testing flags to the matching launch
+  // index only; replacement workers (fresh indices) come up clean, which is what
+  // lets an injected failure converge instead of recurring forever.
+  const auto worker_argv = [&](int worker_index) {
+    std::vector<std::string> argvv = {worker_bin, "--worker",
+                                      "--threads=" + std::to_string(worker_threads)};
+    if (const auto it = inject_fail.find(worker_index); it != inject_fail.end()) {
+      argvv.push_back("--worker-fail-after=" + std::to_string(it->second));
+    }
+    if (const auto it = inject_hang.find(worker_index); it != inject_hang.end()) {
+      argvv.push_back("--worker-hang-after=" + std::to_string(it->second));
+    }
+    if (inject_dup.count(worker_index) > 0) {
+      argvv.push_back("--worker-dup-results");
+    }
+    return argvv;
+  };
+
+  std::unique_ptr<Transport> transport;
+  if (transport_name == "inprocess") {
+    InProcessTransport::Options in_options;
+    in_options.threads = worker_threads;
+    in_options.fail_after = inject_fail;
+    in_options.hang_after = inject_hang;
+    in_options.duplicate_results = inject_dup;
+    transport = std::make_unique<InProcessTransport>(in_options);
+  } else if (transport_name == "subprocess") {
+    transport = std::make_unique<SubprocessTransport>(worker_argv);
+  } else if (transport_name == "command") {
+    if (worker_cmd.empty()) {
+      Fail("--transport=command needs --worker-cmd");
+    }
+    if (!inject_fail.empty() || !inject_hang.empty() || !inject_dup.empty()) {
+      Fail("injection flags are not supported with --transport=command");
+    }
+    transport = std::make_unique<CommandTransport>(
+        [worker_cmd](int worker_index) {
+          return ExpandWorkerTemplate(worker_cmd, worker_index);
+        });
+  } else {
+    Fail("unknown transport '" + transport_name + "'");
+  }
+
+  if (verbose) {
+    options.on_event = [](const std::string& event) {
+      std::fprintf(stderr, "sweep_dispatch: %s\n", event.c_str());
+    };
+  }
+
+  std::vector<CellResult> cells;
+  DispatchStats stats;
+  s = DispatchSweep(plan, *transport, options, &cells, &stats);
+  if (!s) {
+    Fail(s.message);
+  }
+  const std::string csv = SweepAggregateCsv(plan, cells);
+  if (!out_path.empty()) {
+    s = serde::WriteFile(out_path, csv);
+    if (!s) {
+      Fail(s.message);
+    }
+  }
+  if (print) {
+    std::fputs(csv.c_str(), stdout);
+  }
+  std::fprintf(stderr,
+               "sweep_dispatch: %zu units over %d workers (%d launches, %d failures, "
+               "%d stragglers, %d retries, %d duplicates)\n",
+               plan.units.size(), options.num_workers, stats.workers_launched,
+               stats.worker_failures, stats.stragglers, stats.retry_assignments,
+               stats.duplicate_results);
+  return 0;
+}

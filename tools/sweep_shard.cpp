@@ -16,9 +16,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <optional>
 #include <string>
 
+#include "src/harness/dispatch.h"
 #include "src/harness/sweep_io.h"
 #include "src/harness/sweep_plan.h"
 #include "src/harness/sweep_runner.h"
@@ -41,8 +43,15 @@ namespace {
       "  --threads=N              worker threads across settings (default: hardware)\n"
       "  --print-units            list this shard's serialized units and exit\n"
       "  --dump-profile=FILE      dump the first unit's kBoth profile snapshot\n"
-      "  --write-default-spec=FILE  write a small example spec and exit\n",
-      argv0, argv0);
+      "  --write-default-spec=FILE  write a small example spec and exit\n"
+      "       %s --worker [--threads=N]\n"
+      "  --worker                 speak the sweep_dispatch worker protocol on\n"
+      "                           stdin/stdout (spec and profiles arrive inline;\n"
+      "                           see docs/DISTRIBUTED.md)\n"
+      "  --worker-fail-after=N    (testing) die after reporting N units\n"
+      "  --worker-hang-after=N    (testing) go silent after reporting N units\n"
+      "  --worker-dup-results     (testing) send every result line twice\n",
+      argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -81,6 +90,24 @@ int ParseIntOrDie(const std::string& value, const char* flag) {
   return out;
 }
 
+// stdin/stdout as the worker protocol stream (each line flushed: the dispatcher
+// merges results as they arrive, so buffering a line would stall its event loop).
+class StdioWorkerLink final : public WorkerLink {
+ public:
+  bool ReadLine(std::string* line) override {
+    return static_cast<bool>(std::getline(std::cin, *line));
+  }
+  serde::Status WriteLine(std::string_view line) override {
+    std::string buffer(line);
+    buffer.push_back('\n');
+    if (std::fwrite(buffer.data(), 1, buffer.size(), stdout) != buffer.size()) {
+      return serde::Error("stdout write failed");
+    }
+    std::fflush(stdout);
+    return serde::Ok();
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,11 +120,21 @@ int main(int argc, char** argv) {
   int shard_index = -1;
   int threads = 0;
   bool print_units = false;
+  bool worker_mode = false;
+  DispatchWorkerOptions worker_options;
   ShardStrategy strategy = ShardStrategy::kRoundRobin;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (auto v = ArgValue(arg, "--spec")) {
+    if (std::strcmp(arg, "--worker") == 0) {
+      worker_mode = true;
+    } else if (auto v = ArgValue(arg, "--worker-fail-after")) {
+      worker_options.fail_after_results = ParseIntOrDie(*v, "--worker-fail-after");
+    } else if (auto v = ArgValue(arg, "--worker-hang-after")) {
+      worker_options.hang_after_results = ParseIntOrDie(*v, "--worker-hang-after");
+    } else if (std::strcmp(arg, "--worker-dup-results") == 0) {
+      worker_options.duplicate_results = true;
+    } else if (auto v = ArgValue(arg, "--spec")) {
       spec_path = *v;
     } else if (auto v = ArgValue(arg, "--shards")) {
       num_shards = ParseIntOrDie(*v, "--shards");
@@ -123,6 +160,12 @@ int main(int argc, char** argv) {
     } else {
       Usage(argv[0]);
     }
+  }
+
+  if (worker_mode) {
+    worker_options.threads = threads;
+    StdioWorkerLink link;
+    return RunDispatchWorker(link, worker_options);
   }
 
   if (!default_spec_path.empty()) {
