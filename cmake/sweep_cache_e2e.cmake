@@ -1,0 +1,113 @@
+# End-to-end check of incremental sweep re-runs through the unit-result cache, run as
+# a ctest (and as a CI step):
+#   1. sweep_shard writes its example spec (18 units);
+#   2. a cold monolithic run fills --cache-dir and produces cold.csv;
+#   3. a warm --cache=read re-run must execute ZERO units and reproduce cold.csv
+#      byte-for-byte;
+#   4. one grid cell of the spec is mutated (setting 14 -> 15); the --cache=read
+#      re-run must execute only that cell's units (3 of 18: its static oracle plus
+#      two schemes — executed or synthesized-skipped) while everything unchanged is
+#      delivered from the cache, and the CSV must be byte-identical to a cold,
+#      cache-less monolithic run of the edited spec;
+#   5. sweep_dispatch with the warm cache must dispatch nothing and still emit the
+#      byte-identical CSV.
+# Unit counts are asserted from the machine-readable --cache-stats records, not
+# scraped from stderr.  Invoked with -DSWEEP_SHARD=... -DSWEEP_DISPATCH=...
+# -DWORK_DIR=...
+foreach(var SWEEP_SHARD SWEEP_DISPATCH WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_cache_e2e: ${var} not defined")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep_cache_e2e: '${ARGV}' failed with exit code ${rc}")
+  endif()
+endfunction()
+
+function(compare_files a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${WORK_DIR}/${a}
+                  ${WORK_DIR}/${b} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep_cache_e2e: ${a} and ${b} differ")
+  endif()
+endfunction()
+
+# Reads one counter out of a --cache-stats record file into ${out}.
+function(read_stat file key out)
+  file(READ ${WORK_DIR}/${file} content)
+  string(REGEX MATCH "${key}=([0-9]+)" matched "${content}")
+  if(NOT matched)
+    message(FATAL_ERROR "sweep_cache_e2e: no '${key}=' in ${file}: ${content}")
+  endif()
+  set(${out} ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+function(expect_stat file key want)
+  read_stat(${file} ${key} got)
+  if(NOT got EQUAL want)
+    message(FATAL_ERROR
+            "sweep_cache_e2e: ${file}: expected ${key}=${want}, got ${key}=${got}")
+  endif()
+endfunction()
+
+run_step(${SWEEP_SHARD} --write-default-spec=spec.txt)
+
+# Cold run: fills the cache, executes everything.
+run_step(${SWEEP_SHARD} --spec=spec.txt --shards=1 --shard=0 --out=cold.results
+         --csv=cold.csv --cache-dir=cache --cache-stats=stats_cold.txt)
+expect_stat(stats_cold.txt hits 0)
+expect_stat(stats_cold.txt executed 18)
+expect_stat(stats_cold.txt recorded 18)
+
+# Warm re-run: zero executions, byte-identical outputs.
+run_step(${SWEEP_SHARD} --spec=spec.txt --shards=1 --shard=0 --out=warm.results
+         --csv=warm.csv --cache-dir=cache --cache=read --cache-stats=stats_warm.txt)
+expect_stat(stats_warm.txt hits 18)
+expect_stat(stats_warm.txt executed 0)
+compare_files(cold.csv warm.csv)
+compare_files(cold.results warm.results)
+
+# Mutate one grid cell of the spec (constraint setting 14 -> 15).
+file(READ ${WORK_DIR}/spec.txt spec_text)
+string(REPLACE "grid setting=14" "grid setting=15" edited_text "${spec_text}")
+if(edited_text STREQUAL spec_text)
+  message(FATAL_ERROR "sweep_cache_e2e: spec mutation did not apply")
+endif()
+file(WRITE ${WORK_DIR}/spec2.txt "${edited_text}")
+
+# Incremental re-run of the edited spec: only the changed cell's 3 units may run
+# (executed, or synthesized as skipped if its static oracle is infeasible); the
+# other 15 units must come from the cache.
+run_step(${SWEEP_SHARD} --spec=spec2.txt --shards=1 --shard=0 --out=incr.results
+         --csv=incr.csv --cache-dir=cache --cache=read --cache-stats=stats_incr.txt)
+expect_stat(stats_incr.txt hits 15)
+read_stat(stats_incr.txt executed incr_executed)
+read_stat(stats_incr.txt synthesized incr_synthesized)
+math(EXPR incr_changed "${incr_executed} + ${incr_synthesized}")
+if(NOT incr_changed EQUAL 3)
+  message(FATAL_ERROR "sweep_cache_e2e: expected 3 changed units to run, got "
+          "${incr_executed} executed + ${incr_synthesized} synthesized")
+endif()
+
+# The incremental CSV must equal a cold, cache-less monolithic run of the edited spec.
+run_step(${SWEEP_SHARD} --spec=spec2.txt --shards=1 --shard=0 --out=mono2.results
+         --csv=mono2.csv)
+compare_files(mono2.csv incr.csv)
+compare_files(mono2.results incr.results)
+
+# Dispatcher preseeding: a fully warm cache dispatches nothing and merges the
+# byte-identical CSV.
+run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=2 --transport=inprocess
+         --out=disp.csv --cache-dir=cache --cache=read --cache-stats=stats_disp.txt)
+expect_stat(stats_disp.txt hits 18)
+expect_stat(stats_disp.txt executed 0)
+compare_files(cold.csv disp.csv)
+
+message(STATUS "sweep_cache_e2e: warm re-run executed 0 units; one-cell spec edit "
+        "re-executed only its 3 units; all CSVs byte-identical to cold runs")

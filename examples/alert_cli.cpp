@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "src/core/alert_scheduler.h"
 #include "src/harness/constraint_grid.h"
 #include "src/harness/csv.h"
 #include "src/harness/evaluation.h"
@@ -41,6 +42,10 @@ struct CliOptions {
   std::string csv_path;
   std::string trace_csv_path;
   bool compare_static = true;
+  // Decision memoization for the ALERT-family schemes (src/core/decision_cache.h).
+  // Off reproduces the historical decision path bit-for-bit; exact is the provably
+  // identical verification mode; bucketed trades a bounded score gap for hit rate.
+  DecisionCachePolicy decision_cache;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -59,7 +64,12 @@ struct CliOptions {
       "  --inputs=N --seed=S            trace length and seed\n"
       "  --csv=PATH                     dump per-input records\n"
       "  --trace-csv=PATH               dump the environment trace\n"
-      "  --no-static                    skip the OracleStatic comparison\n",
+      "  --no-static                    skip the OracleStatic comparison\n"
+      "  --decision-cache=off|exact|bucketed[:W]\n"
+      "                                 memoize ALERT decisions (default off).\n"
+      "                                 exact: bit-identical, hits only on exact\n"
+      "                                 belief repeats; bucketed: quantize the xi\n"
+      "                                 belief to width W (default 0.01) buckets\n",
       argv0);
   std::exit(2);
 }
@@ -131,6 +141,29 @@ CliOptions Parse(int argc, char** argv) {
       o.trace_csv_path = *v7;
     } else if (std::strcmp(arg, "--no-static") == 0) {
       o.compare_static = false;
+    } else if (const auto v8 = ArgValue(arg, "--decision-cache")) {
+      if (*v8 == "off") {
+        o.decision_cache.mode = DecisionCacheMode::kOff;
+      } else if (*v8 == "exact") {
+        o.decision_cache.mode = DecisionCacheMode::kExact;
+      } else if (*v8 == "bucketed" || v8->rfind("bucketed:", 0) == 0) {
+        o.decision_cache.mode = DecisionCacheMode::kBucketed;
+        double width = 0.01;
+        if (v8->size() > 9) {
+          width = std::atof(v8->c_str() + 9);
+        } else if (v8->size() == 9) {
+          width = 0.0;  // bare "bucketed:" — reject below
+        }
+        if (width <= 0.0) {
+          std::fprintf(stderr, "bad bucket width in %s\n", arg);
+          Usage(argv[0]);
+        }
+        o.decision_cache.xi_mean_step = width;
+        o.decision_cache.xi_stddev_step = width;
+      } else {
+        std::fprintf(stderr, "unknown value for --decision-cache: %s\n", v8->c_str());
+        Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       Usage(argv[0]);
@@ -179,10 +212,25 @@ int main(int argc, char** argv) {
   }
   std::printf(", %d inputs, seed %" PRIu64 "\n\n", cli.inputs, cli.seed);
 
-  auto scheduler = MakeScheduler(cli.scheme, experiment, goals);
+  auto scheduler = MakeScheduler(cli.scheme, experiment, goals, cli.decision_cache);
   const Stack& stack = experiment.stack(SchemeDnnSet(cli.scheme));
   const bool keep = !cli.csv_path.empty();
   const RunResult run = experiment.Run(stack, *scheduler, goals, keep);
+
+  if (cli.decision_cache.enabled()) {
+    const auto* alert = dynamic_cast<const AlertScheduler*>(scheduler.get());
+    if (alert != nullptr && alert->decision_cache() != nullptr) {
+      const DecisionCacheStats& stats = alert->decision_cache()->stats();
+      std::printf("decision cache: %.1f%% hit rate (%llu hits, %llu misses, "
+                  "%llu evicted)\n\n",
+                  100.0 * stats.hit_rate(), (unsigned long long)stats.hits,
+                  (unsigned long long)stats.misses,
+                  (unsigned long long)stats.evictions);
+    } else {
+      std::printf("decision cache: not applicable to %s\n\n",
+                  SchemeName(cli.scheme).data());
+    }
+  }
 
   std::printf("energy    %8.4f J/input\n", run.avg_energy);
   std::printf("accuracy  %8.2f %%%s\n", 100.0 * run.avg_accuracy,

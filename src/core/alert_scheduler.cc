@@ -32,6 +32,9 @@ AlertScheduler::AlertScheduler(std::unique_ptr<const DecisionEngine> owned,
   if (options_.wcet_window > 0) {
     wcet_window_.emplace(static_cast<size_t>(options_.wcet_window));
   }
+  if (options_.decision_cache.enabled()) {
+    cache_ = std::make_unique<DecisionCache>(*engine_, options_.decision_cache);
+  }
 }
 
 XiBelief AlertScheduler::xi_belief() const {
@@ -119,7 +122,15 @@ SchedulingDecision DecideFromSnapshot(const DecisionSnapshot& snapshot,
 }
 
 SchedulingDecision AlertScheduler::Decide(const InferenceRequest& request) {
-  return DecideFromSnapshot(Snapshot(request), power_limit_, scratch_);
+  if (cache_ == nullptr) {
+    return DecideFromSnapshot(Snapshot(request), power_limit_, scratch_);
+  }
+  // Memoized path: in exact mode a hit replays a selection the engine computed for
+  // bit-identical (snapshot, limit), so the decision is identical to the line above.
+  const DecisionSnapshot snapshot = Snapshot(request);
+  const DecisionEngine::Selection selection = cache_->Select(
+      snapshot.goals, snapshot.allowance, snapshot.inputs, power_limit_, scratch_);
+  return MakeSchedulingDecision(engine_->space(), selection);
 }
 
 void AlertScheduler::Observe(const SchedulingDecision& decision, const Measurement& m) {

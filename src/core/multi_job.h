@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/core/alert_scheduler.h"
+#include "src/core/decision_cache.h"
 #include "src/core/decision_engine.h"
 
 namespace alert {
@@ -71,6 +72,19 @@ class MultiJobCoordinator {
   // dominates the spawn cost.
   void set_parallel_scoring_threshold(int jobs) { parallel_threshold_ = jobs; }
 
+  // Decision memoization across rounds (src/core/decision_cache.h): one cache per
+  // candidate family, shared by that family's jobs, keyed on (belief snapshot, goals,
+  // allowance, power limit).  When every selection a round needs hits the cache, the
+  // round skips family scoring entirely — the hot-path win for converged fleets whose
+  // beliefs drift slowly.  A family is scored lazily the first time one of its jobs
+  // misses.  Exact mode is bit-identical to the uncached round (every hit replays a
+  // selection computed for an identical key on the same engine); the default (off)
+  // leaves the historical code path untouched.  Replaces any previous caches.
+  void set_decision_cache_policy(const DecisionCachePolicy& policy);
+  const DecisionCachePolicy& decision_cache_policy() const { return cache_policy_; }
+  // Aggregated stats over the per-family caches (zeros when caching is off).
+  DecisionCacheStats decision_cache_stats() const;
+
   // Decides one configuration per job such that the sum of their power caps does not
   // exceed the shared budget.  `requests` is indexed by job.  Leaves every scheduler's
   // own power limit untouched: the round works on belief snapshots, so a direct
@@ -100,6 +114,8 @@ class MultiJobCoordinator {
     // Round scratch, reused across rounds (sized on first use, job-major scores).
     std::vector<DecisionInputs> inputs;
     std::vector<ConfigScore> scores;
+    // Memoized selections shared by this family's jobs; null when caching is off.
+    std::unique_ptr<DecisionCache> cache;
   };
   struct Job {
     std::string name;
@@ -109,16 +125,22 @@ class MultiJobCoordinator {
     int slot = 0;    // index into families_[family].jobs
   };
 
+  // One batched ScoreBatch pass for family `f` over the current snapshots.
+  void ScoreFamily(int f);
   // One job's slice of its family's score table (valid after the round's ScoreBatch).
   std::span<const ConfigScore> JobScores(int job_index) const;
   // Re-selects job `j` from its precomputed scores under `limit`.
   DecisionEngine::Selection SelectJob(int job_index, Watts limit) const;
+  // Cached selection of job `j` under `limit`: cache hit, or (lazily scoring the
+  // job's family first) SelectJob plus an insert.  Caching must be enabled.
+  DecisionEngine::Selection SelectJobCached(int job_index, Watts limit);
 
   std::vector<Family> families_;  // first-appearance order
   std::vector<Job> jobs_;
   Watts total_power_budget_;
   AllocationPolicy policy_;
   int parallel_threshold_ = 128;
+  DecisionCachePolicy cache_policy_;  // off by default
 
   // Round scratch, reused across rounds.
   std::vector<DecisionSnapshot> snapshots_;
@@ -127,6 +149,9 @@ class MultiJobCoordinator {
   std::vector<Watts> grants_;
   std::vector<Watts> claims_;  // slack-recycling: cap actually claimed per job
   std::vector<int> order_;     // slack-recycling offer order
+  std::vector<char> family_scored_;  // cached rounds: which families scored so far
+  std::vector<int> cache_misses_;    // cached rounds: pass-1 jobs that missed
+  std::vector<int> miss_families_;   // cached rounds: families needing scoring
 };
 
 }  // namespace alert

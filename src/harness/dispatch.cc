@@ -623,6 +623,22 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
   context.fingerprint = PlanFingerprint(plan);
 
   SweepMergeAccumulator accumulator(plan);
+  // Preseeded results (cache hits) are first-class deliveries: merged before any
+  // worker exists, so the waves below never assign — let alone re-run — their units.
+  for (const SweepUnitResult& result : options.preseeded_results) {
+    bool newly = false;
+    const serde::Status s = accumulator.Add(result, &newly);
+    if (!s) {
+      return serde::Wrap("preseeded result", s);
+    }
+    if (newly) {
+      ++st.preseeded;
+    }
+  }
+  if (accumulator.complete()) {
+    log("every unit preseeded; nothing to dispatch");
+    return accumulator.Finalize(out);
+  }
   std::vector<std::unique_ptr<WorkerState>> workers;
   std::vector<int> retry_queue;  // unit ids awaiting reassignment
   int next_launch_index = 0;
@@ -743,22 +759,29 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     return serde::Ok();
   };
 
-  // Initial wave: launch and assign the plan's shards.
+  // Initial wave: drop preseeded unit ids from the shards first, then launch only
+  // as many workers as there are non-empty shards — a mostly-preseeded incremental
+  // re-run must not spin up a fleet of idle workers (replacements still launch on
+  // demand from the retry pump).
   const auto initial_shards =
       PartitionPlan(plan, options.num_workers, options.strategy);
-  for (int i = 0; i < options.num_workers; ++i) {
-    WorkerState* worker = launch_worker();
-    if (worker == nullptr) {
-      break;
-    }
-    const std::vector<SweepUnit>& shard = initial_shards[static_cast<size_t>(i)];
-    if (shard.empty()) {
-      continue;  // stays idle; may pick up retries
-    }
+  std::vector<std::vector<int>> initial_ids;
+  for (const std::vector<SweepUnit>& shard : initial_shards) {
     std::vector<int> ids;
     ids.reserve(shard.size());
     for (const SweepUnit& unit : shard) {
-      ids.push_back(unit.id);
+      if (!accumulator.IsRecorded(unit.id)) {  // skip preseeded units
+        ids.push_back(unit.id);
+      }
+    }
+    if (!ids.empty()) {
+      initial_ids.push_back(std::move(ids));
+    }
+  }
+  for (std::vector<int>& ids : initial_ids) {
+    WorkerState* worker = launch_worker();
+    if (worker == nullptr) {
+      break;
     }
     assign_ids(*worker, std::move(ids), /*is_retry=*/false);
   }
@@ -776,7 +799,7 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
       }
     }
     for (size_t id = 0; id < assigned.size(); ++id) {
-      if (!assigned[id]) {
+      if (!assigned[id] && !accumulator.IsRecorded(static_cast<int>(id))) {
         retry_queue.push_back(static_cast<int>(id));
       }
     }

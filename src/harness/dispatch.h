@@ -196,6 +196,14 @@ struct DispatchOptions {
   int global_deadline_ms = 600000;
   int poll_interval_ms = 2;  // event-loop sleep when no channel has traffic
 
+  // Results already known before any worker launches — e.g. cache hits from a
+  // SweepResultCache (sweep_cache.h).  They enter the merge accumulator as
+  // first-class deliveries ahead of the initial wave, and their unit ids are never
+  // assigned to any worker; a fully preseeded plan finalizes without launching one.
+  // Ids must belong to the plan, and two preseeds for one id must agree —
+  // otherwise the dispatch fails before any work starts.
+  std::vector<SweepUnitResult> preseeded_results;
+
   // Observability hooks, all invoked on the dispatcher thread, in event order.
   // on_assign fires before the assignment is sent; its ids never include a unit that
   // already has a merged result (the no-rerun invariant — also ALERT_CHECKed).
@@ -215,6 +223,7 @@ struct DispatchStats {
   int retry_assignments = 0;  // assignments beyond the initial wave
   int results_received = 0;   // result lines parsed (duplicates included)
   int duplicate_results = 0;  // redeliveries discarded by first-wins
+  int preseeded = 0;          // results accepted from preseeded_results
 };
 
 // Captures the warm-start payload for a plan: for every (task, platform, seed) its

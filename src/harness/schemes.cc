@@ -61,7 +61,8 @@ DnnSetChoice SchemeDnnSet(SchemeId id) {
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(SchemeId id, const Experiment& experiment,
-                                         const Goals& goals) {
+                                         const Goals& goals,
+                                         const DecisionCachePolicy& cache) {
   const Stack& stack = experiment.stack(SchemeDnnSet(id));
   switch (id) {
     case SchemeId::kAlert:
@@ -69,6 +70,7 @@ std::unique_ptr<Scheduler> MakeScheduler(SchemeId id, const Experiment& experime
     case SchemeId::kAlertTrad: {
       AlertOptions options;
       options.name = std::string(SchemeName(id));
+      options.decision_cache = cache;
       return std::make_unique<AlertScheduler>(stack.engine(), goals, options);
     }
     case SchemeId::kAlertStar:
@@ -77,6 +79,7 @@ std::unique_ptr<Scheduler> MakeScheduler(SchemeId id, const Experiment& experime
       AlertOptions options;
       options.use_variance = false;
       options.name = std::string(SchemeName(id));
+      options.decision_cache = cache;
       return std::make_unique<AlertScheduler>(stack.engine(), goals, options);
     }
     case SchemeId::kSysOnly:

@@ -172,8 +172,17 @@ serde::Status SweepMergeAccumulator::Add(const SweepUnitResult& result,
   const size_t id = static_cast<size_t>(result.unit_id);
   if (recorded_[id]) {
     if (!(results_[id] == result)) {
+      // Name the unit and show both payloads: the operator's next step is to find
+      // which worker/shard produced which value, and "they conflicted" alone forces
+      // them to diff the results files by hand.
+      const auto payload = [](const SweepUnitResult& r) {
+        return "{skipped=" + std::to_string(r.skipped) +
+               " usable=" + std::to_string(r.usable) +
+               " metric=" + serde::FormatDouble(r.metric) + "}";
+      };
       return serde::Error("conflicting duplicate result for unit id " +
-                          std::to_string(result.unit_id));
+                          std::to_string(result.unit_id) + ": recorded " +
+                          payload(results_[id]) + " vs incoming " + payload(result));
     }
     return serde::Ok();  // first-wins: identical redelivery is a no-op
   }
@@ -308,7 +317,8 @@ serde::Status MergeSweepResults(const SweepPlan& plan,
       // Batch semantics are strict: a shard set that delivers a unit twice is
       // malformed even when the payloads agree.
       return serde::Error("duplicate result for unit id " +
-                          std::to_string(result.unit_id));
+                          std::to_string(result.unit_id) +
+                          " (identical payload delivered twice)");
     }
   }
   return accumulator.Finalize(out);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/harness/dispatch.h"
+#include "src/harness/sweep_cache.h"
 #include "src/harness/sweep_io.h"
 #include "src/harness/sweep_plan.h"
 #include "src/harness/sweep_runner.h"
@@ -54,6 +55,11 @@ namespace {
       "  --max-launches=N       total launch budget incl. replacements (default K+8)\n"
       "  --out=CSV              write the aggregate CSV here\n"
       "  --print                print the aggregate CSV to stdout\n"
+      "  --cache-dir=DIR        persistent unit-result cache: cached units are merged\n"
+      "                         as preseeded deliveries and never dispatched, so a\n"
+      "                         re-run after a spec edit ships only the changed units\n"
+      "  --cache=off|read|readwrite  cache mode (default readwrite with --cache-dir)\n"
+      "  --cache-stats=FILE     write a one-record cache-stats file\n"
       "  --inject-fail=I:N      (testing) worker launch index I dies after N results\n"
       "  --inject-hang=I:N      (testing) worker I goes silent after N results\n"
       "  --inject-dup=I         (testing) worker I sends every result twice\n"
@@ -126,6 +132,9 @@ int main(int argc, char** argv) {
   bool print = false;
   bool verbose = false;
   int worker_threads = 0;
+  std::string cache_dir;
+  std::string cache_mode_flag;
+  std::string cache_stats_path;
   DispatchOptions options;
   options.num_workers = -1;
   std::map<int, int> inject_fail;
@@ -159,6 +168,12 @@ int main(int argc, char** argv) {
       options.max_worker_launches = ParseIntOrDie(*v, "--max-launches");
     } else if (auto v = ArgValue(arg, "--out")) {
       out_path = *v;
+    } else if (auto v = ArgValue(arg, "--cache-dir")) {
+      cache_dir = *v;
+    } else if (auto v = ArgValue(arg, "--cache")) {
+      cache_mode_flag = *v;
+    } else if (auto v = ArgValue(arg, "--cache-stats")) {
+      cache_stats_path = *v;
     } else if (auto v = ArgValue(arg, "--inject-fail")) {
       inject_fail.insert(ParseIndexCount(*v, "--inject-fail"));
     } else if (auto v = ArgValue(arg, "--inject-hang")) {
@@ -188,6 +203,25 @@ int main(int argc, char** argv) {
     Fail("spec '" + spec_path + "': " + s.message);
   }
   const SweepPlan plan = BuildSweepPlan(spec);
+
+  SweepCacheMode cache_mode = SweepCacheMode::kOff;
+  s = ResolveSweepCacheMode(cache_dir, cache_mode_flag, &cache_mode);
+  if (!s) {
+    Fail(s.message);
+  }
+  SweepResultCache cache;
+  SweepCacheRunStats cache_stats;
+  if (cache_mode != SweepCacheMode::kOff) {
+    s = OpenSweepResultCacheDir(cache_dir, cache_mode, &cache);
+    if (!s) {
+      Fail(s.message);
+    }
+    // Cache hits become preseeded deliveries: merged before any worker launches,
+    // never assigned.  `uncached` is only needed for the stats.
+    std::vector<SweepUnit> uncached;
+    SweepCachePreseed(plan, plan.units, cache, &options.preseeded_results, &uncached,
+                      &cache_stats);
+  }
 
   // Injection flags append worker-protocol testing flags to the matching launch
   // index only; replacement workers (fresh indices) come up clean, which is what
@@ -237,12 +271,64 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "sweep_dispatch: %s\n", event.c_str());
     };
   }
+  // Collect first-delivery worker results so a readwrite cache can record them.
+  std::vector<SweepUnitResult> fresh_results;
+  if (cache_mode == SweepCacheMode::kReadWrite) {
+    options.on_result = [&fresh_results](int, const SweepUnitResult& result,
+                                         bool newly_recorded) {
+      if (newly_recorded) {
+        fresh_results.push_back(result);
+      }
+    };
+  }
 
   std::vector<CellResult> cells;
   DispatchStats stats;
   s = DispatchSweep(plan, *transport, options, &cells, &stats);
   if (!s) {
     Fail(s.message);
+  }
+
+  if (cache_mode == SweepCacheMode::kReadWrite) {
+    const uint64_t plan_fp = PlanFingerprint(plan);
+    const auto record = [&](const SweepUnitResult& result) {
+      const SweepUnit& unit = plan.units[static_cast<size_t>(result.unit_id)];
+      const serde::Status rs =
+          cache.Record(SweepUnitFingerprint(plan.spec, unit), plan_fp, result);
+      if (!rs) {
+        Fail(rs.message);
+      }
+    };
+    for (const SweepUnitResult& result : fresh_results) {
+      record(result);
+    }
+    // Synthesized skips from the preseed are not yet in the cache; plain hits
+    // re-record as no-ops.
+    for (const SweepUnitResult& result : options.preseeded_results) {
+      record(result);
+    }
+    cache_stats.executed += fresh_results.size();
+    cache_stats.recorded = cache.newly_recorded();
+    s = cache.Save();
+    if (!s) {
+      Fail(s.message);
+    }
+  } else if (cache_mode == SweepCacheMode::kRead) {
+    cache_stats.executed += static_cast<size_t>(stats.results_received) -
+                            static_cast<size_t>(stats.duplicate_results);
+  }
+  if (cache_mode != SweepCacheMode::kOff) {
+    std::fprintf(stderr,
+                 "sweep_dispatch: cache (%s): %zu hits, %zu synthesized, %zu "
+                 "executed, %zu newly recorded\n",
+                 std::string(SweepCacheModeName(cache_mode)).c_str(), cache_stats.hits,
+                 cache_stats.synthesized, cache_stats.executed, cache_stats.recorded);
+  }
+  if (!cache_stats_path.empty()) {
+    s = WriteSweepCacheStats(cache_stats_path, cache_stats);
+    if (!s) {
+      Fail(s.message);
+    }
   }
   const std::string csv = SweepAggregateCsv(plan, cells);
   if (!out_path.empty()) {

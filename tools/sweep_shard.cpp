@@ -21,6 +21,7 @@
 #include <string>
 
 #include "src/harness/dispatch.h"
+#include "src/harness/sweep_cache.h"
 #include "src/harness/sweep_io.h"
 #include "src/harness/sweep_plan.h"
 #include "src/harness/sweep_runner.h"
@@ -41,6 +42,13 @@ namespace {
       "  --csv=FILE               also write the aggregate CSV (full plan only, i.e.\n"
       "                           --shards=1: this is the monolithic sweep)\n"
       "  --threads=N              worker threads across settings (default: hardware)\n"
+      "  --cache-dir=DIR          persistent unit-result cache: units whose content\n"
+      "                           fingerprint is cached are delivered, not re-run, so\n"
+      "                           a re-run after a spec edit executes only the changed\n"
+      "                           units (see src/harness/sweep_cache.h)\n"
+      "  --cache=off|read|readwrite  cache mode (default readwrite with --cache-dir)\n"
+      "  --cache-stats=FILE       write a one-record cache-stats file (hits,\n"
+      "                           synthesized, executed, recorded)\n"
       "  --print-units            list this shard's serialized units and exit\n"
       "  --dump-profile=FILE      dump the first unit's kBoth profile snapshot\n"
       "  --write-default-spec=FILE  write a small example spec and exit\n"
@@ -116,6 +124,9 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string profile_path;
   std::string default_spec_path;
+  std::string cache_dir;
+  std::string cache_mode_flag;
+  std::string cache_stats_path;
   int num_shards = -1;
   int shard_index = -1;
   int threads = 0;
@@ -151,6 +162,12 @@ int main(int argc, char** argv) {
       csv_path = *v;
     } else if (auto v = ArgValue(arg, "--threads")) {
       threads = ParseIntOrDie(*v, "--threads");
+    } else if (auto v = ArgValue(arg, "--cache-dir")) {
+      cache_dir = *v;
+    } else if (auto v = ArgValue(arg, "--cache")) {
+      cache_mode_flag = *v;
+    } else if (auto v = ArgValue(arg, "--cache-stats")) {
+      cache_stats_path = *v;
     } else if (auto v = ArgValue(arg, "--dump-profile")) {
       profile_path = *v;
     } else if (auto v = ArgValue(arg, "--write-default-spec")) {
@@ -234,6 +251,19 @@ int main(int argc, char** argv) {
     Fail("--csv needs the full plan in one shard (use --shards=1)");
   }
 
+  SweepCacheMode cache_mode = SweepCacheMode::kOff;
+  s = ResolveSweepCacheMode(cache_dir, cache_mode_flag, &cache_mode);
+  if (!s) {
+    Fail(s.message);
+  }
+  SweepResultCache cache;
+  if (cache_mode != SweepCacheMode::kOff) {
+    s = OpenSweepResultCacheDir(cache_dir, cache_mode, &cache);
+    if (!s) {
+      Fail(s.message);
+    }
+  }
+
   SweepRunOptions run_options;
   run_options.threads = threads;
   ShardResults results;
@@ -241,7 +271,27 @@ int main(int argc, char** argv) {
   results.num_shards = num_shards;
   results.shard_index = shard_index;
   results.strategy = strategy;
-  results.results = RunSweepUnits(plan, units, run_options);
+  SweepCacheRunStats cache_stats;
+  results.results = RunSweepUnitsCached(
+      plan, units, run_options,
+      cache_mode != SweepCacheMode::kOff ? &cache : nullptr, &cache_stats);
+  if (cache_mode != SweepCacheMode::kOff) {
+    s = cache.Save();
+    if (!s) {
+      Fail(s.message);
+    }
+    std::fprintf(stderr,
+                 "sweep_shard: cache (%s): %zu hits, %zu synthesized, %zu executed, "
+                 "%zu newly recorded\n",
+                 std::string(SweepCacheModeName(cache_mode)).c_str(), cache_stats.hits,
+                 cache_stats.synthesized, cache_stats.executed, cache_stats.recorded);
+  }
+  if (!cache_stats_path.empty()) {
+    s = WriteSweepCacheStats(cache_stats_path, cache_stats);
+    if (!s) {
+      Fail(s.message);
+    }
+  }
 
   s = serde::WriteFile(out_path, SerializeShardResults(results));
   if (!s) {
