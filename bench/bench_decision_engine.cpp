@@ -1,14 +1,16 @@
 // DecisionEngine microbenchmark: ns/decision for the old full-rescore path (per-cell
 // ConfigSpace lookups + exact erf-based estimates, exactly what AlertScheduler::Decide
-// inlined before the engine existed) vs. the SoA DecisionEngine with the memoized
-// Gaussian table, across config-space sizes.
+// inlined before the engine existed) vs. the SoA scalar engine vs. the vectorized
+// kernel, plus the fused SelectBest, across config-space sizes.
 //
-// Config-space size is scaled by replicating the evaluation candidate set: the Arg is
-// the replication factor (1 => the paper's CPU1 space, 110 configurations).
-#include <benchmark/benchmark.h>
-
+// Config-space size is scaled by replicating the evaluation candidate set: factor 1 is
+// the paper's CPU1 space (110 configurations), factor 16 is 1760.  Derived metrics
+// (ratios; machine-stable) feed the perf-trajectory gate — see bench/trajectory/.
+#include <string>
 #include <vector>
 
+#include "bench/bench_harness.h"
+#include "src/common/simd.h"
 #include "src/core/config_space.h"
 #include "src/core/decision_engine.h"
 #include "src/core/estimates.h"
@@ -81,12 +83,11 @@ ConfigScore NaiveScore(const ConfigSpace& space, const Configuration& config,
   return est;
 }
 
-// One "decision" = scoring every configuration once (the per-input work of Section 3.2
-// step 3).  Reported Time is therefore ns/decision.
-void BM_NaiveFullRescore(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)));
+// One "decision" = scoring every configuration once (the per-input work of Section
+// 3.2 step 3): the old inline path.
+double RunNaive(bench::Harness& h, Fixture& f, const std::string& name) {
   double sink = 0.0;
-  for (auto _ : state) {
+  return h.RunCase(name, [&] {
     for (int ci = 0; ci < f.space.num_candidates(); ++ci) {
       for (int pi = 0; pi < f.space.num_powers(); ++pi) {
         const ConfigScore s =
@@ -94,48 +95,77 @@ void BM_NaiveFullRescore(benchmark::State& state) {
         sink += s.expected_energy;
       }
     }
-    benchmark::DoNotOptimize(sink);
-  }
-  state.counters["configs"] = f.space.num_configurations();
-  state.counters["ns_per_config"] = benchmark::Counter(
-      static_cast<double>(f.space.num_configurations()),
-      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+    bench::DoNotOptimize(sink);
+  });
 }
-BENCHMARK(BM_NaiveFullRescore)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_EngineScoreAll(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)));
+double RunScoreAll(bench::Harness& h, Fixture& f, const std::string& name) {
   std::vector<ConfigScore> scores(static_cast<size_t>(f.engine.num_entries()));
   double sink = 0.0;
-  for (auto _ : state) {
+  return h.RunCase(name, [&] {
     f.engine.ScoreAll(f.in, scores);
     sink += scores.back().expected_energy;
-    benchmark::DoNotOptimize(sink);
-  }
-  state.counters["configs"] = f.space.num_configurations();
-  state.counters["ns_per_config"] = benchmark::Counter(
-      static_cast<double>(f.space.num_configurations()),
-      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+    bench::DoNotOptimize(sink);
+  });
 }
-BENCHMARK(BM_EngineScoreAll)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-// The full decision rule (score + select + fallback bookkeeping), engine path.
-void BM_EngineSelectBest(benchmark::State& state) {
-  Fixture f(static_cast<int>(state.range(0)));
+// The full decision rule: fused score + select + fallback bookkeeping.
+double RunSelectBest(bench::Harness& h, Fixture& f, const std::string& name) {
   Goals goals;
   goals.mode = GoalMode::kMinimizeEnergy;
   goals.deadline = 0.08;
   goals.accuracy_goal = 0.9;
-  std::vector<DecisionEngine::ScoredEntry> scratch;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
+  DecisionEngine::SelectScratch scratch;
+  return h.RunCase(name, [&] {
+    bench::DoNotOptimize(
         f.engine.SelectBest(goals, goals.energy_budget, f.in, 1e9, scratch));
-  }
-  state.counters["configs"] = f.space.num_configurations();
+  });
 }
-BENCHMARK(BM_EngineSelectBest)->Arg(1)->Arg(4)->Arg(16);
 
 }  // namespace
+
+int Main(int argc, char** argv) {
+  bench::Harness h("decision_engine", argc, argv);
+
+  Fixture small(1);    // the paper's CPU1 space: 110 configurations
+  Fixture large(16);   // 1760 configurations
+  h.Context("simd_backend", std::string(simd::BackendName(simd::CompiledBackend())));
+  h.Context("simd_active", small.engine.simd_active());
+  h.Context("configs_small", static_cast<double>(small.space.num_configurations()));
+  h.Context("configs_large", static_cast<double>(large.space.num_configurations()));
+
+  const double naive_110 = RunNaive(h, small, "naive_full_rescore_110");
+  const double naive_1760 = RunNaive(h, large, "naive_full_rescore_1760");
+
+  small.engine.set_simd_enabled(false);
+  large.engine.set_simd_enabled(false);
+  const double scalar_110 = RunScoreAll(h, small, "score_all_scalar_110");
+  const double scalar_1760 = RunScoreAll(h, large, "score_all_scalar_1760");
+  const double select_scalar_110 = RunSelectBest(h, small, "select_best_scalar_110");
+  const double select_scalar_1760 = RunSelectBest(h, large, "select_best_scalar_1760");
+
+  small.engine.set_simd_enabled(true);
+  large.engine.set_simd_enabled(true);
+  const bool simd = small.engine.simd_active();
+  // With no usable backend the "simd" cases rerun the scalar path (ratios ~1), and
+  // the gate's SIMD floors are skipped via the simd_active context flag.
+  const double simd_110 = RunScoreAll(h, small, "score_all_simd_110");
+  const double simd_1760 = RunScoreAll(h, large, "score_all_simd_1760");
+  const double select_simd_110 = RunSelectBest(h, small, "select_best_simd_110");
+  const double select_simd_1760 = RunSelectBest(h, large, "select_best_simd_1760");
+
+  // Machine-stable ratios for the trajectory gate.
+  h.Derive("engine_vs_naive_110", naive_110 / scalar_110);
+  h.Derive("engine_vs_naive_1760", naive_1760 / scalar_1760);
+  if (simd) {
+    h.Derive("score_all_simd_speedup_110", scalar_110 / simd_110);
+    h.Derive("score_all_simd_speedup_1760", scalar_1760 / simd_1760);
+    h.Derive("select_best_simd_speedup_110", select_scalar_110 / select_simd_110);
+    h.Derive("select_best_simd_speedup_1760", select_scalar_1760 / select_simd_1760);
+  }
+  return h.Finish();
+}
+
 }  // namespace alert
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return alert::Main(argc, argv); }

@@ -1,19 +1,20 @@
-// Multi-job decision-plane microbenchmark: ns/job/round for the historical
+// Multi-job decision-plane microbenchmark: ns/round for the historical
 // per-scheduler loop (stateful set_power_limit + Decide, two full scans per job when
 // the budget binds) vs. the batched plane (one ScoreBatch per family, allocation
-// passes re-select from precomputed scores).
+// passes re-select from precomputed scores), over a K sweep.
 //
-// The Arg is K, the number of concurrent jobs.  The budget is set to 60% of the jobs'
-// unconstrained desire so the scaling pass always runs — the regime coordination
-// exists for.  BM_*SharedFamily puts every job on one candidate family (the paper's
-// shared-server case); BM_*Heterogeneous spreads K jobs over six distinct
-// (task, candidate-set) families.
-#include <benchmark/benchmark.h>
-
+// The budget is set to 60% of the jobs' unconstrained desire so the scaling pass
+// always runs — the regime coordination exists for.  SharedFamily puts every job on
+// one candidate family (the paper's shared-server case); Heterogeneous spreads K
+// jobs over six distinct (task, candidate-set) families.  Derived metrics (ratios)
+// feed the perf-trajectory gate — see bench/trajectory/.
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench/bench_harness.h"
+#include "src/common/simd.h"
 #include "src/core/alert_scheduler.h"
 #include "src/core/config_space.h"
 #include "src/core/decision_engine.h"
@@ -90,51 +91,35 @@ void OldStyleRound(std::vector<std::unique_ptr<AlertScheduler>>& schedulers,
   }
 }
 
-void ReportPerJob(benchmark::State& state, int k) {
-  state.counters["jobs"] = k;
-  state.counters["ns_per_job"] = benchmark::Counter(
-      static_cast<double>(k),
-      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
-}
-
-void BM_PerSchedulerLoopSharedFamily(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
+double RunPerSchedulerLoop(bench::Harness& h, int k) {
   SharedFamilyFixture f(k);
   std::vector<SchedulingDecision> decisions;
-  for (auto _ : state) {
+  return h.RunCase("per_scheduler_loop_shared_k" + std::to_string(k), [&] {
     OldStyleRound(f.schedulers, f.requests, f.budget, decisions);
-    benchmark::DoNotOptimize(decisions.data());
-  }
-  ReportPerJob(state, k);
+    bench::DoNotOptimize(decisions.data());
+  });
 }
-BENCHMARK(BM_PerSchedulerLoopSharedFamily)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
 
-void BM_BatchedRoundSharedFamily(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
+double RunBatchedRound(bench::Harness& h, int k) {
   SharedFamilyFixture f(k);
   std::vector<SchedulingDecision> decisions;
   f.coordinator->DecideRoundInto(f.requests, &decisions);  // warm the scratch
-  for (auto _ : state) {
+  return h.RunCase("batched_round_shared_k" + std::to_string(k), [&] {
     f.coordinator->DecideRoundInto(f.requests, &decisions);
-    benchmark::DoNotOptimize(decisions.data());
-  }
-  ReportPerJob(state, k);
+    bench::DoNotOptimize(decisions.data());
+  });
 }
-BENCHMARK(BM_BatchedRoundSharedFamily)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
 
-void BM_BatchedRoundSlackRecycling(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
+void RunSlackRecycling(bench::Harness& h, int k) {
   SharedFamilyFixture f(k);
   f.coordinator->set_allocation_policy(AllocationPolicy::kSlackRecycling);
   std::vector<SchedulingDecision> decisions;
   f.coordinator->DecideRoundInto(f.requests, &decisions);
-  for (auto _ : state) {
+  h.RunCase("batched_round_slack_recycling_k" + std::to_string(k), [&] {
     f.coordinator->DecideRoundInto(f.requests, &decisions);
-    benchmark::DoNotOptimize(decisions.data());
-  }
-  ReportPerJob(state, k);
+    bench::DoNotOptimize(decisions.data());
+  });
 }
-BENCHMARK(BM_BatchedRoundSlackRecycling)->Arg(16)->Arg(64);
 
 // K jobs over six distinct (task, candidate-set) families.
 struct HeterogeneousFixture {
@@ -153,7 +138,6 @@ struct HeterogeneousFixture {
       }
     }
     std::vector<JobSpec> specs;
-    std::vector<std::unique_ptr<AlertScheduler>> probes;
     Watts desired = 0.0;
     for (int j = 0; j < k; ++j) {
       const ConfigSpace* space = families[static_cast<size_t>(j) % families.size()]
@@ -179,20 +163,51 @@ struct HeterogeneousFixture {
   Watts budget = 0.0;
 };
 
-void BM_BatchedRoundHeterogeneous(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
+void RunHeterogeneous(bench::Harness& h, int k) {
   HeterogeneousFixture f(k);
   std::vector<SchedulingDecision> decisions;
   f.coordinator->DecideRoundInto(f.requests, &decisions);
-  for (auto _ : state) {
+  h.RunCase("batched_round_heterogeneous_k" + std::to_string(k), [&] {
     f.coordinator->DecideRoundInto(f.requests, &decisions);
-    benchmark::DoNotOptimize(decisions.data());
-  }
-  ReportPerJob(state, k);
+    bench::DoNotOptimize(decisions.data());
+  });
 }
-BENCHMARK(BM_BatchedRoundHeterogeneous)->Arg(8)->Arg(16)->Arg(64);
 
 }  // namespace
+
+int Main(int argc, char** argv) {
+  bench::Harness h("multi_job", argc, argv);
+  h.Context("simd_backend", std::string(simd::BackendName(simd::CompiledBackend())));
+  {
+    SharedFamilyFixture probe(1);
+    h.Context("simd_active", probe.engine.simd_active());
+  }
+
+  const int ks[] = {2, 4, 8, 16, 64};
+  double loop_k16 = 0.0, batched_k16 = 0.0, loop_k64 = 0.0, batched_k64 = 0.0;
+  for (const int k : ks) {
+    const double loop_ns = RunPerSchedulerLoop(h, k);
+    const double batched_ns = RunBatchedRound(h, k);
+    if (k == 16) {
+      loop_k16 = loop_ns;
+      batched_k16 = batched_ns;
+    }
+    if (k == 64) {
+      loop_k64 = loop_ns;
+      batched_k64 = batched_ns;
+    }
+  }
+  RunSlackRecycling(h, 16);
+  RunSlackRecycling(h, 64);
+  RunHeterogeneous(h, 8);
+  RunHeterogeneous(h, 16);
+  RunHeterogeneous(h, 64);
+
+  h.Derive("batched_round_speedup_k16", loop_k16 / batched_k16);
+  h.Derive("batched_round_speedup_k64", loop_k64 / batched_k64);
+  return h.Finish();
+}
+
 }  // namespace alert
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return alert::Main(argc, argv); }

@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/common/gaussian_simd.h"
+#include "src/common/simd.h"
 
 namespace alert {
 namespace {
@@ -92,6 +94,41 @@ double FastNormalCdf(double x, double mean, double stddev) {
     return x < mean ? 0.0 : 1.0;
   }
   return FastStandardNormalCdf((x - mean) / stddev);
+}
+
+GaussianTableView GetGaussianTableView() {
+  const GaussianTailTable& table = TailTable();
+  GaussianTableView view;
+  view.cdf = table.cdf.data();
+  view.pdf = table.pdf.data();
+  view.intervals = kTailIntervals;
+  view.z_max = kTailZMax;
+  view.scale = kTailIntervals / (2.0 * kTailZMax);
+  return view;
+}
+
+void FastStandardNormalCdfBatch(const double* x, double* out, std::size_t n) {
+#if defined(ALERT_SIMD_AVX2) || defined(ALERT_SIMD_NEON)
+  if (simd::RuntimeSupported()) {
+    internal::FastStandardNormalCdfBatchSimd(x, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = FastStandardNormalCdf(x[i]);
+  }
+}
+
+void FastStandardNormalPdfBatch(const double* x, double* out, std::size_t n) {
+#if defined(ALERT_SIMD_AVX2) || defined(ALERT_SIMD_NEON)
+  if (simd::RuntimeSupported()) {
+    internal::FastStandardNormalPdfBatchSimd(x, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = FastStandardNormalPdf(x[i]);
+  }
 }
 
 double StandardNormalQuantile(double p) {

@@ -7,6 +7,8 @@
 #ifndef SRC_COMMON_GAUSSIAN_H_
 #define SRC_COMMON_GAUSSIAN_H_
 
+#include <cstddef>
+
 namespace alert {
 
 // Standard normal probability density at x.
@@ -34,6 +36,27 @@ double FastStandardNormalPdf(double x);
 // CDF of N(mean, stddev^2) via the memoized table.  stddev == 0 degenerates to the
 // step function exactly like NormalCdf.
 double FastNormalCdf(double x, double mean, double stddev);
+
+// Raw view of the memoized table for vectorized batch lookups (the SIMD kernels
+// gather directly from these arrays).  `cdf`/`pdf` hold `intervals + 1` knots
+// sampled uniformly over [-z_max, z_max]; `scale` maps z to the knot grid:
+// pos = (z + z_max) * scale.  The pointers stay valid for the process lifetime.
+struct GaussianTableView {
+  const double* cdf = nullptr;
+  const double* pdf = nullptr;
+  int intervals = 0;
+  double z_max = 0.0;
+  double scale = 0.0;
+};
+GaussianTableView GetGaussianTableView();
+
+// Batch forms of FastStandardNormalCdf / FastStandardNormalPdf: out[i] = Fast*(x[i]).
+// Dispatches to the compiled vector backend when the running machine supports it
+// (see src/common/simd.h) and falls back to the scalar loop otherwise; both paths
+// perform the identical interpolation arithmetic, so results do not depend on the
+// dispatch outcome.
+void FastStandardNormalCdfBatch(const double* x, double* out, std::size_t n);
+void FastStandardNormalPdfBatch(const double* x, double* out, std::size_t n);
 
 // Inverse standard normal CDF (quantile function).  `p` must lie in (0, 1).
 // Uses Acklam's rational approximation refined by one Halley step; absolute error is

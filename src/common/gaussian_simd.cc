@@ -1,0 +1,39 @@
+// Vectorized Gaussian batch kernels.  This TU is compiled with the backend's
+// architecture flags (see src/common/simd.h); in scalar builds it is empty.
+#include "src/common/gaussian_simd.h"
+
+#if defined(ALERT_SIMD_AVX2) || defined(ALERT_SIMD_NEON)
+
+#include "src/common/gaussian.h"
+#include "src/common/gaussian_vec.h"
+#include "src/common/simd_vec.h"
+
+namespace alert::internal {
+
+void FastStandardNormalCdfBatchSimd(const double* x, double* out, std::size_t n) {
+  const GaussianTableView table = GetGaussianTableView();
+  const std::size_t lanes = static_cast<std::size_t>(simd::kLanes);
+  std::size_t i = 0;
+  for (; i + lanes <= n; i += lanes) {
+    simd::Store(out + i, simd::FastCdfVec(simd::Load(x + i), table));
+  }
+  for (; i < n; ++i) {
+    out[i] = FastStandardNormalCdf(x[i]);
+  }
+}
+
+void FastStandardNormalPdfBatchSimd(const double* x, double* out, std::size_t n) {
+  const GaussianTableView table = GetGaussianTableView();
+  const std::size_t lanes = static_cast<std::size_t>(simd::kLanes);
+  std::size_t i = 0;
+  for (; i + lanes <= n; i += lanes) {
+    simd::Store(out + i, simd::FastPdfVec(simd::Load(x + i), table));
+  }
+  for (; i < n; ++i) {
+    out[i] = FastStandardNormalPdf(x[i]);
+  }
+}
+
+}  // namespace alert::internal
+
+#endif  // ALERT_SIMD_AVX2 || ALERT_SIMD_NEON

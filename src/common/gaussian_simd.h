@@ -1,0 +1,19 @@
+// Internal declarations of the vectorized Gaussian batch kernels, implemented in
+// src/common/gaussian_simd.cc (a TU compiled with the backend's architecture flags —
+// see the dispatch contract in src/common/simd.h).  Callers must gate every call on
+// alert::simd::RuntimeSupported().
+#ifndef SRC_COMMON_GAUSSIAN_SIMD_H_
+#define SRC_COMMON_GAUSSIAN_SIMD_H_
+
+#include <cstddef>
+
+namespace alert::internal {
+
+#if defined(ALERT_SIMD_AVX2) || defined(ALERT_SIMD_NEON)
+void FastStandardNormalCdfBatchSimd(const double* x, double* out, std::size_t n);
+void FastStandardNormalPdfBatchSimd(const double* x, double* out, std::size_t n);
+#endif
+
+}  // namespace alert::internal
+
+#endif  // SRC_COMMON_GAUSSIAN_SIMD_H_

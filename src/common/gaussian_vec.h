@@ -1,0 +1,74 @@
+// Vectorized interpolation over the memoized Gaussian table — the lane-parallel
+// twin of FastStandardNormalCdf / FastStandardNormalPdf in gaussian.cc.
+//
+// Kernel-TU-only header (includes simd_vec.h; see the dispatch contract in
+// src/common/simd.h).  The arithmetic reproduces the scalar lookups step for step —
+// same grid mapping, same truncation, same lerp, same boundary clamps — so lanes of
+// these functions agree bit-for-bit with the scalar calls for every finite z.
+#ifndef SRC_COMMON_GAUSSIAN_VEC_H_
+#define SRC_COMMON_GAUSSIAN_VEC_H_
+
+#include "src/common/gaussian.h"
+#include "src/common/simd_vec.h"
+
+namespace alert::simd {
+
+// Shared index math of one table lookup: the knot index and lerp fraction for each
+// lane's z, with z clamped into the grid so gathers stay in bounds.  Boundary lanes
+// (|z| >= z_max) are fixed up by the callers' Select blends.
+struct TableIndex {
+  VecI knot;
+  VecD frac;
+};
+
+inline TableIndex IndexTable(VecD z, const GaussianTableView& table) {
+  const VecD z_max = Broadcast(table.z_max);
+  const VecD clamped = Min(Max(z, Broadcast(-table.z_max)), z_max);
+  // pos = (z + z_max) * scale, exactly the scalar expression; in-range lanes are
+  // untouched by the clamp, so pos — and everything derived from it — is identical.
+  const VecD pos = Mul(Add(clamped, z_max), Broadcast(table.scale));
+  const VecI knot = MinInt(TruncToInt(pos), table.intervals - 1);
+  return {knot, Sub(pos, IntToDouble(knot))};
+}
+
+inline VecD InterpolateTable(const double* knots, const TableIndex& idx) {
+  const VecD lo = Gather(knots, idx.knot);
+  const VecD hi = Gather(knots, AddInt(idx.knot, 1));
+  return Add(lo, Mul(idx.frac, Sub(hi, lo)));
+}
+
+// Lane-parallel FastStandardNormalCdf: 0 below -z_max, 1 above z_max, lerp between.
+inline VecD FastCdfVec(VecD z, const GaussianTableView& table) {
+  const TableIndex idx = IndexTable(z, table);
+  VecD r = InterpolateTable(table.cdf, idx);
+  r = Select(CmpGe(z, Broadcast(table.z_max)), Broadcast(1.0), r);
+  r = Select(CmpLe(z, Broadcast(-table.z_max)), Broadcast(0.0), r);
+  return r;
+}
+
+// Lane-parallel CDF + PDF at the same z (Eq. 6 shares z with the expected-runtime
+// truncation), sharing one index computation.
+inline void FastCdfPdfVec(VecD z, const GaussianTableView& table, VecD* cdf,
+                          VecD* pdf) {
+  const TableIndex idx = IndexTable(z, table);
+  VecD c = InterpolateTable(table.cdf, idx);
+  c = Select(CmpGe(z, Broadcast(table.z_max)), Broadcast(1.0), c);
+  c = Select(CmpLe(z, Broadcast(-table.z_max)), Broadcast(0.0), c);
+  *cdf = c;
+  VecD p = InterpolateTable(table.pdf, idx);
+  p = Select(CmpGe(z, Broadcast(table.z_max)), Broadcast(0.0), p);
+  p = Select(CmpLe(z, Broadcast(-table.z_max)), Broadcast(0.0), p);
+  *pdf = p;
+}
+
+inline VecD FastPdfVec(VecD z, const GaussianTableView& table) {
+  const TableIndex idx = IndexTable(z, table);
+  VecD r = InterpolateTable(table.pdf, idx);
+  r = Select(CmpGe(z, Broadcast(table.z_max)), Broadcast(0.0), r);
+  r = Select(CmpLe(z, Broadcast(-table.z_max)), Broadcast(0.0), r);
+  return r;
+}
+
+}  // namespace alert::simd
+
+#endif  // SRC_COMMON_GAUSSIAN_VEC_H_

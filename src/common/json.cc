@@ -1,0 +1,428 @@
+#include "src/common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace alert {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  static const JsonValue null_value;
+  const JsonValue* found = Find(key);
+  return found != nullptr ? *found : null_value;
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kObject;
+  }
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kArray;
+  }
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  JsonValue Run() {
+    JsonValue value = ParseValue();
+    if (failed_) {
+      return JsonValue();
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after document");
+      return JsonValue();
+    }
+    return value;
+  }
+
+ private:
+  void Fail(const char* message) {
+    if (!failed_ && error_ != nullptr) {
+      *error_ = std::string(message) + " at byte " + std::to_string(pos_);
+    }
+    failed_ = true;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return JsonValue();
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return JsonValue::String(ParseString());
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        break;
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        break;
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        break;
+      default:
+        return ParseNumber();
+    }
+    Fail("invalid value");
+    return JsonValue();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue object = JsonValue::Object();
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) {
+      return object;
+    }
+    while (!failed_) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        break;
+      }
+      std::string key = ParseString();
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        break;
+      }
+      object.Set(std::move(key), ParseValue());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        break;
+      }
+      Fail("expected ',' or '}' in object");
+    }
+    return object;
+  }
+
+  JsonValue ParseArray() {
+    JsonValue array = JsonValue::Array();
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) {
+      return array;
+    }
+    while (!failed_) {
+      array.Append(ParseValue());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        break;
+      }
+      Fail("expected ',' or ']' in array");
+    }
+    return array;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return out;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("invalid \\u escape");
+              return out;
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed through as two
+          // separate 3-byte sequences — fine for the metric names this store holds).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("invalid escape");
+          return out;
+      }
+    }
+    Fail("unterminated string");
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("invalid number");
+      return JsonValue();
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      Fail("invalid number");
+      return JsonValue();
+    }
+    return JsonValue::Number(value);
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; emit null (bench metrics are always finite).
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest round-trip form.
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  out->append(buf, static_cast<size_t>(ptr - buf));
+  (void)ec;
+}
+
+void DumpValue(const JsonValue& v, int indent, int depth, std::string* out) {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ') : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* space = indent > 0 ? " " : "";
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out += v.bool_value() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber:
+      AppendNumber(v.number_value(), out);
+      break;
+    case JsonValue::Type::kString:
+      AppendEscaped(v.string_value(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      if (v.items().empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[";
+      *out += nl;
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        *out += pad;
+        DumpValue(v.items()[i], indent, depth + 1, out);
+        if (i + 1 < v.items().size()) {
+          *out += ",";
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "]";
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      if (v.members().empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{";
+      *out += nl;
+      for (size_t i = 0; i < v.members().size(); ++i) {
+        *out += pad;
+        AppendEscaped(v.members()[i].first, out);
+        *out += ":";
+        *out += space;
+        DumpValue(v.members()[i].second, indent, depth + 1, out);
+        if (i + 1 < v.members().size()) {
+          *out += ",";
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::Parse(std::string_view text, std::string* error) {
+  return Parser(text, error).Run();
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpValue(*this, indent, 0, &out);
+  if (indent > 0) {
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace alert

@@ -1,0 +1,85 @@
+// Minimal JSON value: parse / navigate / dump.  Built for the perf-trajectory
+// plane (tools/bench_check reads the BENCH_*.json files the bench harness emits)
+// but generic; no external dependency.
+//
+// Scope: full JSON syntax on input (objects, arrays, strings with the standard
+// escapes incl. \uXXXX, numbers, booleans, null); numbers are held as double
+// (adequate for metric values; not a general 64-bit-integer-preserving store).
+// Objects preserve insertion order and `Dump` is deterministic, so
+// parse-then-dump round trips are stable for diffing.
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace alert {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  // Parses `text` (one JSON document, trailing whitespace allowed).  On failure
+  // returns null and, when `error` is non-null, stores a message with the byte
+  // offset of the problem.
+  static JsonValue Parse(std::string_view text, std::string* error = nullptr);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed reads; the `_or` forms return the fallback on a type mismatch.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  double number_or(double fallback) const { return is_number() ? number_ : fallback; }
+  bool bool_or(bool fallback) const { return is_bool() ? bool_ : fallback; }
+
+  // Array access (empty unless is_array()).
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // Object access (empty unless is_object()).  `Find` returns nullptr when the key
+  // is absent; `at` returns a shared null value.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  const JsonValue* Find(std::string_view key) const;
+  const JsonValue& at(std::string_view key) const;
+
+  // Mutation (builder style): `Set` appends or overwrites an object key, `Append`
+  // pushes onto an array.  Both silently convert a null value to the container type
+  // so builders can start from a default-constructed JsonValue.
+  JsonValue& Set(std::string key, JsonValue value);
+  JsonValue& Append(JsonValue value);
+
+  // Serializes the value.  `indent` > 0 pretty-prints with that many spaces per
+  // level and a trailing newline at the top call; 0 emits the compact form.
+  // Numbers use shortest-round-trip formatting, so Parse(Dump(v)) == v bit-for-bit.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace alert
+
+#endif  // SRC_COMMON_JSON_H_

@@ -1,0 +1,68 @@
+#include "src/common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace alert::simd {
+
+Backend CompiledBackend() {
+#if defined(ALERT_SIMD_AVX2)
+  return Backend::kAvx2;
+#elif defined(ALERT_SIMD_NEON)
+  return Backend::kNeon;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+namespace {
+
+bool DisabledByEnv() {
+  const char* value = std::getenv("ALERT_SIMD");
+  return value != nullptr &&
+         (std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0);
+}
+
+bool MachineSupportsCompiledBackend() {
+#if defined(ALERT_SIMD_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#elif defined(ALERT_SIMD_NEON)
+  // NEON (Advanced SIMD) is architecturally mandatory on AArch64.
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool RuntimeSupported() {
+  static const bool supported = MachineSupportsCompiledBackend() && !DisabledByEnv();
+  return supported;
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+int CompiledLaneWidth() {
+  switch (CompiledBackend()) {
+    case Backend::kAvx2:
+      return 4;
+    case Backend::kNeon:
+      return 2;
+    case Backend::kScalar:
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace alert::simd

@@ -1,0 +1,78 @@
+// Portable SIMD plumbing: backend detection, runtime dispatch gates, and aligned
+// storage for the vectorized scoring kernels.
+//
+// == Dispatch contract ==
+//
+// The build compiles at most ONE vector backend, chosen by CMake (`ALERT_SIMD`
+// option + architecture/flag probes) and announced to every translation unit via
+// exactly one of the ALERT_SIMD_AVX2 / ALERT_SIMD_NEON macros.  Only the dedicated
+// kernel TUs (src/common/gaussian_simd.cc, src/core/decision_engine_simd.cc) are
+// compiled with the matching architecture flags (-mavx2 on x86; NEON is baseline on
+// AArch64), so vector instructions can never leak into code that runs before the
+// runtime probe.  Everything else sees the kernels only through function declarations
+// guarded by the same macros.
+//
+// At runtime, `RuntimeSupported()` gates every call into a kernel: it checks that the
+// executing CPU actually implements the compiled backend (cpuid AVX2 probe on x86;
+// NEON is architecturally guaranteed on AArch64) and that the operator has not set
+// the `ALERT_SIMD=off` environment escape hatch.  Callers — DecisionEngine, the
+// gaussian batch lookups — fall back to the scalar reference path when it returns
+// false, so a scalar-only binary and a vector binary on a pre-AVX2 machine behave
+// identically.  The scalar path is the reference implementation and remains
+// first-class: `-DALERT_SIMD=OFF` builds it exclusively.
+#ifndef SRC_COMMON_SIMD_H_
+#define SRC_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace alert::simd {
+
+enum class Backend { kScalar, kAvx2, kNeon };
+
+// The backend the kernel TUs were compiled for; kScalar when the build disabled
+// SIMD (-DALERT_SIMD=OFF) or the toolchain lacks the required flags.
+Backend CompiledBackend();
+
+// True iff the compiled backend can execute on this machine AND the ALERT_SIMD=off
+// environment escape hatch is unset.  Always false for kScalar.  Memoized after the
+// first call (the environment is read once).
+bool RuntimeSupported();
+
+const char* BackendName(Backend backend);
+
+// Doubles per vector register of the compiled backend: 4 (AVX2), 2 (NEON), 1.
+int CompiledLaneWidth();
+
+// 64-byte-aligned allocator.  The DecisionEngine SoA profile tables use it so vector
+// loads start cache-line aligned; alignment beyond the ABI minimum is a performance
+// contract only — kernels use unaligned loads and remain correct either way.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(kAlignment));
+  }
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace alert::simd
+
+#endif  // SRC_COMMON_SIMD_H_

@@ -112,7 +112,7 @@ SchedulingDecision MakeSchedulingDecision(const ConfigSpace& space,
 
 SchedulingDecision DecideFromSnapshot(const DecisionSnapshot& snapshot,
                                       Watts power_limit,
-                                      std::vector<DecisionEngine::ScoredEntry>& scratch) {
+                                      DecisionEngine::SelectScratch& scratch) {
   // Steps 3-4: one engine pass scores every configuration under the snapshot belief
   // and applies the goal feasibility/objective rules plus the Section 4 fallback.
   const DecisionEngine& engine = *snapshot.engine;

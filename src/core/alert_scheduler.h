@@ -91,7 +91,7 @@ SchedulingDecision MakeSchedulingDecision(const ConfigSpace& space,
 // DecideFromSnapshot(Snapshot(request), power_limit(), scratch).
 SchedulingDecision DecideFromSnapshot(const DecisionSnapshot& snapshot,
                                       Watts power_limit,
-                                      std::vector<DecisionEngine::ScoredEntry>& scratch);
+                                      DecisionEngine::SelectScratch& scratch);
 
 class AlertScheduler final : public Scheduler {
  public:
@@ -173,8 +173,8 @@ class AlertScheduler final : public Scheduler {
   IdlePowerFilter idle_power_;
   std::optional<SlidingWindow> wcet_window_;  // hard-guarantee variant
   Watts power_limit_ = 1e9;
-  // Per-decision scratch for SelectBest (avoids an allocation per input).
-  std::vector<DecisionEngine::ScoredEntry> scratch_;
+  // Per-decision scratch for the fused SelectBest (avoids an allocation per input).
+  DecisionEngine::SelectScratch scratch_;
   // Memoized selections (AlertOptions::decision_cache); null when the policy is off.
   std::unique_ptr<DecisionCache> cache_;
 

@@ -138,7 +138,7 @@ void DecisionCache::Insert(const Goals& goals, Joules allowance,
 
 DecisionEngine::Selection DecisionCache::Select(
     const Goals& goals, Joules allowance, const DecisionInputs& in, Watts power_limit,
-    std::vector<DecisionEngine::ScoredEntry>& scratch) {
+    DecisionEngine::SelectScratch& scratch) {
   DecisionEngine::Selection selection;
   if (Lookup(goals, allowance, in, power_limit, &selection)) {
     return selection;

@@ -97,7 +97,7 @@ class DecisionCache {
   // position); a miss runs the engine's SelectBest and stores the result.
   DecisionEngine::Selection Select(const Goals& goals, Joules allowance,
                                    const DecisionInputs& in, Watts power_limit,
-                                   std::vector<DecisionEngine::ScoredEntry>& scratch);
+                                   DecisionEngine::SelectScratch& scratch);
 
   // The two halves of Select, for callers that compute selections themselves (the
   // multi-job coordinator re-selects from precomputed score tables).

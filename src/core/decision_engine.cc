@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 #include "src/common/check.h"
 #include "src/common/gaussian.h"
+#include "src/core/decision_engine_simd.h"
 
 namespace alert {
 namespace {
+
+// Chunk size of the fused SelectBest: 256 ConfigScores = 8 KB, comfortably inside L1
+// so the select sweep reads scores the kernel just wrote without round-tripping L2.
+constexpr int kSelectChunkEntries = 256;
 
 // E[min(xi * profile, cutoff)] via the memoized CDF (mirrors ExpectedRuntime).
 Seconds FastExpectedRuntime(const XiBelief& xi, Seconds profile, Seconds cutoff) {
@@ -92,7 +98,8 @@ void WarmGaussianTable() { FastStandardNormalCdf(0.0); }
 
 DecisionEngine::DecisionEngine(const ConfigSpace& space)
     : space_(&space), num_candidates_(space.num_candidates()),
-      num_powers_(space.num_powers()), caps_(space.caps()) {
+      num_powers_(space.num_powers()),
+      caps_(space.caps().begin(), space.caps().end()) {
   const size_t entries = static_cast<size_t>(num_entries());
   run_profile_.resize(entries);
   full_profile_.resize(entries);
@@ -140,7 +147,40 @@ DecisionEngine::DecisionEngine(const ConfigSpace& space)
       inference_power_[e] = space.InferencePower(c.model_index, pi);
     }
   }
+
+  // Vector layer: pad the per-entry tables to the compiled lane width (padding lanes
+  // replicate the row's last real entry, so a full-lane load at the row edge reads
+  // finite profile data and the kernel never needs a masked tail).
+  const int lanes = simd::CompiledLaneWidth();
+  simd_available_ = lanes > 1 && simd::RuntimeSupported();
+  simd_enabled_ = simd_available_;
+  if (simd_available_) {
+    padded_stride_ = ((num_powers_ + lanes - 1) / lanes) * lanes;
+    const size_t padded =
+        static_cast<size_t>(num_candidates_) * static_cast<size_t>(padded_stride_);
+    padded_run_profile_.resize(padded);
+    padded_inv_run_profile_.resize(padded);
+    padded_inv_full_profile_.resize(padded);
+    padded_inference_power_.resize(padded);
+    for (int ci = 0; ci < num_candidates_; ++ci) {
+      for (int pi = 0; pi < padded_stride_; ++pi) {
+        const size_t src =
+            static_cast<size_t>(entry_index(ci, std::min(pi, num_powers_ - 1)));
+        const size_t dst =
+            static_cast<size_t>(ci) * static_cast<size_t>(padded_stride_) +
+            static_cast<size_t>(pi);
+        padded_run_profile_[dst] = run_profile_[src];
+        padded_inv_run_profile_[dst] = inv_run_profile_[src];
+        padded_inv_full_profile_[dst] = inv_full_profile_[src];
+        padded_inference_power_[dst] = inference_power_[src];
+      }
+    }
+  }
   WarmGaussianTable();
+}
+
+void DecisionEngine::set_simd_enabled(bool enabled) {
+  simd_enabled_ = enabled && simd_available_;
 }
 
 DecisionEngine::ScoringContext DecisionEngine::MakeContext(const DecisionInputs& in) {
@@ -159,6 +199,9 @@ ConfigScore DecisionEngine::ScoreEntry(int entry, const DecisionInputs& in) cons
 // the per-entry divisions are precomputed into inv_*_profile_ at construction and
 // 1/sigma is hoisted per scoring pass.  The degenerate (ALERT*, sigma == 0) and
 // percentile (Eq. 12) variants keep the reference arithmetic.
+//
+// The vector kernel (decision_engine_simd.cc) mirrors this function operation for
+// operation — change the two together and keep the equivalence suite green.
 ConfigScore DecisionEngine::ScoreEntry(int entry, const ScoringContext& ctx) const {
   const DecisionInputs& in = ctx.in;
   if (in.xi.stddev == 0.0 || in.percentile > 0.0) {
@@ -294,6 +337,55 @@ ConfigScore DecisionEngine::ScoreEntryReference(int entry,
   return score;
 }
 
+internal::ScoreTables DecisionEngine::KernelTables() const {
+  internal::ScoreTables t;
+  t.run_profile = padded_run_profile_.data();
+  t.inv_run_profile = padded_inv_run_profile_.data();
+  t.inv_full_profile = padded_inv_full_profile_.data();
+  t.inference_power = padded_inference_power_.data();
+  t.final_accuracy = final_accuracy_.data();
+  t.q_fail = q_fail_.data();
+  t.stage_offset = stage_offset_.data();
+  t.stage_count = stage_count_.data();
+  t.inv_stage_frac = inv_stage_frac_.data();
+  t.stage_accuracy = stage_accuracy_.data();
+  t.padded_stride = padded_stride_;
+  return t;
+}
+
+internal::ScoreParams DecisionEngine::KernelParams(const ScoringContext& ctx) {
+  internal::ScoreParams p;
+  p.mean = ctx.in.xi.mean;
+  p.sigma = ctx.in.xi.stddev;
+  p.inv_sigma = ctx.inv_sigma;
+  p.deadline = ctx.in.deadline;
+  p.period = ctx.in.period;
+  p.idle_ratio = ctx.in.idle_ratio;
+  p.fixed_idle_power = ctx.in.fixed_idle_power;
+  p.use_idle_ratio = ctx.in.use_idle_ratio;
+  p.stop_at_cutoff = ctx.in.stop_at_cutoff;
+  return p;
+}
+
+void DecisionEngine::ScoreChunk(const ScoringContext& ctx, int ci_begin, int ci_end,
+                                int width, ConfigScore* out, int out_stride) const {
+#if defined(ALERT_SIMD_AVX2) || defined(ALERT_SIMD_NEON)
+  // The degenerate branches (sigma == 0 and Eq. 12 percentile energy) stay on the
+  // scalar reference arithmetic; everything else takes the lane-parallel kernel.
+  if (simd_enabled_ && !(ctx.in.xi.stddev == 0.0 || ctx.in.percentile > 0.0)) {
+    internal::ScoreRowsSimd(KernelTables(), KernelParams(ctx), ci_begin, ci_end,
+                            width, out, out_stride);
+    return;
+  }
+#endif
+  for (int ci = ci_begin; ci < ci_end; ++ci) {
+    ConfigScore* row = out + static_cast<ptrdiff_t>(ci - ci_begin) * out_stride;
+    for (int pi = 0; pi < width; ++pi) {
+      row[pi] = ScoreEntry(entry_index(ci, pi), ctx);
+    }
+  }
+}
+
 ConfigScore DecisionEngine::Score(int candidate_index, int power_index,
                                   const DecisionInputs& in) const {
   ALERT_DCHECK(candidate_index >= 0 && candidate_index < num_candidates_);
@@ -310,9 +402,7 @@ void DecisionEngine::ScoreAll(const DecisionInputs& in,
                               std::span<ConfigScore> out) const {
   ALERT_CHECK(static_cast<int>(out.size()) == num_entries());
   const ScoringContext ctx = MakeContext(in);
-  for (int e = 0; e < num_entries(); ++e) {
-    out[static_cast<size_t>(e)] = ScoreEntry(e, ctx);
-  }
+  ScoreChunk(ctx, 0, num_candidates_, num_powers_, out.data(), num_powers_);
 }
 
 int DecisionEngine::MaxAllowedPower(Watts power_limit) const {
@@ -327,100 +417,148 @@ int DecisionEngine::MaxAllowedPower(Watts power_limit) const {
 
 namespace {
 
-// The single copy of the ALERT selection rule, shared by SelectBest (scores computed
-// on the fly into scratch) and SelectFromScores (precomputed score table).
-// `score_at(ci, pi)` must be valid for pi in [0, max_pi].
-//
-// Feasibility (Eqs. 1/2, plus the optional Pr_th of Eqs. 10/11): the deadline
-// constraint is enforced through the expected-accuracy step function — a config
-// unlikely to finish in time cannot reach the accuracy goal, and in
-// accuracy-maximization mode it scores a poor objective.  When nothing is feasible:
-// the latency > accuracy > power hierarchy (Section 4).  First secure the deadline —
-// keep only configurations whose completion probability is within a small margin of
-// the best achievable.  Then, in energy-minimization mode (accuracy was the
-// unreachable constraint) maximize expected accuracy; in the budget modes (the energy
-// budget was unreachable — possibly a pacing deficit) spend as little as possible so
-// the balance can recover.
+// Pr_th pre-filter (Eqs. 10/11) plus per-goal feasibility and objective (Eqs. 1/2)
+// of one scored configuration.  Shared by the fused SelectBest stream and the
+// precomputed-table SelectFromScores so the two cannot drift.
+inline void ConsiderFeasible(BestConfigTracker& best, const Goals& goals,
+                             Joules allowance, int ci, int pi, const ConfigScore& s) {
+  if (goals.prob_threshold > 0.0 && s.prob_deadline < goals.prob_threshold) {
+    return;
+  }
+  best.Consider(ci, pi,
+                ScoreOutcome(goals, allowance, s.expected_accuracy, s.expected_energy,
+                             s.expected_latency, /*deadline_ok=*/true));
+}
+
+// The latency > accuracy > power fallback hierarchy (Section 4), applied when
+// nothing passes feasibility.  First secure the deadline — keep only configurations
+// whose completion probability is within a small margin (0.02) of the best
+// achievable.  Then, in energy-minimization mode (accuracy was the unreachable
+// constraint) maximize expected accuracy; in the budget modes (the energy budget was
+// unreachable — possibly a pacing deficit) spend as little as possible so the
+// balance can recover.
+class FallbackTracker {
+ public:
+  FallbackTracker(GoalMode mode, double pr_floor)
+      : prefer_accuracy_(mode == GoalMode::kMinimizeEnergy), pr_floor_(pr_floor) {}
+
+  void Consider(int ci, int pi, const ConfigScore& s) {
+    if (s.prob_deadline < pr_floor_) {
+      return;
+    }
+    const bool better =
+        prefer_accuracy_
+            ? (s.expected_accuracy > acc_ + 1e-12 ||
+               (std::abs(s.expected_accuracy - acc_) <= 1e-12 &&
+                s.expected_energy < energy_))
+            : (s.expected_energy < energy_ - 1e-12 ||
+               (std::abs(s.expected_energy - energy_) <= 1e-12 &&
+                s.expected_accuracy > acc_));
+    if (better) {
+      acc_ = s.expected_accuracy;
+      energy_ = s.expected_energy;
+      selection_.candidate_index = ci;
+      selection_.power_index = pi;
+    }
+  }
+
+  bool found() const { return selection_.candidate_index >= 0; }
+  DecisionEngine::Selection selection() const { return selection_; }
+
+ private:
+  bool prefer_accuracy_;
+  double pr_floor_;
+  double acc_ = -1.0;
+  Joules energy_ = std::numeric_limits<double>::infinity();
+  DecisionEngine::Selection selection_;
+};
+
+// The ALERT selection rule over a precomputed score table (SelectFromScores).
+// `score_at(ci, pi)` must be valid for pi in [0, max_pi].  Feasibility (Eqs. 1/2,
+// plus the optional Pr_th of Eqs. 10/11): the deadline constraint is enforced
+// through the expected-accuracy step function — a config unlikely to finish in time
+// cannot reach the accuracy goal, and in accuracy-maximization mode it scores a poor
+// objective.  Identical decision rule to the fused SelectBest by construction (same
+// ConsiderFeasible / FallbackTracker, same iteration order).
 template <typename ScoreAt>
 DecisionEngine::Selection SelectScored(const Goals& goals, Joules allowance,
                                        int num_candidates, int max_pi,
                                        const ScoreAt& score_at) {
-  const double pr_th = goals.prob_threshold;
   BestConfigTracker best(goals.mode, 1e-12);
+  double max_pr = 0.0;
   for (int ci = 0; ci < num_candidates; ++ci) {
     for (int pi = 0; pi <= max_pi; ++pi) {
       const ConfigScore& score = score_at(ci, pi);
-      if (pr_th > 0.0 && score.prob_deadline < pr_th) {
-        continue;
-      }
-      best.Consider(ci, pi,
-                    ScoreOutcome(goals, allowance, score.expected_accuracy,
-                                 score.expected_energy, score.expected_latency,
-                                 /*deadline_ok=*/true));
+      max_pr = std::max(max_pr, score.prob_deadline);
+      ConsiderFeasible(best, goals, allowance, ci, pi, score);
     }
   }
   if (best.found()) {
     return DecisionEngine::Selection{best.candidate_index(), best.power_index(), true};
   }
 
-  double max_pr = 0.0;
+  FallbackTracker fallback(goals.mode, max_pr - 0.02);
   for (int ci = 0; ci < num_candidates; ++ci) {
     for (int pi = 0; pi <= max_pi; ++pi) {
-      max_pr = std::max(max_pr, score_at(ci, pi).prob_deadline);
+      fallback.Consider(ci, pi, score_at(ci, pi));
     }
   }
-  const double pr_floor = max_pr - 0.02;
-  const bool prefer_accuracy = goals.mode == GoalMode::kMinimizeEnergy;
-  DecisionEngine::Selection fallback;
-  double fb_acc = -1.0;
-  Joules fb_energy = std::numeric_limits<double>::infinity();
-  for (int ci = 0; ci < num_candidates; ++ci) {
-    for (int pi = 0; pi <= max_pi; ++pi) {
-      const ConfigScore& s = score_at(ci, pi);
-      if (s.prob_deadline < pr_floor) {
-        continue;
-      }
-      const bool better =
-          prefer_accuracy
-              ? (s.expected_accuracy > fb_acc + 1e-12 ||
-                 (std::abs(s.expected_accuracy - fb_acc) <= 1e-12 &&
-                  s.expected_energy < fb_energy))
-              : (s.expected_energy < fb_energy - 1e-12 ||
-                 (std::abs(s.expected_energy - fb_energy) <= 1e-12 &&
-                  s.expected_accuracy > fb_acc));
-      if (better) {
-        fb_acc = s.expected_accuracy;
-        fb_energy = s.expected_energy;
-        fallback.candidate_index = ci;
-        fallback.power_index = pi;
-      }
-    }
-  }
-  ALERT_CHECK(fallback.candidate_index >= 0);
-  return fallback;
+  ALERT_CHECK(fallback.found());
+  return fallback.selection();
 }
 
 }  // namespace
 
 DecisionEngine::Selection DecisionEngine::SelectBest(
     const Goals& goals, Joules allowance, const DecisionInputs& in, Watts power_limit,
-    std::vector<ScoredEntry>& scratch) const {
+    SelectScratch& scratch) const {
   const ScoringContext ctx = MakeContext(in);
   // Externally capped (shared package budget): only power indices up to the hoisted
   // bound are scored at all.
   const int max_pi = MaxAllowedPower(power_limit);
   const int width = max_pi + 1;
-  scratch.clear();
-  scratch.reserve(static_cast<size_t>(num_candidates_ * width));
-  for (int ci = 0; ci < num_candidates_; ++ci) {
-    for (int pi = 0; pi <= max_pi; ++pi) {
-      scratch.push_back(ScoredEntry{ci, pi, ScoreEntry(entry_index(ci, pi), ctx)});
+  const int rows_per_chunk = std::max(1, kSelectChunkEntries / width);
+  scratch.chunk.resize(static_cast<size_t>(rows_per_chunk) *
+                       static_cast<size_t>(width));
+  ConfigScore* chunk = scratch.chunk.data();
+
+  // Fused score+select: each cache-resident chunk of rows is scored (vector kernel
+  // when active) and immediately folded into the feasibility tracker, so the full
+  // score table never exists.  max_pr is collected in the same sweep for the
+  // fallback floor.
+  BestConfigTracker best(goals.mode, 1e-12);
+  double max_pr = 0.0;
+  for (int ci0 = 0; ci0 < num_candidates_; ci0 += rows_per_chunk) {
+    const int rows = std::min(rows_per_chunk, num_candidates_ - ci0);
+    ScoreChunk(ctx, ci0, ci0 + rows, width, chunk, width);
+    for (int r = 0; r < rows; ++r) {
+      const ConfigScore* row = chunk + static_cast<ptrdiff_t>(r) * width;
+      for (int pi = 0; pi < width; ++pi) {
+        max_pr = std::max(max_pr, row[pi].prob_deadline);
+        ConsiderFeasible(best, goals, allowance, ci0 + r, pi, row[pi]);
+      }
     }
   }
-  return SelectScored(goals, allowance, num_candidates_, max_pi,
-                      [&scratch, width](int ci, int pi) -> const ConfigScore& {
-                        return scratch[static_cast<size_t>(ci * width + pi)].score;
-                      });
+  if (best.found()) {
+    return Selection{best.candidate_index(), best.power_index(), true};
+  }
+
+  // Nothing feasible: stream the chunks once more under the now-known completion-
+  // probability floor.  Scoring is deterministic, so the rescore is bit-identical
+  // and the pick matches the historical materialize-then-scan implementation.
+  FallbackTracker fallback(goals.mode, max_pr - 0.02);
+  for (int ci0 = 0; ci0 < num_candidates_; ci0 += rows_per_chunk) {
+    const int rows = std::min(rows_per_chunk, num_candidates_ - ci0);
+    ScoreChunk(ctx, ci0, ci0 + rows, width, chunk, width);
+    for (int r = 0; r < rows; ++r) {
+      const ConfigScore* row = chunk + static_cast<ptrdiff_t>(r) * width;
+      for (int pi = 0; pi < width; ++pi) {
+        fallback.Consider(ci0 + r, pi, row[pi]);
+      }
+    }
+  }
+  ALERT_CHECK(fallback.found());
+  return fallback.selection();
 }
 
 namespace {
@@ -458,9 +596,7 @@ void DecisionEngine::ScoreBatch(std::span<const DecisionInputs> inputs,
       continue;
     }
     const ScoringContext ctx = MakeContext(inputs[j]);
-    for (size_t e = 0; e < entries; ++e) {
-      row[e] = ScoreEntry(static_cast<int>(e), ctx);
-    }
+    ScoreChunk(ctx, 0, num_candidates_, num_powers_, row.data(), num_powers_);
   }
 }
 

@@ -14,6 +14,8 @@
 // id `entry_index(ci, pi) = ci * num_powers() + pi`.  The engine holds a pointer to
 // `space`, which must outlive it; the profile snapshot is taken at construction, so a
 // ConfigSpace mutated afterwards (none currently are) would need a fresh engine.
+// The SoA arrays are 64-byte aligned, and the four per-entry profile tables keep a
+// vector-padded copy (rows padded to the compiled lane width) for the SIMD kernel.
 //
 // Scoring: `Score` / `ScoreAll` evaluate Eqs. 6/7/9/12/13 for one / all configurations
 // given an immutable `DecisionInputs` snapshot (xi belief + idle-power model + deadline
@@ -22,11 +24,31 @@
 // instead of per-call std::erf.  Passing xi.stddev == 0 degenerates every estimate to
 // the mean-only ALERT* scheme exactly as the inline code did.
 //
+// Vector layer: when the build compiled a SIMD backend (AVX2/NEON — see the dispatch
+// contract in src/common/simd.h) and the running machine supports it, the
+// non-degenerate scoring pass runs through the lane-parallel kernel in
+// decision_engine_simd.cc; `simd_active()` reports the live mode and
+// `set_simd_enabled(false)` forces the scalar reference path (equivalence tests,
+// benchmarks, `ALERT_SIMD=off` escape hatches at build and run time).  The kernel
+// performs the identical IEEE-754 operations in the identical order as the scalar
+// fast path — no FMA contraction, same memoized table — so vector and scalar scores
+// agree to the last bit on every tested platform; the scalar path remains the
+// reference implementation, and the degenerate branches (sigma == 0, Eq. 12
+// percentile energy) always use it.  Equivalence is enforced by
+// tests/core/simd_equivalence_test.cc.
+//
 // Selection: `SelectBest` implements the full ALERT decision rule — the Pr_th
 // pre-filter (Eqs. 10/11), per-goal feasibility and objective (Eqs. 1/2), and the
-// latency > accuracy > power fallback hierarchy of Section 4.  `MinEnergyPower`
-// implements the system-layer rule shared by the Sys-only and No-coord baselines:
-// cheapest power cap whose predicted (mean, untruncated) latency meets the deadline.
+// latency > accuracy > power fallback hierarchy of Section 4 — as a FUSED
+// score+select pass: configurations are scored in small cache-resident chunks that
+// feed the feasibility tracker directly, so the full score table is never
+// materialized (the chunk in `SelectScratch` is a few KB regardless of space size).
+// When nothing is feasible, a second streaming pass applies the fallback hierarchy
+// under the completion-probability floor learned in the first; scoring is
+// deterministic, so the rescore is exact and the result is identical to the
+// historical materialize-then-scan implementation.  `MinEnergyPower` implements the
+// system-layer rule shared by the Sys-only and No-coord baselines: cheapest power
+// cap whose predicted (mean, untruncated) latency meets the deadline.
 //
 // Batch API (multi-job decision plane): `ScoreBatch` evaluates J belief snapshots
 // over the SoA tables in one linear pass per *distinct* snapshot — per-belief
@@ -44,8 +66,9 @@
 //
 // Thread-safety: every scoring/selection method is `const` and touches no mutable
 // state; one engine instance may be shared by any number of threads (harness
-// ParallelFor sweeps, multi-job coordination) without synchronization.  The memoized
-// Gaussian table is built behind a thread-safe static on first use; call
+// ParallelFor sweeps, multi-job coordination) without synchronization.
+// (`set_simd_enabled` is the one non-const setter; flip it before sharing.)  The
+// memoized Gaussian table is built behind a thread-safe static on first use; call
 // `WarmGaussianTable()` (or score once) before timing-sensitive loops to avoid paying
 // the one-time build inside them.
 #ifndef SRC_CORE_DECISION_ENGINE_H_
@@ -54,11 +77,17 @@
 #include <span>
 #include <vector>
 
+#include "src/common/simd.h"
 #include "src/core/config_space.h"
 #include "src/core/estimates.h"
 #include "src/core/goals.h"
 
 namespace alert {
+
+namespace internal {
+struct ScoreTables;
+struct ScoreParams;
+}  // namespace internal
 
 // Per-configuration score under one belief snapshot.
 struct ConfigScore {
@@ -142,6 +171,14 @@ class DecisionEngine {
     return candidate_index * num_powers_ + power_index;
   }
 
+  // True when the non-degenerate scoring pass runs through the compiled vector
+  // backend (build compiled it, machine supports it, nobody forced scalar).
+  bool simd_active() const { return simd_enabled_; }
+  // Force the scalar reference path (equivalence tests, scalar-vs-SIMD benches).
+  // Enabling only sticks when a backend was compiled AND the machine supports it.
+  // Not thread-safe: flip before sharing the engine across threads.
+  void set_simd_enabled(bool enabled);
+
   // Eqs. 6/7/9/12/13 for one configuration.
   ConfigScore Score(int candidate_index, int power_index,
                     const DecisionInputs& in) const;
@@ -152,22 +189,24 @@ class DecisionEngine {
   // elements, indexed by entry_index().
   void ScoreAll(const DecisionInputs& in, std::span<ConfigScore> out) const;
 
-  // One scored entry retained for the fallback pass of SelectBest.
-  struct ScoredEntry {
-    int candidate_index = -1;
-    int power_index = -1;
-    ConfigScore score;
-  };
   struct Selection {
     int candidate_index = -1;
     int power_index = -1;
     bool feasible = false;  // false => the fallback hierarchy chose
   };
-  // The full ALERT decision rule.  Configurations whose cap exceeds `power_limit` are
-  // not considered (the lowest cap always remains available).  `scratch` avoids a
-  // per-decision allocation; it is overwritten.
+
+  // Caller-owned scratch of the fused SelectBest: one cache-resident chunk of
+  // scores, a few KB regardless of candidate-space size.  Reused across calls;
+  // grows on first use only.
+  struct SelectScratch {
+    simd::AlignedVector<ConfigScore> chunk;
+  };
+
+  // The full ALERT decision rule as a fused score+select streaming pass (see the
+  // contract above).  Configurations whose cap exceeds `power_limit` are not
+  // considered (the lowest cap always remains available).
   Selection SelectBest(const Goals& goals, Joules allowance, const DecisionInputs& in,
-                       Watts power_limit, std::vector<ScoredEntry>& scratch) const;
+                       Watts power_limit, SelectScratch& scratch) const;
 
   // Scores `inputs.size()` belief snapshots over the SoA tables, one linear pass per
   // distinct snapshot (duplicates are copied).  `out` must have
@@ -213,6 +252,15 @@ class DecisionEngine {
   // The pre-optimization scoring arithmetic, kept for the degenerate (stddev == 0) and
   // percentile (Eq. 12) paths.
   ConfigScore ScoreEntryReference(int entry, const DecisionInputs& in) const;
+  // Scores the rectangle [ci_begin, ci_end) x powers [0, width) into
+  // out[(ci - ci_begin) * out_stride + pi] — through the vector kernel when active
+  // and the pass is non-degenerate, else the scalar loop.  The single scoring
+  // funnel of ScoreAll / ScoreBatch / SelectBest.
+  void ScoreChunk(const ScoringContext& ctx, int ci_begin, int ci_end, int width,
+                  ConfigScore* out, int out_stride) const;
+  // Raw table/parameter views handed to the vector kernel.
+  internal::ScoreTables KernelTables() const;
+  static internal::ScoreParams KernelParams(const ScoringContext& ctx);
   // Largest power index whose cap passes `power_limit` (caps are ascending; index 0
   // always remains available).
   int MaxAllowedPower(Watts power_limit) const;
@@ -221,25 +269,38 @@ class DecisionEngine {
   int num_candidates_ = 0;
   int num_powers_ = 0;
 
-  // SoA profile constants, indexed by entry_index(ci, pi).
-  std::vector<Seconds> run_profile_;      // stage-limited profiled latency
-  std::vector<Seconds> full_profile_;     // full-network profiled latency
-  std::vector<double> inv_run_profile_;   // 1 / run_profile_
-  std::vector<double> inv_full_profile_;  // 1 / full_profile_
-  std::vector<Watts> inference_power_;
+  // SoA profile constants, indexed by entry_index(ci, pi); 64-byte aligned so
+  // vector loads start cache-line aligned.
+  simd::AlignedVector<Seconds> run_profile_;      // stage-limited profiled latency
+  simd::AlignedVector<Seconds> full_profile_;     // full-network profiled latency
+  simd::AlignedVector<double> inv_run_profile_;   // 1 / run_profile_
+  simd::AlignedVector<double> inv_full_profile_;  // 1 / full_profile_
+  simd::AlignedVector<Watts> inference_power_;
 
   // Per candidate.
-  std::vector<double> final_accuracy_;    // delivered accuracy on on-time completion
-  std::vector<double> q_fail_;            // Eq. 3 random-guess fallback
-  std::vector<int> stage_offset_;         // into stage_frac_/stage_accuracy_
-  std::vector<int> stage_count_;          // stage_limit + 1; 0 for traditional
+  simd::AlignedVector<double> final_accuracy_;    // delivered accuracy on on-time completion
+  simd::AlignedVector<double> q_fail_;            // Eq. 3 random-guess fallback
+  simd::AlignedVector<int> stage_offset_;         // into stage_frac_/stage_accuracy_
+  simd::AlignedVector<int> stage_count_;          // stage_limit + 1; 0 for traditional
 
   // Flattened anytime ladders (per model, shared by that model's candidates).
-  std::vector<double> stage_frac_;
-  std::vector<double> inv_stage_frac_;
-  std::vector<double> stage_accuracy_;
+  simd::AlignedVector<double> stage_frac_;
+  simd::AlignedVector<double> inv_stage_frac_;
+  simd::AlignedVector<double> stage_accuracy_;
 
-  std::vector<Watts> caps_;               // per power index
+  simd::AlignedVector<Watts> caps_;               // per power index
+
+  // Vector-padded copies of the per-entry tables (rows of `padded_stride_` doubles,
+  // padding lanes replicate the row's last entry), built only when the kernel can
+  // run.  The kernel reads these; the scalar path keeps the exact entry_index layout.
+  simd::AlignedVector<double> padded_run_profile_;
+  simd::AlignedVector<double> padded_inv_run_profile_;
+  simd::AlignedVector<double> padded_inv_full_profile_;
+  simd::AlignedVector<double> padded_inference_power_;
+  int padded_stride_ = 0;
+
+  bool simd_available_ = false;  // compiled backend + machine support
+  bool simd_enabled_ = false;
 };
 
 }  // namespace alert

@@ -1,0 +1,140 @@
+// The vectorized score kernel: Eqs. 6/7/9/13 over lanes of power indices within one
+// candidate row.  Compiled with the backend's architecture flags; empty in scalar
+// builds.
+//
+// Equivalence discipline: every line mirrors DecisionEngine::ScoreEntry (the scalar
+// fast path) operation for operation — same multiply/add/sub order, no FMA, the same
+// memoized Gaussian table, the same boundary blends — so a lane here and the scalar
+// call produce the same bits for the same entry.  Change ScoreEntry and this kernel
+// together, and keep tests/core/simd_equivalence_test.cc green.
+#include "src/core/decision_engine_simd.h"
+
+#if defined(ALERT_SIMD_AVX2) || defined(ALERT_SIMD_NEON)
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/common/gaussian.h"
+#include "src/common/gaussian_vec.h"
+#include "src/common/simd_vec.h"
+
+namespace alert::internal {
+namespace {
+
+using simd::VecD;
+using simd::VecM;
+
+static_assert(sizeof(ConfigScore) == 4 * sizeof(double),
+              "the kernel stores ConfigScore as four packed doubles");
+
+// Writes `valid` entries' (prob, acc, energy, latency) lanes into the AoS output.
+inline void StoreScores(ConfigScore* out, int valid, VecD prob, VecD acc, VecD energy,
+                        VecD latency) {
+  double p[simd::kLanes], a[simd::kLanes], e[simd::kLanes], l[simd::kLanes];
+  simd::Store(p, prob);
+  simd::Store(a, acc);
+  simd::Store(e, energy);
+  simd::Store(l, latency);
+  for (int j = 0; j < valid; ++j) {
+    out[j].prob_deadline = p[j];
+    out[j].expected_accuracy = a[j];
+    out[j].expected_energy = e[j];
+    out[j].expected_latency = l[j];
+  }
+}
+
+}  // namespace
+
+void ScoreRowsSimd(const ScoreTables& t, const ScoreParams& params, int ci_begin,
+                   int ci_end, int width, ConfigScore* out, int out_stride) {
+  const GaussianTableView table = GetGaussianTableView();
+  const VecD zero = simd::Broadcast(0.0);
+  const VecD one = simd::Broadcast(1.0);
+  const VecD mean = simd::Broadcast(params.mean);
+  const VecD sigma = simd::Broadcast(params.sigma);
+  const VecD inv_sigma = simd::Broadcast(params.inv_sigma);
+  const VecD deadline = simd::Broadcast(params.deadline);
+  const VecD period = simd::Broadcast(params.period);
+  const VecD p_floor = simd::Broadcast(1e-12);
+
+  for (int ci = ci_begin; ci < ci_end; ++ci) {
+    const int row = ci * t.padded_stride;
+    const int stages = t.stage_count[ci];
+    const VecD final_accuracy = simd::Broadcast(t.final_accuracy[ci]);
+    const VecD q_fail = simd::Broadcast(t.q_fail[ci]);
+    ConfigScore* out_row = out + static_cast<ptrdiff_t>(ci - ci_begin) * out_stride;
+
+    for (int pv = 0; pv < width; pv += simd::kLanes) {
+      const int base = row + pv;
+      const int valid = std::min(simd::kLanes, width - pv);
+
+      // Eq. 6: z = (deadline / t_prof - mean) / sigma over the lane's entries; CDF
+      // and PDF at the shared z from one table-index computation.
+      const VecD inv_run = simd::Load(t.inv_run_profile + base);
+      const VecD z =
+          simd::Mul(simd::Sub(simd::Mul(deadline, inv_run), mean), inv_sigma);
+      VecD prob, pdf;
+      simd::FastCdfPdfVec(z, table, &prob, &pdf);
+
+      // Eq. 7 (traditional step function) or Eq. 13 (anytime ladder).  The ladder is
+      // uniform across the row's lanes — stage constants broadcast, z_k varies by
+      // lane through the full-network profile.
+      VecD acc;
+      if (stages == 0) {
+        acc = simd::Add(simd::Mul(prob, final_accuracy),
+                        simd::Mul(simd::Sub(one, prob), q_fail));
+      } else {
+        const VecD d_inv_full =
+            simd::Mul(deadline, simd::Load(t.inv_full_profile + base));
+        const int offset = t.stage_offset[ci];
+        VecD expected = zero;
+        VecD p_next = zero;
+        for (int k = stages - 1; k >= 0; --k) {
+          const VecD z_k = simd::Mul(
+              simd::Sub(simd::Mul(d_inv_full,
+                                  simd::Broadcast(t.inv_stage_frac[offset + k])),
+                        mean),
+              inv_sigma);
+          const VecD p_k = simd::FastCdfVec(z_k, table);
+          expected = simd::Add(
+              expected, simd::Mul(simd::Broadcast(t.stage_accuracy[offset + k]),
+                                  simd::Sub(p_k, p_next)));
+          p_next = p_k;
+        }
+        acc = simd::Add(expected, simd::Mul(q_fail, simd::Sub(one, p_next)));
+      }
+
+      // Expected run time: E[min(t, d)] = p*mu_t - sigma_t*phi(z) + (1-p)*d, clamped
+      // to [0, deadline]; lanes with negligible completion mass pin to the deadline.
+      const VecD run_profile = simd::Load(t.run_profile + base);
+      const VecD mean_t = simd::Mul(mean, run_profile);
+      VecD run;
+      if (params.stop_at_cutoff) {
+        const VecD stddev_t = simd::Mul(sigma, run_profile);
+        VecD value = simd::Add(
+            simd::Sub(simd::Mul(prob, mean_t), simd::Mul(stddev_t, pdf)),
+            simd::Mul(simd::Sub(one, prob), deadline));
+        value = simd::Min(simd::Max(value, zero), deadline);
+        run = simd::Select(simd::CmpLe(prob, p_floor), deadline, value);
+      } else {
+        run = mean_t;
+      }
+
+      // Eq. 9 energy over the period.
+      const VecD inference_power = simd::Load(t.inference_power + base);
+      const VecD idle_power =
+          params.use_idle_ratio
+              ? simd::Mul(simd::Broadcast(params.idle_ratio), inference_power)
+              : simd::Broadcast(params.fixed_idle_power);
+      const VecD idle_time = simd::Max(zero, simd::Sub(period, run));
+      const VecD energy =
+          simd::Add(simd::Mul(inference_power, run), simd::Mul(idle_power, idle_time));
+
+      StoreScores(out_row + pv, valid, prob, acc, energy, run);
+    }
+  }
+}
+
+}  // namespace alert::internal
+
+#endif  // ALERT_SIMD_AVX2 || ALERT_SIMD_NEON

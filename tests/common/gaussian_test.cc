@@ -1,6 +1,9 @@
 #include "src/common/gaussian.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -118,6 +121,74 @@ TEST_P(GaussianPropertyTest, QuantileRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Sigmas, GaussianPropertyTest,
                          ::testing::Values(0.05, 0.3, 1.0, 4.0));
+
+
+TEST(GaussianBatchTest, CdfBatchBitIdenticalToScalar) {
+  // The batch entry point (vector kernel when a backend is active, scalar loop
+  // otherwise) must reproduce FastStandardNormalCdf bit for bit, including the
+  // clamp boundaries at +/-8 and far-tail inputs beyond them.
+  std::vector<double> xs;
+  for (double x = -10.0; x <= 10.0; x += 0.0371) {
+    xs.push_back(x);
+  }
+  xs.insert(xs.end(), {-8.0, 8.0, -7.9999999, 7.9999999, -8.0000001, 8.0000001,
+                       0.0, -0.0, 1e-300, -1e-300, 123.0, -123.0});
+  std::vector<double> batch(xs.size());
+  FastStandardNormalCdfBatch(xs.data(), batch.data(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double scalar = FastStandardNormalCdf(xs[i]);
+    EXPECT_EQ(std::memcmp(&scalar, &batch[i], sizeof(double)), 0)
+        << "x=" << xs[i] << " scalar=" << scalar << " batch=" << batch[i];
+  }
+}
+
+TEST(GaussianBatchTest, PdfBatchBitIdenticalToScalar) {
+  std::vector<double> xs;
+  for (double x = -10.0; x <= 10.0; x += 0.0413) {
+    xs.push_back(x);
+  }
+  xs.insert(xs.end(), {-8.0, 8.0, -7.9999999, 7.9999999, 0.0, 55.5, -55.5});
+  std::vector<double> batch(xs.size());
+  FastStandardNormalPdfBatch(xs.data(), batch.data(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double scalar = FastStandardNormalPdf(xs[i]);
+    EXPECT_EQ(std::memcmp(&scalar, &batch[i], sizeof(double)), 0)
+        << "x=" << xs[i] << " scalar=" << scalar << " batch=" << batch[i];
+  }
+}
+
+TEST(GaussianBatchTest, BatchHandlesShortAndUnalignedLengths) {
+  // Lengths below, at, and straddling the lane width exercise the scalar tail.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{7}, size_t{9}}) {
+    std::vector<double> xs(n);
+    for (size_t i = 0; i < n; ++i) {
+      xs[i] = -3.0 + 0.7 * static_cast<double>(i);
+    }
+    std::vector<double> batch(n, -1.0);
+    FastStandardNormalCdfBatch(xs.data(), batch.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batch[i], FastStandardNormalCdf(xs[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(GaussianBatchTest, TableViewMatchesScalarLookup) {
+  const GaussianTableView view = GetGaussianTableView();
+  ASSERT_NE(view.cdf, nullptr);
+  ASSERT_NE(view.pdf, nullptr);
+  EXPECT_GT(view.intervals, 0);
+  EXPECT_EQ(view.z_max, 8.0);
+  // Reconstruct the interpolation by hand from the view; must match the memoized
+  // scalar exactly.
+  const double x = 1.2345;
+  const double pos = (x + view.z_max) * view.scale;
+  const int i = std::min(static_cast<int>(pos), view.intervals - 1);
+  const double frac = pos - static_cast<double>(i);
+  const double lo = view.cdf[i];
+  const double hi = view.cdf[i + 1];
+  EXPECT_EQ(lo + frac * (hi - lo), FastStandardNormalCdf(x));
+}
 
 }  // namespace
 }  // namespace alert

@@ -1,0 +1,104 @@
+#include "src/common/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace alert {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").is_null());
+  EXPECT_TRUE(JsonValue::Parse("true").bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false").bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42").number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-3.25e2").number_value(), -325.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").string_value(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  const std::string doc = R"({
+    "suite": "decision_engine",
+    "context": {"simd_active": true, "backend": "avx2"},
+    "cases": [{"name": "a", "ns_per_op": 12.5}, {"name": "b", "ns_per_op": 7}],
+    "derived": {"speedup": 2.75}
+  })";
+  std::string error;
+  const JsonValue v = JsonValue::Parse(doc, &error);
+  ASSERT_FALSE(v.is_null()) << error;
+  EXPECT_EQ(v.at("suite").string_value(), "decision_engine");
+  EXPECT_TRUE(v.at("context").at("simd_active").bool_value());
+  ASSERT_EQ(v.at("cases").items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("cases").items()[1].at("ns_per_op").number_value(), 7.0);
+  EXPECT_DOUBLE_EQ(v.at("derived").at("speedup").number_value(), 2.75);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_TRUE(v.at("missing").is_null());
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  const JsonValue v = JsonValue::Parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.string_value(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_TRUE(JsonValue::Parse("{", &error).is_null());
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(JsonValue::Parse("[1, 2,]", &error).is_null());
+  EXPECT_TRUE(JsonValue::Parse("{\"a\" 1}", &error).is_null());
+  EXPECT_TRUE(JsonValue::Parse("\"unterminated", &error).is_null());
+  EXPECT_TRUE(JsonValue::Parse("1 2", &error).is_null());
+  EXPECT_TRUE(JsonValue::Parse("nul", &error).is_null());
+}
+
+TEST(JsonTest, NumberOrAndBoolOrFallBack) {
+  const JsonValue v = JsonValue::Parse(R"({"s": "x", "n": 5})");
+  EXPECT_DOUBLE_EQ(v.at("s").number_or(-1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.at("n").number_or(-1.0), 5.0);
+  EXPECT_TRUE(v.at("s").bool_or(true));
+  EXPECT_TRUE(v.at("missing").bool_or(true));
+}
+
+TEST(JsonTest, BuilderAndDumpRoundTrip) {
+  JsonValue report = JsonValue::Object();
+  report.Set("suite", JsonValue::String("s"));
+  JsonValue derived = JsonValue::Object();
+  derived.Set("speedup", JsonValue::Number(2.123456789012345));
+  derived.Set("hit_rate", JsonValue::Number(0.5));
+  report.Set("derived", derived);
+  JsonValue cases = JsonValue::Array();
+  cases.Append(JsonValue::Number(1.0)).Append(JsonValue::Bool(false));
+  report.Set("cases", cases);
+
+  for (const int indent : {0, 2}) {
+    std::string error;
+    const JsonValue parsed = JsonValue::Parse(report.Dump(indent), &error);
+    ASSERT_FALSE(parsed.is_null()) << error;
+    // Shortest-round-trip number formatting: values survive bit for bit.
+    EXPECT_EQ(parsed.at("derived").at("speedup").number_value(),
+              2.123456789012345);
+    EXPECT_EQ(parsed.at("cases").items().size(), 2u);
+    EXPECT_FALSE(parsed.at("cases").items()[1].bool_value());
+  }
+}
+
+TEST(JsonTest, SetOverwritesExistingKeyPreservingOrder) {
+  JsonValue v = JsonValue::Object();
+  v.Set("a", JsonValue::Number(1.0));
+  v.Set("b", JsonValue::Number(2.0));
+  v.Set("a", JsonValue::Number(3.0));
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "a");
+  EXPECT_DOUBLE_EQ(v.members()[0].second.number_value(), 3.0);
+}
+
+TEST(JsonTest, DumpEscapesControlCharacters) {
+  JsonValue v = JsonValue::String(std::string("tab\there\x01"));
+  const std::string dumped = v.Dump();
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(JsonValue::Parse(dumped).string_value(), v.string_value());
+}
+
+}  // namespace
+}  // namespace alert

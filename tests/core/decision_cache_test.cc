@@ -105,8 +105,8 @@ TEST_F(DecisionCacheTest, ExactModeMatchesUncachedAcrossGoalModesAndDrifts) {
       Goals goals = GoalsFor(mode);
       goals.prob_threshold = pr_th;
       DecisionCache cache(engine_, ExactPolicy());
-      std::vector<DecisionEngine::ScoredEntry> cached_scratch;
-      std::vector<DecisionEngine::ScoredEntry> plain_scratch;
+      DecisionEngine::SelectScratch cached_scratch;
+      DecisionEngine::SelectScratch plain_scratch;
       const auto trajectory =
           DriftTrajectory(100 + static_cast<uint64_t>(mode) * 7 +
                               static_cast<uint64_t>(pr_th > 0.0),
@@ -316,8 +316,8 @@ TEST_F(DecisionCacheTest, BucketedModeHitsMoreAndStaysWithinScoreGapTolerance) {
   DecisionCache cache(engine_, policy);
 
   const Goals goals = GoalsFor(GoalMode::kMinimizeEnergy);
-  std::vector<DecisionEngine::ScoredEntry> cached_scratch;
-  std::vector<DecisionEngine::ScoredEntry> plain_scratch;
+  DecisionEngine::SelectScratch cached_scratch;
+  DecisionEngine::SelectScratch plain_scratch;
 
   std::mt19937_64 rng(42);
   std::uniform_real_distribution<double> drift(-0.003, 0.003);
@@ -452,7 +452,7 @@ TEST_F(DecisionCacheTest, ManyCachesSharingOneEngineConcurrently) {
 
   std::vector<DecisionEngine::Selection> reference;
   {
-    std::vector<DecisionEngine::ScoredEntry> scratch;
+    DecisionEngine::SelectScratch scratch;
     for (const DecisionInputs& in : trajectory) {
       reference.push_back(
           engine_.SelectBest(goals, goals.energy_budget, in, kInf, scratch));
@@ -465,7 +465,7 @@ TEST_F(DecisionCacheTest, ManyCachesSharingOneEngineConcurrently) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t]() {
       DecisionCache cache(engine_, ExactPolicy());
-      std::vector<DecisionEngine::ScoredEntry> scratch;
+      DecisionEngine::SelectScratch scratch;
       for (size_t i = 0; i < trajectory.size(); ++i) {
         const DecisionEngine::Selection got = cache.Select(
             goals, goals.energy_budget, trajectory[i], kInf, scratch);

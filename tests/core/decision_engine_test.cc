@@ -156,7 +156,7 @@ TEST_F(DecisionEngineTest, SelectBestAgreesWithExhaustiveArgmin) {
   goals.deadline = 0.08;
   goals.accuracy_goal = 0.9;
   const DecisionInputs in = Inputs(1.05, 0.1);
-  std::vector<DecisionEngine::ScoredEntry> scratch;
+  DecisionEngine::SelectScratch scratch;
   const auto sel = engine_.SelectBest(goals, goals.energy_budget, in,
                                       /*power_limit=*/1e9, scratch);
   ASSERT_TRUE(sel.feasible);
@@ -178,7 +178,7 @@ TEST_F(DecisionEngineTest, InfeasibleGoalFallsBackToSafeHighAccuracy) {
   goals.deadline = 0.08;
   goals.accuracy_goal = 0.9999;  // unreachable
   const DecisionInputs in = Inputs(1.0, 0.05);
-  std::vector<DecisionEngine::ScoredEntry> scratch;
+  DecisionEngine::SelectScratch scratch;
   const auto sel = engine_.SelectBest(goals, goals.energy_budget, in, 1e9, scratch);
   EXPECT_FALSE(sel.feasible);
   const ConfigScore chosen = engine_.Score(sel.candidate_index, sel.power_index, in);
@@ -191,7 +191,7 @@ TEST_F(DecisionEngineTest, PowerLimitExcludesHighCapsButKeepsTheFloor) {
   goals.deadline = 0.08;
   goals.accuracy_goal = 0.9;
   const DecisionInputs in = Inputs(1.0, 0.1);
-  std::vector<DecisionEngine::ScoredEntry> scratch;
+  DecisionEngine::SelectScratch scratch;
   // A limit below every cap: only the lowest cap (always available) may be chosen.
   const auto sel = engine_.SelectBest(goals, goals.energy_budget, in,
                                       /*power_limit=*/0.0, scratch);
@@ -226,7 +226,7 @@ TEST_F(DecisionEngineTest, SelectFromScoresMatchesSelectBestAcrossModesAndLimits
   const std::vector<ConfigScore>::size_type entries =
       static_cast<size_t>(engine_.num_entries());
   std::vector<ConfigScore> scores(entries);
-  std::vector<DecisionEngine::ScoredEntry> scratch;
+  DecisionEngine::SelectScratch scratch;
   for (const DecisionInputs& in :
        {Inputs(1.0, 0.08), Inputs(1.4, 0.3), Inputs(1.1, 0.0)}) {
     engine_.ScoreAll(in, scores);
@@ -256,7 +256,7 @@ TEST_F(DecisionEngineTest, SelectFromScoresMatchesSelectBestWithProbThreshold) {
   const DecisionInputs in = Inputs(1.2, 0.2);
   std::vector<ConfigScore> scores(static_cast<size_t>(engine_.num_entries()));
   engine_.ScoreAll(in, scores);
-  std::vector<DecisionEngine::ScoredEntry> scratch;
+  DecisionEngine::SelectScratch scratch;
   for (const double pr_th : {0.9, 0.999999}) {
     Goals goals;
     goals.mode = GoalMode::kMinimizeEnergy;
@@ -287,7 +287,7 @@ TEST_F(DecisionEngineTest, SelectBestBatchMatchesPerJobSelectBest) {
   std::vector<ConfigScore> batch_scratch;
   engine_.SelectBestBatch(inputs, goals, allowances, limits, out, batch_scratch);
 
-  std::vector<DecisionEngine::ScoredEntry> scratch;
+  DecisionEngine::SelectScratch scratch;
   for (size_t j = 0; j < inputs.size(); ++j) {
     const auto direct =
         engine_.SelectBest(goals[j], allowances[j], inputs[j], limits[j], scratch);

@@ -1,0 +1,238 @@
+// Scalar <-> SIMD equivalence plane for the vectorized scoring kernel
+// (src/core/decision_engine_simd.cc) and the fused streaming SelectBest.
+//
+// The dispatch contract (src/common/simd.h) promises the kernel performs the same
+// IEEE-754 operations in the same order as the scalar ScoreEntry fast path, so the
+// assertions here are bit-exact, not approximate: every score byte-identical, every
+// selection identical, over a randomized property sweep of DecisionInputs
+// (degenerate sigma == 0, Eq. 12 percentile, infeasible-static spaces, Pr_th sweeps,
+// all goal modes).  On a build or machine without a vector backend the engine
+// reports simd_active() == false and the comparisons degenerate to scalar-vs-scalar
+// — still meaningful for the fused-vs-materialized SelectBest checks, which gate
+// the streaming rewrite independent of vectorization.
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/simd.h"
+#include "src/core/config_space.h"
+#include "src/core/decision_engine.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/platform.h"
+
+namespace alert {
+namespace {
+
+class SimdEquivalenceTest : public ::testing::Test {
+ protected:
+  SimdEquivalenceTest()
+      : models_(BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kBoth)),
+        sim_(GetPlatform(PlatformId::kCpu1), models_), space_(sim_),
+        engine_(space_) {}
+
+  // Scores `in` through both paths; returns true when a real comparison happened
+  // (backend active).
+  void ScoreBothWays(const DecisionInputs& in, std::vector<ConfigScore>* scalar,
+                     std::vector<ConfigScore>* simd) {
+    scalar->resize(static_cast<size_t>(engine_.num_entries()));
+    simd->resize(static_cast<size_t>(engine_.num_entries()));
+    engine_.set_simd_enabled(false);
+    engine_.ScoreAll(in, *scalar);
+    engine_.set_simd_enabled(true);
+    engine_.ScoreAll(in, *simd);
+  }
+
+  static void ExpectScoresBitIdentical(const std::vector<ConfigScore>& a,
+                                       const std::vector<ConfigScore>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(ConfigScore)));
+  }
+
+  std::vector<DnnModel> models_;
+  PlatformSimulator sim_;
+  ConfigSpace space_;
+  DecisionEngine engine_;
+};
+
+// Deterministic randomized inputs covering the fast path and every degenerate
+// branch: sigma == 0 (ALERT*), percentile > 0 (Eq. 12), tight/loose deadlines,
+// both idle-power models, both cutoff modes.
+std::vector<DecisionInputs> PropertyInputs(int count) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> mean(0.5, 2.5);
+  std::uniform_real_distribution<double> sigma(0.005, 0.6);
+  std::uniform_real_distribution<double> deadline(0.005, 0.5);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<DecisionInputs> inputs;
+  for (int i = 0; i < count; ++i) {
+    DecisionInputs in;
+    in.xi.mean = mean(rng);
+    in.xi.stddev = (i % 7 == 3) ? 0.0 : sigma(rng);  // degenerate ALERT* slice
+    in.deadline = deadline(rng);
+    in.period = in.deadline * (1.0 + unit(rng));
+    in.use_idle_ratio = (i % 2 == 0);
+    in.idle_ratio = 0.1 + 0.3 * unit(rng);
+    in.fixed_idle_power = 0.5 + 2.0 * unit(rng);
+    in.percentile = (i % 11 == 5) ? 0.9 : 0.0;  // Eq. 12 slice
+    in.stop_at_cutoff = (i % 5 != 4);
+    inputs.push_back(in);
+  }
+  return inputs;
+}
+
+TEST_F(SimdEquivalenceTest, ReportsDispatchState) {
+  // simd_active() must agree with the compiled backend + runtime probe, and
+  // set_simd_enabled(true) must not stick when no backend is usable.
+  const bool expect_active =
+      simd::CompiledBackend() != simd::Backend::kScalar && simd::RuntimeSupported();
+  EXPECT_EQ(engine_.simd_active(), expect_active);
+  engine_.set_simd_enabled(false);
+  EXPECT_FALSE(engine_.simd_active());
+  engine_.set_simd_enabled(true);
+  EXPECT_EQ(engine_.simd_active(), expect_active);
+}
+
+TEST_F(SimdEquivalenceTest, ScoreAllBitIdenticalAcrossPropertySweep) {
+  std::vector<ConfigScore> scalar, simd;
+  for (const DecisionInputs& in : PropertyInputs(200)) {
+    ScoreBothWays(in, &scalar, &simd);
+    ExpectScoresBitIdentical(scalar, simd);
+  }
+}
+
+TEST_F(SimdEquivalenceTest, DegenerateSigmaZeroIsBitExact) {
+  DecisionInputs in;
+  in.xi = XiBelief{1.2, 0.0};  // ALERT*: mean-only belief
+  in.deadline = 0.08;
+  in.period = 0.08;
+  in.use_idle_ratio = true;
+  in.idle_ratio = 0.22;
+  std::vector<ConfigScore> scalar, simd;
+  ScoreBothWays(in, &scalar, &simd);
+  ExpectScoresBitIdentical(scalar, simd);
+}
+
+TEST_F(SimdEquivalenceTest, PercentileEnergyIsBitExact) {
+  DecisionInputs in;
+  in.xi = XiBelief{1.1, 0.15};
+  in.deadline = 0.08;
+  in.period = 0.08;
+  in.use_idle_ratio = true;
+  in.idle_ratio = 0.22;
+  in.percentile = 0.95;  // Eq. 12: must stay on the scalar reference path
+  std::vector<ConfigScore> scalar, simd;
+  ScoreBothWays(in, &scalar, &simd);
+  ExpectScoresBitIdentical(scalar, simd);
+}
+
+TEST_F(SimdEquivalenceTest, SelectBestPickIdenticalAcrossGoalsAndLimits) {
+  const Watts mid_cap = space_.cap(space_.num_powers() / 2);
+  const GoalMode modes[] = {GoalMode::kMinimizeEnergy, GoalMode::kMaximizeAccuracy,
+                            GoalMode::kMinimizeLatency};
+  const double thresholds[] = {0.0, 0.5, 0.99};
+  const Watts limits[] = {1e9, mid_cap, 0.0};
+  DecisionEngine::SelectScratch scratch;
+  for (const DecisionInputs& in : PropertyInputs(40)) {
+    for (const GoalMode mode : modes) {
+      for (const double pr_th : thresholds) {
+        for (const Watts limit : limits) {
+          Goals goals;
+          goals.mode = mode;
+          goals.deadline = in.deadline;
+          goals.accuracy_goal = 0.9;
+          goals.energy_budget = 0.5;
+          goals.prob_threshold = pr_th;
+          engine_.set_simd_enabled(false);
+          const auto scalar_sel =
+              engine_.SelectBest(goals, goals.energy_budget, in, limit, scratch);
+          engine_.set_simd_enabled(true);
+          const auto simd_sel =
+              engine_.SelectBest(goals, goals.energy_budget, in, limit, scratch);
+          EXPECT_EQ(scalar_sel.candidate_index, simd_sel.candidate_index);
+          EXPECT_EQ(scalar_sel.power_index, simd_sel.power_index);
+          EXPECT_EQ(scalar_sel.feasible, simd_sel.feasible);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdEquivalenceTest, FusedSelectMatchesMaterializedSelect) {
+  // The streaming SelectBest must pick exactly what SelectFromScores picks over a
+  // materialized ScoreAll table — in both dispatch modes.
+  std::vector<ConfigScore> scores(static_cast<size_t>(engine_.num_entries()));
+  DecisionEngine::SelectScratch scratch;
+  for (const DecisionInputs& in : PropertyInputs(60)) {
+    for (const bool simd_on : {false, true}) {
+      engine_.set_simd_enabled(simd_on);
+      Goals goals;
+      goals.mode = GoalMode::kMinimizeEnergy;
+      goals.deadline = in.deadline;
+      goals.accuracy_goal = 0.9;
+      const auto fused =
+          engine_.SelectBest(goals, goals.energy_budget, in, 1e9, scratch);
+      engine_.ScoreAll(in, scores);
+      const auto materialized =
+          engine_.SelectFromScores(goals, goals.energy_budget, scores, 1e9);
+      EXPECT_EQ(fused.candidate_index, materialized.candidate_index);
+      EXPECT_EQ(fused.power_index, materialized.power_index);
+      EXPECT_EQ(fused.feasible, materialized.feasible);
+    }
+  }
+  engine_.set_simd_enabled(true);
+}
+
+TEST_F(SimdEquivalenceTest, InfeasibleFallbackHierarchyIdentical) {
+  // Goals nothing can satisfy force the latency > accuracy > power fallback; the
+  // second streaming pass must reproduce the materialized fallback pick exactly.
+  DecisionInputs in;
+  in.xi = XiBelief{3.0, 0.4};  // severe slowdown: nothing meets the deadline well
+  in.deadline = 0.01;
+  in.period = 0.01;
+  in.use_idle_ratio = true;
+  in.idle_ratio = 0.22;
+  std::vector<ConfigScore> scores(static_cast<size_t>(engine_.num_entries()));
+  DecisionEngine::SelectScratch scratch;
+  for (const GoalMode mode : {GoalMode::kMinimizeEnergy, GoalMode::kMaximizeAccuracy,
+                              GoalMode::kMinimizeLatency}) {
+    Goals goals;
+    goals.mode = mode;
+    goals.deadline = in.deadline;
+    goals.accuracy_goal = 2.0;  // unreachable accuracy
+    goals.energy_budget = 1e-9;  // unreachable energy
+    for (const bool simd_on : {false, true}) {
+      engine_.set_simd_enabled(simd_on);
+      const auto fused = engine_.SelectBest(goals, goals.energy_budget, in,
+                                            /*power_limit=*/1e9, scratch);
+      EXPECT_FALSE(fused.feasible);
+      engine_.ScoreAll(in, scores);
+      const auto materialized =
+          engine_.SelectFromScores(goals, goals.energy_budget, scores, 1e9);
+      EXPECT_FALSE(materialized.feasible);
+      EXPECT_EQ(fused.candidate_index, materialized.candidate_index);
+      EXPECT_EQ(fused.power_index, materialized.power_index);
+    }
+  }
+  engine_.set_simd_enabled(true);
+}
+
+TEST_F(SimdEquivalenceTest, ScoreBatchBitIdenticalToPerJobScoreAll) {
+  const size_t entries = static_cast<size_t>(engine_.num_entries());
+  std::vector<DecisionInputs> inputs = PropertyInputs(6);
+  inputs.push_back(inputs[1]);  // duplicate: exercises the twin-copy path
+  inputs.push_back(inputs[3]);
+  std::vector<ConfigScore> batch(inputs.size() * entries);
+  std::vector<ConfigScore> single(entries);
+  engine_.set_simd_enabled(true);
+  engine_.ScoreBatch(inputs, batch);
+  for (size_t j = 0; j < inputs.size(); ++j) {
+    engine_.ScoreAll(inputs[j], single);
+    ASSERT_EQ(0, std::memcmp(single.data(), batch.data() + j * entries,
+                             entries * sizeof(ConfigScore)))
+        << "job " << j;
+  }
+}
+
+}  // namespace
+}  // namespace alert
