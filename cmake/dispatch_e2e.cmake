@@ -1,10 +1,13 @@
-# End-to-end check of the remote shard dispatcher, run as a ctest (and as a CI step):
+# End-to-end check of the pull-based dispatcher, run as a ctest (and as a CI step):
 #   1. sweep_shard writes its example spec; the monolithic path (K=1) produces mono.csv;
-#   2. sweep_dispatch with 3 subprocess workers must reproduce mono.csv byte-for-byte;
-#   3. ditto with a worker killed mid-shard (--inject-fail): the dispatcher must
-#      re-partition the dead worker's unfinished units and still match exactly;
-#   4. ditto with the in-process transport (worker threads, no child processes);
-#   5. ditto over the command transport (a /bin/sh template, the ssh stand-in).
+#   2. sweep_dispatch must reproduce mono.csv byte-for-byte over every transport
+#      (subprocess, in-process, command, localhost socket) and for K in {2,4,8};
+#   3. ditto under failure injection: a worker killed mid-lease (--inject-fail), a
+#      silent worker tripping the straggler deadline (--inject-hang), and a slow
+#      worker whose lease gets stolen (--inject-delay with a small lease target);
+#   4. ditto with --static-leases (the pre-pull baseline path stays supported).
+# Socket-transport steps tee dispatcher stderr into ${WORK_DIR}/logs/ so CI can
+# upload the lease/steal event stream as an artifact when a step fails.
 # Invoked with -DSWEEP_SHARD=... -DSWEEP_DISPATCH=... -DWORK_DIR=...
 foreach(var SWEEP_SHARD SWEEP_DISPATCH WORK_DIR)
   if(NOT DEFINED ${var})
@@ -14,11 +17,24 @@ endforeach()
 
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR}/logs)
 
 function(run_step)
   execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "dispatch_e2e: '${ARGV}' failed with exit code ${rc}")
+  endif()
+endfunction()
+
+# Like run_step, but keeps the dispatcher's stderr (the -v event stream: leases,
+# revocations, steals, straggler verdicts) in logs/<name>.log for CI artifacts.
+function(run_step_logged name)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE rc
+                  ERROR_FILE ${WORK_DIR}/logs/${name}.log)
+  if(NOT rc EQUAL 0)
+    file(READ ${WORK_DIR}/logs/${name}.log log_tail)
+    message(FATAL_ERROR "dispatch_e2e: step '${name}' failed with exit code ${rc}; "
+                        "log follows\n${log_tail}")
   endif()
 endfunction()
 
@@ -34,22 +50,44 @@ run_step(${SWEEP_SHARD} --write-default-spec=spec.txt)
 run_step(${SWEEP_SHARD} --spec=spec.txt --shards=1 --shard=0
          --out=mono.results --csv=mono.csv)
 
-# 3 subprocess workers, clean run.
+# 3 subprocess workers, clean pull-mode run.
 run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=3 --transport=subprocess
          --worker-bin=${SWEEP_SHARD} --worker-threads=2 --out=dispatched.csv)
 compare_files(mono.csv dispatched.csv)
 
-# 2 subprocess workers, worker 0 killed after reporting 2 units: straggler retry must
-# finish the remainder on worker 1 / a replacement without re-running finished units.
+# 2 subprocess workers, worker 0 killed after reporting 1 unit (mid-lease): the
+# dispatcher must requeue the unfinished remainder without re-running finished units.
 run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=2 --transport=subprocess
-         --worker-bin=${SWEEP_SHARD} --worker-threads=2 --inject-fail=0:2
+         --worker-bin=${SWEEP_SHARD} --worker-threads=2 --inject-fail=0:1
          --out=dispatched_fail.csv -v)
 compare_files(mono.csv dispatched_fail.csv)
 
-# In-process transport (threads instead of child processes).
-run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=4 --transport=inprocess
-         --out=dispatched_inproc.csv)
-compare_files(mono.csv dispatched_inproc.csv)
+# Silent worker: accepts its first lease, never reports; the straggler deadline
+# revokes it and the remainder lands on worker 1 / a replacement.
+run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=2 --transport=subprocess
+         --worker-bin=${SWEEP_SHARD} --worker-threads=2 --inject-hang=0:0
+         --deadline-ms=2000 --out=dispatched_hang.csv -v)
+compare_files(mono.csv dispatched_hang.csv)
+
+# Slow worker + small lease target: the idle fast worker must steal the overloaded
+# lease (revocation + re-grant) and the duplicates race is settled first-wins.
+run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=2 --transport=subprocess
+         --worker-bin=${SWEEP_SHARD} --worker-threads=2 --inject-delay=0:400
+         --inject-dup=1 --target-lease-ms=150 --out=dispatched_steal.csv -v)
+compare_files(mono.csv dispatched_steal.csv)
+
+# Worker-count matrix over the in-process transport: the merged bytes must not
+# depend on K.
+foreach(k 2 4 8)
+  run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=${k} --transport=inprocess
+           --target-lease-ms=200 --out=dispatched_k${k}.csv)
+  compare_files(mono.csv dispatched_k${k}.csv)
+endforeach()
+
+# Static leases: the pre-pull baseline (whole LPT shards, no stealing) stays exact.
+run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=3 --transport=inprocess
+         --static-leases --strategy=cost-weighted --out=dispatched_static.csv)
+compare_files(mono.csv dispatched_static.csv)
 
 # Command transport: the worker command is a shell template ({worker} expands to the
 # launch index) — locally it just execs sweep_shard, remotely it would be ssh.
@@ -58,4 +96,17 @@ run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=2 --transport=command
          --out=dispatched_cmd.csv)
 compare_files(mono.csv dispatched_cmd.csv)
 
-message(STATUS "dispatch_e2e: dispatched CSVs byte-identical to the monolithic sweep")
+# Socket transport: workers are launched locally and dial back over localhost TCP.
+# Clean run, then a kill schedule; stderr goes to logs/ for CI artifacts.
+run_step_logged(socket_clean ${SWEEP_DISPATCH} --spec=spec.txt --workers=4
+                --transport=socket --worker-bin=${SWEEP_SHARD} --worker-threads=2
+                --out=dispatched_socket.csv -v)
+compare_files(mono.csv dispatched_socket.csv)
+
+run_step_logged(socket_fail ${SWEEP_DISPATCH} --spec=spec.txt --workers=2
+                --transport=socket --worker-bin=${SWEEP_SHARD} --worker-threads=2
+                --inject-fail=0:1 --out=dispatched_socket_fail.csv -v)
+compare_files(mono.csv dispatched_socket_fail.csv)
+
+message(STATUS "dispatch_e2e: dispatched CSVs byte-identical to the monolithic sweep "
+               "over all transports, worker counts, and failure schedules")

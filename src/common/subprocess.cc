@@ -2,13 +2,11 @@
 
 #include <errno.h>
 #include <fcntl.h>
-#include <poll.h>
 #include <signal.h>
 #include <cstring>
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <chrono>
 #include <cstdlib>
 #include <utility>
 
@@ -17,14 +15,6 @@
 namespace alert::subprocess {
 namespace {
 
-void IgnoreSigpipeOnce() {
-  static const bool installed = [] {
-    ::signal(SIGPIPE, SIG_IGN);
-    return true;
-  }();
-  (void)installed;
-}
-
 serde::Status ErrnoError(const std::string& context) {
   return serde::Error(context + ": " + strerror(errno));
 }
@@ -32,12 +22,12 @@ serde::Status ErrnoError(const std::string& context) {
 }  // namespace
 
 Child::Child(pid_t pid, int stdin_fd, int stdout_fd)
-    : pid_(pid), stdin_fd_(stdin_fd), stdout_fd_(stdout_fd) {}
+    : pid_(pid), io_(/*read_fd=*/stdout_fd, /*write_fd=*/stdin_fd, /*owns_fds=*/true) {}
 
 serde::Status Child::Spawn(const std::vector<std::string>& argv,
                            std::unique_ptr<Child>* out) {
   ALERT_CHECK(!argv.empty());
-  IgnoreSigpipeOnce();
+  net::EnsureSigpipeIgnored();
 
   // O_CLOEXEC so a later-spawned sibling cannot inherit this child's pipe ends —
   // otherwise an orphaned worker's EOF/EPIPE would be gated on every younger sibling
@@ -104,12 +94,6 @@ serde::Status Child::SpawnShell(const std::string& command,
 }
 
 Child::~Child() {
-  if (stdin_fd_ >= 0) {
-    ::close(stdin_fd_);
-  }
-  if (stdout_fd_ >= 0) {
-    ::close(stdout_fd_);
-  }
   if (!reaped_) {
     Kill();
     Wait();
@@ -117,95 +101,15 @@ Child::~Child() {
 }
 
 serde::Status Child::WriteLine(std::string_view line) {
-  if (stdin_fd_ < 0) {
-    return serde::Error("WriteLine: stdin already closed");
-  }
-  std::string buf(line);
-  buf.push_back('\n');
-  size_t written = 0;
-  while (written < buf.size()) {
-    const ssize_t n = ::write(stdin_fd_, buf.data() + written, buf.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return ErrnoError("WriteLine");
-    }
-    written += static_cast<size_t>(n);
-  }
-  return serde::Ok();
+  return io_.WriteLine(line);
 }
 
 void Child::CloseStdin() {
-  if (stdin_fd_ >= 0) {
-    ::close(stdin_fd_);
-    stdin_fd_ = -1;
-  }
+  io_.CloseWrite();
 }
 
 ReadStatus Child::ReadLine(int timeout_ms, std::string* out) {
-  // The timeout bounds the whole call, not each poll: data trickling in without a
-  // newline must not restart the clock.
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
-  for (;;) {
-    // Serve from the buffer first so lines queued behind one read() are not lost
-    // behind a poll() that will never fire again after EOF.
-    const size_t nl = buffer_.find('\n', scan_pos_);
-    if (nl != std::string::npos) {
-      out->assign(buffer_, 0, nl);
-      buffer_.erase(0, nl + 1);
-      scan_pos_ = 0;
-      return ReadStatus::kLine;
-    }
-    scan_pos_ = buffer_.size();
-    if (stdout_eof_) {
-      if (!buffer_.empty()) {
-        // Final unterminated line (a worker killed mid-write): deliver what arrived.
-        out->assign(buffer_);
-        buffer_.clear();
-        scan_pos_ = 0;
-        return ReadStatus::kLine;
-      }
-      return ReadStatus::kClosed;
-    }
-
-    int wait_ms = timeout_ms;
-    if (timeout_ms > 0) {
-      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-          deadline - std::chrono::steady_clock::now());
-      wait_ms = static_cast<int>(remaining.count());
-      if (wait_ms <= 0) {
-        return ReadStatus::kTimeout;
-      }
-    }
-    struct pollfd pfd = {stdout_fd_, POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, wait_ms);
-    if (rc == 0) {
-      return ReadStatus::kTimeout;
-    }
-    if (rc < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      stdout_eof_ = true;
-      continue;
-    }
-    char chunk[4096];
-    const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      stdout_eof_ = true;
-      continue;
-    }
-    if (n == 0) {
-      stdout_eof_ = true;
-      continue;
-    }
-    buffer_.append(chunk, static_cast<size_t>(n));
-  }
+  return io_.ReadLine(timeout_ms, out);
 }
 
 void Child::Kill() {

@@ -20,7 +20,10 @@
 // without its terminator, waiting up to `timeout_ms` (-1 = block indefinitely,
 // 0 = poll).  Readback is internally buffered; after the child exits, buffered lines
 // are still drained before kClosed is reported, so no output is lost.  A final
-// unterminated partial line is delivered as a line when the stream closes.
+// unterminated partial line is delivered as a line when the stream closes.  The
+// timeout bounds the whole call even across EINTR-interrupted polls — the buffered
+// line machinery is net::LineChannel (src/common/net.h), shared with the socket
+// transport, where that deadline contract is documented and regression-tested.
 //
 // Lifecycle: the destructor closes the pipes, kills (SIGKILL) a still-running child,
 // and reaps it — a Child can never leak a zombie.  `Kill` + `Wait` do the same
@@ -36,16 +39,13 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/net.h"
 #include "src/common/serde.h"
 
 namespace alert::subprocess {
 
-// Outcome of a ReadLine call.
-enum class ReadStatus : int {
-  kLine = 0,     // *out holds the next line
-  kTimeout = 1,  // nothing arrived within timeout_ms; stream still open
-  kClosed = 2,   // stream closed and the buffer is drained
-};
+// Outcome of a ReadLine call (shared with every other line stream in the repo).
+using ReadStatus = net::ReadStatus;
 
 class Child {
  public:
@@ -87,11 +87,7 @@ class Child {
 
   pid_t pid_ = -1;
   bool reaped_ = false;
-  int stdin_fd_ = -1;
-  int stdout_fd_ = -1;
-  bool stdout_eof_ = false;
-  std::string buffer_;  // bytes read but not yet returned as lines
-  size_t scan_pos_ = 0; // buffer_ prefix already known to contain no '\n'
+  net::LineChannel io_;  // read = child's stdout, write = child's stdin
 };
 
 }  // namespace alert::subprocess

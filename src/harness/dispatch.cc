@@ -1,9 +1,14 @@
 #include "src/harness/dispatch.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <climits>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -11,6 +16,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/net.h"
 #include "src/common/subprocess.h"
 #include "src/harness/sweep_io.h"
 
@@ -23,6 +29,10 @@ int ElapsedMs(Clock::time_point since) {
   return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
                               Clock::now() - since)
                               .count());
+}
+
+double ElapsedMsDouble(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
 }
 
 // Splits serialized block text into its lines (no empties; serializers never emit
@@ -97,6 +107,9 @@ class QueueWorkerLink final : public WorkerLink {
   bool ReadLine(std::string* line) override {
     return incoming_.Pop(-1, line) == ChannelRead::kLine;
   }
+  bool TryReadLine(std::string* line) override {
+    return incoming_.Pop(0, line) == ChannelRead::kLine;
+  }
   serde::Status WriteLine(std::string_view line) override {
     outgoing_.Push(std::string(line));
     return serde::Ok();
@@ -145,7 +158,7 @@ class InProcessChannel final : public WorkerChannel {
 };
 
 // ----------------------------------------------------------------------------------
-// Subprocess-backed channels.
+// Subprocess-backed channels (pipes or a TCP socket; both are net::LineChannel).
 
 class SubprocessChannel final : public WorkerChannel {
  public:
@@ -182,6 +195,43 @@ class SubprocessChannel final : public WorkerChannel {
   std::unique_ptr<subprocess::Child> child_;
 };
 
+// A worker reached over TCP: the protocol flows on the socket, while the child
+// process handle is kept purely for kill/reap on Close.
+class SocketChannel final : public WorkerChannel {
+ public:
+  SocketChannel(std::unique_ptr<subprocess::Child> child, int conn_fd)
+      : child_(std::move(child)), io_(conn_fd, conn_fd, /*owns_fds=*/true) {}
+
+  ~SocketChannel() override { Close(); }
+
+  serde::Status Send(std::string_view line) override { return io_.WriteLine(line); }
+
+  ChannelRead Recv(int timeout_ms, std::string* line) override {
+    switch (io_.ReadLine(timeout_ms, line)) {
+      case net::ReadStatus::kLine:
+        return ChannelRead::kLine;
+      case net::ReadStatus::kTimeout:
+        return ChannelRead::kTimeout;
+      case net::ReadStatus::kClosed:
+        break;
+    }
+    return ChannelRead::kClosed;
+  }
+
+  void Close() override {
+    io_.CloseWrite();  // half-close: the worker sees EOF and exits cleanly
+    if (child_ != nullptr) {
+      child_->CloseStdin();
+      child_->Kill();
+      child_->Wait();
+    }
+  }
+
+ private:
+  std::unique_ptr<subprocess::Child> child_;
+  net::LineChannel io_;
+};
+
 }  // namespace
 
 InProcessTransport::InProcessTransport() : InProcessTransport(Options{}) {}
@@ -192,6 +242,7 @@ serde::Status InProcessTransport::Launch(int worker_index,
                                          std::unique_ptr<WorkerChannel>* out) {
   DispatchWorkerOptions worker;
   worker.threads = options_.threads;
+  worker.heartbeat_interval_ms = options_.heartbeat_interval_ms;
   if (const auto it = options_.fail_after.find(worker_index);
       it != options_.fail_after.end()) {
     worker.fail_after_results = it->second;
@@ -199,6 +250,10 @@ serde::Status InProcessTransport::Launch(int worker_index,
   if (const auto it = options_.hang_after.find(worker_index);
       it != options_.hang_after.end()) {
     worker.hang_after_results = it->second;
+  }
+  if (const auto it = options_.delay_per_result.find(worker_index);
+      it != options_.delay_per_result.end()) {
+    worker.delay_per_result_ms = it->second;
   }
   worker.duplicate_results = options_.duplicate_results.count(worker_index) > 0;
   *out = std::make_unique<InProcessChannel>(worker);
@@ -240,12 +295,51 @@ serde::Status CommandTransport::Launch(int worker_index,
   return serde::Ok();
 }
 
+SocketTransport::SocketTransport(Options options) : options_(std::move(options)) {
+  ALERT_CHECK(options_.command_for_worker != nullptr);
+}
+
+SocketTransport::~SocketTransport() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+serde::Status SocketTransport::Launch(int worker_index,
+                                      std::unique_ptr<WorkerChannel>* out) {
+  if (listen_fd_ < 0) {
+    const serde::Status s = net::ListenLocalhost(&listen_fd_, &port_);
+    if (!s) {
+      return serde::Wrap("socket transport", s);
+    }
+  }
+  std::unique_ptr<subprocess::Child> child;
+  serde::Status s = subprocess::Child::SpawnShell(
+      options_.command_for_worker(worker_index, port_), &child);
+  if (!s) {
+    return serde::Wrap("socket transport launch", s);
+  }
+  // Launches are serial (the dispatcher's event loop), so the next connection on the
+  // listener is this worker's.
+  int conn_fd = -1;
+  s = net::AcceptWithTimeout(listen_fd_, options_.accept_timeout_ms, &conn_fd);
+  if (!s) {
+    child->Kill();
+    child->Wait();
+    return serde::Wrap("socket transport accept (worker " +
+                           std::to_string(worker_index) + ")",
+                       s);
+  }
+  *out = std::make_unique<SocketChannel>(std::move(child), conn_fd);
+  return serde::Ok();
+}
+
 // ----------------------------------------------------------------------------------
 // Worker loop.
 
 namespace {
 
-// Injected mid-shard death: thrown from the result stream, unwound through
+// Injected mid-lease death: thrown from the result stream, unwound through
 // ParallelFor (which rethrows the first worker exception on the caller).
 struct InjectedWorkerDeath {};
 
@@ -277,21 +371,26 @@ serde::Status FailWorker(WorkerLink& link, int seq, const std::string& reason) {
   return serde::Error(reason);
 }
 
-// One assignment: parse, execute, stream.  Status errors are protocol-fatal (the
-// caller exits 4); `died` reports injected death (exit 3).
-serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
-                               const DispatchWorkerOptions& options,
-                               WorkerPlanCache& cache, bool* died) {
+// One lease: parse the grant, execute its units — polling for revocation between
+// setting groups — and stream results.  Status errors are protocol-fatal (the caller
+// exits 4); `died` reports injected death (exit 3).  `quiet` and `finished_total`
+// persist across leases: a worker that went silent stays silent, and the failure
+// injection thresholds count units over the worker's lifetime.  `pending` collects
+// non-revoke lines drained mid-lease (shutdown racing a lease) for the main loop.
+serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
+                          const DispatchWorkerOptions& options, WorkerPlanCache& cache,
+                          std::atomic<bool>& quiet, std::atomic<int>& finished_total,
+                          std::deque<std::string>& pending, bool* died) {
   *died = false;
-  AssignHeader header;
-  serde::Status s = ParseAssignHeader(header_line, &header);
+  LeaseGrant header;
+  serde::Status s = ParseLeaseGrant(header_line, &header);
   if (!s) {
     return FailWorker(link, 0, s.message);
   }
 
   std::string block;
   if (!ReadBlock(link, &block)) {
-    return serde::Error("stream closed inside assignment spec");
+    return serde::Error("stream closed inside lease spec");
   }
   if (!cache.valid || cache.fingerprint != header.plan_fingerprint) {
     SweepSpec spec;
@@ -315,7 +414,7 @@ serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
   std::string line;
   for (int i = 0; i < header.num_snapshots; ++i) {
     if (!link.ReadLine(&line)) {
-      return serde::Error("stream closed inside assignment snapshots");
+      return serde::Error("stream closed inside lease snapshots");
     }
     SnapshotKey key;
     s = ParseSnapshotKey(line, &key);
@@ -336,12 +435,12 @@ serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
   std::vector<int> ids;
   for (;;) {
     if (!link.ReadLine(&line)) {
-      return serde::Error("stream closed inside assignment unit ids");
+      return serde::Error("stream closed inside lease unit ids");
     }
     int end_seq = 0;
-    if (ParseAssignEnd(line, &end_seq)) {
+    if (ParseLeaseEnd(line, &end_seq)) {
       if (end_seq != header.seq) {
-        return FailWorker(link, header.seq, "assign-end seq mismatch");
+        return FailWorker(link, header.seq, "lease-end seq mismatch");
       }
       break;
     }
@@ -351,22 +450,24 @@ serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
     }
   }
   if (static_cast<int>(ids.size()) != header.num_units) {
-    return FailWorker(link, header.seq, "assignment id count mismatch");
+    return FailWorker(link, header.seq, "lease id count mismatch");
   }
   std::vector<SweepUnit> units;
   units.reserve(ids.size());
   for (const int id : ids) {
     if (id < 0 || static_cast<size_t>(id) >= plan.units.size()) {
       return FailWorker(link, header.seq,
-                        "assigned unit id " + std::to_string(id) + " not in plan");
+                        "leased unit id " + std::to_string(id) + " not in plan");
     }
     units.push_back(plan.units[static_cast<size_t>(id)]);
   }
 
-  std::atomic<int> sent{0};
-  // hang_after 0 is the fully silent worker: it executes but never reports, not even
-  // the initial heartbeat — the pure deadline-retry case.
-  std::atomic<bool> quiet{options.hang_after_results == 0};
+  // hang_after 0 is the fully silent worker: it said hello and asked for work, but
+  // once granted it executes without ever reporting — the pure deadline-retry case.
+  if (options.hang_after_results == 0) {
+    quiet.store(true);
+  }
+  std::atomic<int> delivered{0};  // result lines written for this lease
   // The result stream (serialized by the sweep runner) and the heartbeat thread
   // below both write; one mutex keeps lines whole on the shared byte stream.
   std::mutex write_mutex;
@@ -378,17 +479,51 @@ serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
     write_line(SerializeHeartbeat(header.seq, 0));
   }
 
+  // Revocation drain: between setting groups the runner polls should_cancel, which
+  // pulls whatever the dispatcher sent mid-lease.  A revoke for this lease stops new
+  // groups; anything else (shutdown racing the lease, a stale revoke) is queued for
+  // the main loop / dropped.
+  std::mutex drain_mutex;
+  std::atomic<bool> revoked{false};
+  const auto drain = [&] {
+    const std::lock_guard<std::mutex> lock(drain_mutex);
+    std::string drained;
+    while (link.TryReadLine(&drained)) {
+      int revoke_seq = 0;
+      if (ParseLeaseRevoke(drained, &revoke_seq)) {
+        if (revoke_seq == header.seq) {
+          revoked.store(true);
+        }
+        // A revoke for another seq already ended with that lease: stale, dropped.
+      } else {
+        pending.push_back(std::move(drained));
+      }
+    }
+  };
+
   SweepRunOptions run;
   run.threads = options.threads;
   run.warm_start = &store;
-  run.on_result = [&](const SweepUnitResult& result) {
+  run.should_cancel = [&] {
+    drain();
+    return revoked.load();
+  };
+  run.on_result = [&](const SweepUnitResult& result, double unit_ms) {
     if (!quiet.load()) {
-      write_line(SerializeWorkerResult(header.seq, result));
-      if (options.duplicate_results) {
-        write_line(SerializeWorkerResult(header.seq, result));
+      if (options.delay_per_result_ms > 0) {
+        // Simulated slow machine: the sleep is part of the unit's observed time, so
+        // the dispatcher's cost model sees a consistently slow worker.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.delay_per_result_ms));
+        unit_ms += static_cast<double>(options.delay_per_result_ms);
       }
+      write_line(SerializeWorkerResult(header.seq, result, unit_ms));
+      if (options.duplicate_results) {
+        write_line(SerializeWorkerResult(header.seq, result, unit_ms));
+      }
+      delivered.fetch_add(1);
     }
-    const int count = sent.fetch_add(1) + 1;
+    const int count = finished_total.fetch_add(1) + 1;
     if (options.hang_after_results > 0 && count >= options.hang_after_results) {
       quiet.store(true);  // keep executing, report nothing: the silent-straggler case
     }
@@ -411,7 +546,7 @@ serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
                              std::chrono::milliseconds(options.heartbeat_interval_ms),
                              [&] { return hb_stop; })) {
         if (!quiet.load()) {
-          write_line(SerializeHeartbeat(header.seq, sent.load()));
+          write_line(SerializeHeartbeat(header.seq, delivered.load()));
         }
       }
     });
@@ -435,9 +570,10 @@ serde::Status HandleAssignment(WorkerLink& link, const std::string& header_line,
     return serde::Ok();
   }
   stop_heartbeat();
+  drain();  // pick up a revoke/shutdown that arrived after the last group
   if (!quiet.load()) {
-    write_line(SerializeAssignDone(header.seq, static_cast<int>(units.size()),
-                                   cache.fingerprint));
+    write_line(SerializeLeaseDone(header.seq, delivered.load(),
+                                  static_cast<int>(units.size()), cache.fingerprint));
   }
   return serde::Ok();
 }
@@ -448,14 +584,31 @@ int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options) {
   if (!link.WriteLine(SerializeWorkerHello())) {
     return 4;
   }
+  if (!link.WriteLine(SerializeLeaseRequest())) {
+    return 4;
+  }
   WorkerPlanCache cache;
+  std::atomic<bool> quiet{false};
+  std::atomic<int> finished_total{0};
+  std::deque<std::string> pending;
   std::string line;
-  while (link.ReadLine(&line)) {
+  for (;;) {
+    if (!pending.empty()) {
+      line = std::move(pending.front());
+      pending.pop_front();
+    } else if (!link.ReadLine(&line)) {
+      return 0;  // dispatcher closed the stream: normal shutdown
+    }
     if (line == kShutdownLine) {
       return 0;
     }
+    int revoke_seq = 0;
+    if (ParseLeaseRevoke(line, &revoke_seq)) {
+      continue;  // revoke for a lease already closed: stale, ignored
+    }
     bool died = false;
-    const serde::Status s = HandleAssignment(link, line, options, cache, &died);
+    const serde::Status s =
+        HandleLease(link, line, options, cache, quiet, finished_total, pending, &died);
     if (died) {
       return 3;
     }
@@ -463,12 +616,58 @@ int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options) {
       std::fprintf(stderr, "dispatch worker: %s\n", s.message.c_str());
       return 4;
     }
+    // Pull the next lease.  A quiet worker stops asking — it sits silent until the
+    // dispatcher re-plans its units and eventually shuts everyone down.
+    if (!quiet.load()) {
+      if (!link.WriteLine(SerializeLeaseRequest())) {
+        return 0;  // dispatcher is gone; shutdown race
+      }
+    }
   }
-  return 0;  // dispatcher closed the stream: normal shutdown
 }
 
 // ----------------------------------------------------------------------------------
 // Dispatcher.
+
+LeaseCostModel::LeaseCostModel(double initial_rate_ms) {
+  if (std::isfinite(initial_rate_ms) && initial_rate_ms > 0.0) {
+    rate_ms_ = initial_rate_ms;
+  }
+}
+
+void LeaseCostModel::Observe(double cost, double ms) {
+  if (!std::isfinite(cost) || !std::isfinite(ms) || cost <= 0.0 || ms <= 0.0) {
+    return;
+  }
+  // EWMA, alpha 0.3: reactive enough to follow a machine warming up or a noisy
+  // neighbor appearing, smooth enough that one odd unit does not whipsaw lease sizes.
+  constexpr double kAlpha = 0.3;
+  const double rate = ms / cost;
+  rate_ms_ = rate_ms_ > 0.0 ? (1.0 - kAlpha) * rate_ms_ + kAlpha * rate : rate;
+}
+
+double LeaseCostModel::PredictMs(double cost) const {
+  if (rate_ms_ <= 0.0 || !std::isfinite(cost) || cost <= 0.0) {
+    return 0.0;
+  }
+  return rate_ms_ * cost;
+}
+
+int EffectiveLeaseDeadlineMs(int flat_deadline_ms, double cost_factor,
+                             double predicted_max_unit_ms) {
+  if (cost_factor <= 0.0 || !std::isfinite(cost_factor) ||
+      !(predicted_max_unit_ms > 0.0) || !std::isfinite(predicted_max_unit_ms)) {
+    return flat_deadline_ms;
+  }
+  const double scaled = cost_factor * predicted_max_unit_ms;
+  if (scaled <= static_cast<double>(flat_deadline_ms)) {
+    return flat_deadline_ms;
+  }
+  if (scaled >= static_cast<double>(INT_MAX)) {
+    return INT_MAX;
+  }
+  return static_cast<int>(std::ceil(scaled));
+}
 
 ProfileSnapshotStore CapturePlanSnapshots(const SweepPlan& plan) {
   ProfileSnapshotStore store;
@@ -507,16 +706,24 @@ namespace {
 struct WorkerState {
   std::unique_ptr<WorkerChannel> channel;
   int launch_index = -1;
-  enum class Mode { kIdle, kWorking, kStraggler, kDead } mode = Mode::kIdle;
-  int seq = -1;                   // current (or last) assignment
-  std::vector<int> assigned_ids;  // ids of the current assignment
-  Clock::time_point last_activity;
+  // kIdle: connected, no outstanding lease (wants_lease marks a pending request).
+  // kWorking: executing a lease.  kRevoking: lease-revoke sent (steal), remainder
+  // already requeued; back to kIdle on its lease-done.  kStraggler: deadline
+  // expired, remainder requeued; late results still merge, no new work until its
+  // lease-done.  kDead: gone.
+  enum class Mode { kIdle, kWorking, kRevoking, kStraggler, kDead } mode = Mode::kIdle;
+  bool wants_lease = false;  // lease-request received and not yet answered
+  int seq = -1;              // current (or last) lease
+  std::vector<int> assigned_ids;
+  Clock::time_point last_activity;  // any line (straggler deadline input)
+  Clock::time_point lease_start;
+  Clock::time_point last_result;  // last result line (steal heuristic input)
 };
 
-// Everything an assignment message needs that is constant per dispatch: the spec and
-// each snapshot's wire lines are serialized once here, then spliced into every
-// assignment — snapshots are the bulk of the payload and identical across waves.
-struct AssignmentContext {
+// Everything a lease message needs that is constant per dispatch: the spec and each
+// snapshot's wire lines are serialized once here, then spliced into every lease —
+// snapshots are the bulk of the payload and identical across leases.
+struct LeaseContext {
   const SweepPlan* plan;
   std::vector<std::string> spec_lines;
   // (task, platform, seed) -> the ready-to-send lines of its three snapshots
@@ -542,10 +749,10 @@ struct AssignmentContext {
   }
 };
 
-// Sends one assignment (spec + the snapshots its units need + ids).  A Send error
-// means the worker is gone; the caller handles requeueing.
-serde::Status SendAssignment(const AssignmentContext& context, WorkerState& worker,
-                             int seq, std::span<const int> ids) {
+// Sends one lease (grant + spec + the snapshots its units need + ids + lease-end).
+// A Send error means the worker is gone; the caller handles requeueing.
+serde::Status SendLease(const LeaseContext& context, WorkerState& worker, int seq,
+                        std::span<const int> ids) {
   const SweepPlan& plan = *context.plan;
   std::map<std::tuple<int, int, uint64_t>, bool> triples;
   for (const int id : ids) {
@@ -555,7 +762,7 @@ serde::Status SendAssignment(const AssignmentContext& context, WorkerState& work
                                            unit.seed}] = true;
   }
 
-  AssignHeader header;
+  LeaseGrant header;
   header.seq = seq;
   header.plan_fingerprint = context.fingerprint;
   header.num_units = static_cast<int>(ids.size());
@@ -564,7 +771,7 @@ serde::Status SendAssignment(const AssignmentContext& context, WorkerState& work
   const auto send = [&](const std::string& line) {
     return worker.channel->Send(line);
   };
-  serde::Status s = send(SerializeAssignHeader(header));
+  serde::Status s = send(SerializeLeaseGrant(header));
   for (const std::string& line : context.spec_lines) {
     if (!s) {
       return s;
@@ -588,7 +795,7 @@ serde::Status SendAssignment(const AssignmentContext& context, WorkerState& work
     s = send(id_line);
   }
   if (s) {
-    s = send(SerializeAssignEnd(seq));
+    s = send(SerializeLeaseEnd(seq));
   }
   return s;
 }
@@ -602,12 +809,21 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
   DispatchStats& st = stats != nullptr ? *stats : local_stats;
   st = DispatchStats{};
   out->clear();
+  const Clock::time_point start = Clock::now();
+  LeaseCostModel model(options.initial_cost_rate_ms);
+  const auto finish = [&](serde::Status s) {
+    st.elapsed_ms = ElapsedMsDouble(start);
+    st.cost_rate_ms = model.rate_ms();
+    return s;
+  };
   if (options.num_workers <= 0) {
-    return serde::Error("dispatch needs at least one worker");
+    return finish(serde::Error("dispatch needs at least one worker"));
   }
   const int max_launches = options.max_worker_launches > 0
                                ? options.max_worker_launches
                                : options.num_workers + 8;
+  const int target_lease_ms = std::max(1, options.target_lease_ms);
+  const int max_lease_units = std::max(1, options.max_lease_units);
 
   const auto log = [&](const std::string& event) {
     if (options.on_event) {
@@ -615,7 +831,7 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     }
   };
 
-  AssignmentContext context;
+  LeaseContext context;
   context.plan = &plan;
   const ProfileSnapshotStore snapshots = CapturePlanSnapshots(plan);
   context.CacheSnapshots(snapshots);
@@ -624,12 +840,12 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
 
   SweepMergeAccumulator accumulator(plan);
   // Preseeded results (cache hits) are first-class deliveries: merged before any
-  // worker exists, so the waves below never assign — let alone re-run — their units.
+  // worker exists, so no lease below ever contains — let alone re-runs — their units.
   for (const SweepUnitResult& result : options.preseeded_results) {
     bool newly = false;
     const serde::Status s = accumulator.Add(result, &newly);
     if (!s) {
-      return serde::Wrap("preseeded result", s);
+      return finish(serde::Wrap("preseeded result", s));
     }
     if (newly) {
       ++st.preseeded;
@@ -637,13 +853,60 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
   }
   if (accumulator.complete()) {
     log("every unit preseeded; nothing to dispatch");
-    return accumulator.Finalize(out);
+    return finish(accumulator.Finalize(out));
   }
+
   std::vector<std::unique_ptr<WorkerState>> workers;
-  std::vector<int> retry_queue;  // unit ids awaiting reassignment
+  std::deque<int> retry_queue;  // unit ids awaiting re-grant (revokes, failures)
+  // Fresh work is a cursor over the plan's enumeration order — never a materialized
+  // per-worker list.  `in_flight[id]` marks ids inside a live lease; an id leaves
+  // that state by being recorded or requeued, so skipping flagged ids while the
+  // cursor advances can never lose a unit.
+  size_t fresh_cursor = 0;
+  std::vector<char> in_flight(plan.units.size(), 0);
   int next_launch_index = 0;
   int next_seq = 0;
-  const Clock::time_point start = Clock::now();
+
+  const auto skip_fresh = [&] {
+    while (fresh_cursor < plan.units.size() &&
+           (accumulator.IsRecorded(static_cast<int>(fresh_cursor)) ||
+            in_flight[fresh_cursor] != 0)) {
+      ++fresh_cursor;
+    }
+  };
+  const auto retry_has_work = [&] {
+    for (const int id : retry_queue) {
+      if (!accumulator.IsRecorded(id) && in_flight[static_cast<size_t>(id)] == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Static mode: the PR 4 baseline — whole LPT/round-robin shards as single leases.
+  std::deque<std::vector<int>> static_shards;
+  if (options.lease_mode == LeaseMode::kStatic) {
+    for (const std::vector<SweepUnit>& shard :
+         PartitionPlan(plan, options.num_workers, options.strategy)) {
+      std::vector<int> ids;
+      ids.reserve(shard.size());
+      for (const SweepUnit& unit : shard) {
+        if (!accumulator.IsRecorded(unit.id)) {  // skip preseeded units
+          ids.push_back(unit.id);
+        }
+      }
+      if (!ids.empty()) {
+        static_shards.push_back(std::move(ids));
+      }
+    }
+  }
+  const auto pending_work_exists = [&] {
+    if (options.lease_mode == LeaseMode::kStatic) {
+      return !static_shards.empty() || retry_has_work();
+    }
+    skip_fresh();
+    return fresh_cursor < plan.units.size() || retry_has_work();
+  };
 
   const auto launch_worker = [&]() -> WorkerState* {
     while (next_launch_index < max_launches) {
@@ -665,14 +928,18 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     return nullptr;
   };
 
-  // Requeues the not-yet-merged remainder of a worker's assignment.
+  // Requeues the not-yet-merged remainder of a worker's lease.
   const auto requeue_unfinished = [&](WorkerState& worker) {
+    int requeued = 0;
     for (const int id : worker.assigned_ids) {
       if (!accumulator.IsRecorded(id)) {
         retry_queue.push_back(id);
+        in_flight[static_cast<size_t>(id)] = 0;
+        ++requeued;
       }
     }
     worker.assigned_ids.clear();
+    return requeued;
   };
 
   const auto fail_worker = [&](WorkerState& worker, const std::string& why) {
@@ -683,16 +950,105 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     ++st.worker_failures;
     requeue_unfinished(worker);
     worker.mode = WorkerState::Mode::kDead;
+    worker.wants_lease = false;
     worker.channel->Close();
   };
 
-  const auto assign_ids = [&](WorkerState& worker, std::vector<int> ids,
-                              bool is_retry) {
-    ALERT_CHECK(!ids.empty());
+  // Builds the next pull-mode lease: requeued work first (it is the oldest and thus
+  // the likeliest tail of the critical path), then fresh plan-order units.  Size is
+  // cost-fed — take units until their predicted time reaches the target — with small
+  // fixed leases while the model is still cold so it warms on real observations.
+  const auto build_pull_lease = [&](bool* is_retry) {
+    std::vector<int> ids;
+    double predicted = 0.0;
+    const int remaining = static_cast<int>(accumulator.num_expected() -
+                                           accumulator.num_recorded());
+    const int cold_cap =
+        std::clamp(remaining / (4 * std::max(1, options.num_workers)), 1, 8);
+    const auto want_more = [&] {
+      if (ids.empty()) {
+        return true;
+      }
+      if (static_cast<int>(ids.size()) >= max_lease_units) {
+        return false;
+      }
+      if (!model.seeded()) {
+        return static_cast<int>(ids.size()) < cold_cap;
+      }
+      return predicted < static_cast<double>(target_lease_ms);
+    };
+    const auto take = [&](int id) {
+      ids.push_back(id);
+      in_flight[static_cast<size_t>(id)] = 1;
+      predicted += model.PredictMs(SweepUnitCost(plan.units[static_cast<size_t>(id)]));
+    };
+    while (want_more()) {
+      int id = -1;
+      while (!retry_queue.empty()) {
+        const int candidate = retry_queue.front();
+        retry_queue.pop_front();
+        if (!accumulator.IsRecorded(candidate) &&
+            in_flight[static_cast<size_t>(candidate)] == 0) {
+          id = candidate;
+          break;
+        }
+      }
+      if (id < 0) {
+        break;
+      }
+      *is_retry = true;
+      take(id);
+    }
+    while (want_more()) {
+      skip_fresh();
+      if (fresh_cursor >= plan.units.size()) {
+        break;
+      }
+      take(static_cast<int>(fresh_cursor++));
+    }
+    return ids;
+  };
+
+  const auto build_static_lease = [&](bool* is_retry) {
+    std::vector<int> ids;
+    if (!static_shards.empty()) {
+      ids = std::move(static_shards.front());
+      static_shards.pop_front();
+      ids.erase(std::remove_if(ids.begin(), ids.end(),
+                               [&](int id) { return accumulator.IsRecorded(id); }),
+                ids.end());
+    } else {
+      // Retries go out as one whole lease: static mode re-plans, it never rebalances.
+      while (!retry_queue.empty()) {
+        const int candidate = retry_queue.front();
+        retry_queue.pop_front();
+        if (!accumulator.IsRecorded(candidate) &&
+            in_flight[static_cast<size_t>(candidate)] == 0) {
+          ids.push_back(candidate);
+          *is_retry = true;
+        }
+      }
+    }
+    for (const int id : ids) {
+      in_flight[static_cast<size_t>(id)] = 1;
+    }
+    return ids;
+  };
+
+  // Grants a lease to a requesting worker; false when no work is pending.
+  const auto grant_lease = [&](WorkerState& worker) {
+    bool is_retry = false;
+    std::vector<int> ids = options.lease_mode == LeaseMode::kStatic
+                               ? build_static_lease(&is_retry)
+                               : build_pull_lease(&is_retry);
+    if (ids.empty()) {
+      return false;
+    }
     for (const int id : ids) {
       ALERT_CHECK(!accumulator.IsRecorded(id));  // never re-run a completed unit
     }
     const int seq = next_seq++;
+    ++st.leases_granted;
     if (is_retry) {
       ++st.retry_assignments;
     }
@@ -702,11 +1058,73 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     worker.seq = seq;
     worker.assigned_ids = std::move(ids);
     worker.mode = WorkerState::Mode::kWorking;
+    worker.wants_lease = false;
     worker.last_activity = Clock::now();
-    const serde::Status s = SendAssignment(context, worker, seq, worker.assigned_ids);
+    worker.lease_start = worker.last_activity;
+    worker.last_result = worker.last_activity;
+    const serde::Status s = SendLease(context, worker, seq, worker.assigned_ids);
     if (!s) {
       fail_worker(worker, "send: " + s.message);
     }
+    return true;
+  };
+
+  // Steal: an idle requester with nothing pending takes the remainder of the
+  // most-loaded working lease.  Guards against ping-pong: the victim must hold at
+  // least two unmerged units, its lease must be older than the target (a lease the
+  // thief just received back cannot be re-stolen immediately), and it must actually
+  // look overloaded — predicted remainder well past the target, or silent since its
+  // last result for twice the target.
+  const auto try_steal = [&]() {
+    if (options.lease_mode != LeaseMode::kPull || !options.enable_steal ||
+        !model.seeded()) {
+      return false;
+    }
+    WorkerState* victim = nullptr;
+    double victim_remaining = 0.0;
+    for (const auto& worker_ptr : workers) {
+      WorkerState& candidate = *worker_ptr;
+      if (candidate.mode != WorkerState::Mode::kWorking) {
+        continue;
+      }
+      if (ElapsedMs(candidate.lease_start) <= target_lease_ms) {
+        continue;
+      }
+      int unmerged = 0;
+      double remaining_ms = 0.0;
+      for (const int id : candidate.assigned_ids) {
+        if (!accumulator.IsRecorded(id)) {
+          ++unmerged;
+          remaining_ms +=
+              model.PredictMs(SweepUnitCost(plan.units[static_cast<size_t>(id)]));
+        }
+      }
+      if (unmerged < 2) {
+        continue;  // nothing worth splitting; first-wins covers the unit in flight
+      }
+      const bool overloaded =
+          remaining_ms > 1.5 * static_cast<double>(target_lease_ms) ||
+          ElapsedMs(candidate.last_result) > 2 * target_lease_ms;
+      if (!overloaded) {
+        continue;
+      }
+      if (victim == nullptr || remaining_ms > victim_remaining) {
+        victim = &candidate;
+        victim_remaining = remaining_ms;
+      }
+    }
+    if (victim == nullptr) {
+      return false;
+    }
+    (void)victim->channel->Send(SerializeLeaseRevoke(victim->seq));
+    const int stolen = requeue_unfinished(*victim);
+    victim->mode = WorkerState::Mode::kRevoking;
+    ++st.lease_revocations;
+    st.units_stolen += stolen;
+    log("stole " + std::to_string(stolen) + " units from worker " +
+        std::to_string(victim->launch_index) + " (lease " +
+        std::to_string(victim->seq) + ")");
+    return stolen > 0;
   };
 
   // Handles one parsed worker line; returns a fatal dispatch error or Ok.
@@ -723,8 +1141,12 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
       case WorkerMessage::Kind::kHello:
       case WorkerMessage::Kind::kHeartbeat:
         break;
+      case WorkerMessage::Kind::kLeaseRequest:
+        worker.wants_lease = true;
+        break;
       case WorkerMessage::Kind::kResult: {
         ++st.results_received;
+        worker.last_result = worker.last_activity;
         bool newly = false;
         const serde::Status s = accumulator.Add(message.result, &newly);
         if (!s) {
@@ -736,19 +1158,26 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
         if (!newly) {
           ++st.duplicate_results;
         }
+        if (!message.result.skipped) {
+          model.Observe(SweepUnitCost(plan.units[static_cast<size_t>(
+                            message.result.unit_id)]),
+                        message.unit_ms);
+        }
         if (options.on_result) {
           options.on_result(worker.launch_index, message.result, newly);
         }
         break;
       }
-      case WorkerMessage::Kind::kAssignDone:
+      case WorkerMessage::Kind::kLeaseDone:
         if (message.plan_fingerprint != context.fingerprint) {
-          fail_worker(worker, "assign-done fingerprint mismatch");
+          fail_worker(worker, "lease-done fingerprint mismatch");
           break;
         }
         if (message.seq == worker.seq) {
-          // A straggler that eventually finishes becomes schedulable again.
-          worker.assigned_ids.clear();
+          // Whatever the lease still owed (a revoked remainder, a straggler's
+          // abandoned units) is requeued; the worker — straggler or victim — is
+          // schedulable again.
+          requeue_unfinished(worker);
           worker.mode = WorkerState::Mode::kIdle;
         }
         break;
@@ -759,50 +1188,32 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     return serde::Ok();
   };
 
-  // Initial wave: drop preseeded unit ids from the shards first, then launch only
-  // as many workers as there are non-empty shards — a mostly-preseeded incremental
-  // re-run must not spin up a fleet of idle workers (replacements still launch on
-  // demand from the retry pump).
-  const auto initial_shards =
-      PartitionPlan(plan, options.num_workers, options.strategy);
-  std::vector<std::vector<int>> initial_ids;
-  for (const std::vector<SweepUnit>& shard : initial_shards) {
-    std::vector<int> ids;
-    ids.reserve(shard.size());
-    for (const SweepUnit& unit : shard) {
-      if (!accumulator.IsRecorded(unit.id)) {  // skip preseeded units
-        ids.push_back(unit.id);
+  const auto close_all = [&] {
+    for (const auto& w : workers) {
+      w->channel->Close();
+    }
+  };
+
+  // Initial fleet: workers pull their own work, so this only sizes the pool — at
+  // most one worker per pending unit (pull) or per non-empty shard (static), so a
+  // mostly-preseeded incremental re-run never spins up idle workers.
+  {
+    const int remaining = static_cast<int>(accumulator.num_expected() -
+                                           accumulator.num_recorded());
+    const int fleet =
+        options.lease_mode == LeaseMode::kStatic
+            ? std::min(options.num_workers, static_cast<int>(static_shards.size()))
+            : std::min(options.num_workers, remaining);
+    for (int i = 0; i < fleet; ++i) {
+      if (launch_worker() == nullptr) {
+        break;
       }
     }
-    if (!ids.empty()) {
-      initial_ids.push_back(std::move(ids));
-    }
-  }
-  for (std::vector<int>& ids : initial_ids) {
-    WorkerState* worker = launch_worker();
-    if (worker == nullptr) {
-      break;
-    }
-    assign_ids(*worker, std::move(ids), /*is_retry=*/false);
   }
   if (workers.empty()) {
-    return serde::Error("no worker could be launched (after " +
-                        std::to_string(st.failed_launches) + " failed launches)");
-  }
-  // Workers that never got an initial shard still cover launch failures: units of a
-  // worker that failed to launch were simply never assigned, so queue them.
-  {
-    std::vector<bool> assigned(plan.units.size(), false);
-    for (const auto& worker : workers) {
-      for (const int id : worker->assigned_ids) {
-        assigned[static_cast<size_t>(id)] = true;
-      }
-    }
-    for (size_t id = 0; id < assigned.size(); ++id) {
-      if (!assigned[id] && !accumulator.IsRecorded(static_cast<int>(id))) {
-        retry_queue.push_back(static_cast<int>(id));
-      }
-    }
+    return finish(serde::Error("no worker could be launched (after " +
+                               std::to_string(st.failed_launches) +
+                               " failed launches)"));
   }
 
   std::string line;
@@ -820,10 +1231,8 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
           progress = true;
           const serde::Status s = handle_message(worker, line);
           if (!s) {
-            for (const auto& w : workers) {
-              w->channel->Close();
-            }
-            return s;
+            close_all();
+            return finish(s);
           }
           if (accumulator.complete()) {
             break;
@@ -832,11 +1241,12 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
         }
         if (read == ChannelRead::kClosed) {
           if (worker.mode == WorkerState::Mode::kIdle && worker.assigned_ids.empty()) {
-            // A worker that exits after finishing everything is not a failure.
+            // A worker that exits with nothing outstanding is not a failure.
             worker.mode = WorkerState::Mode::kDead;
+            worker.wants_lease = false;
             worker.channel->Close();
           } else {
-            fail_worker(worker, "channel closed mid-assignment");
+            fail_worker(worker, "channel closed mid-lease");
           }
         }
         break;
@@ -845,80 +1255,102 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
         break;
       }
       if (worker.mode == WorkerState::Mode::kWorking &&
-          options.straggler_deadline_ms > 0 &&
-          ElapsedMs(worker.last_activity) > options.straggler_deadline_ms) {
-        ++st.stragglers;
-        log("worker " + std::to_string(worker.launch_index) +
-            " exceeded the straggler deadline; re-partitioning its unfinished units");
-        requeue_unfinished(worker);
-        // Not killed and not schedulable: late results still merge, but no new work
-        // until it reports assign-done for the abandoned assignment.
-        worker.mode = WorkerState::Mode::kStraggler;
+          options.straggler_deadline_ms > 0) {
+        // Cost-scaled deadline: a lease whose largest unmerged unit is predicted to
+        // run long gets proportionally more silence budget, so long units with
+        // heartbeats disabled do not trip a flat deadline.
+        double predicted_max = 0.0;
+        for (const int id : worker.assigned_ids) {
+          if (!accumulator.IsRecorded(id)) {
+            predicted_max = std::max(
+                predicted_max,
+                model.PredictMs(SweepUnitCost(plan.units[static_cast<size_t>(id)])));
+          }
+        }
+        const int deadline = EffectiveLeaseDeadlineMs(
+            options.straggler_deadline_ms, options.straggler_cost_factor,
+            predicted_max);
+        if (ElapsedMs(worker.last_activity) > deadline) {
+          ++st.stragglers;
+          ++st.lease_revocations;
+          log("worker " + std::to_string(worker.launch_index) +
+              " exceeded its straggler deadline (" + std::to_string(deadline) +
+              " ms); revoking and requeueing its unfinished units");
+          // Best-effort: a hung-but-alive worker stops between units, a dead one
+          // never reads it.  Either way the units are requeued now.
+          (void)worker.channel->Send(SerializeLeaseRevoke(worker.seq));
+          requeue_unfinished(worker);
+          // Not killed and not schedulable: late results still merge, but no new
+          // work until it closes the abandoned lease with lease-done.
+          worker.mode = WorkerState::Mode::kStraggler;
+        }
       }
     }
     if (accumulator.complete()) {
       break;
     }
 
-    // Reassignment pump: drop already-merged ids, then re-partition the queue across
-    // every idle worker (launching replacements only when nobody is working).
-    if (!retry_queue.empty()) {
-      std::vector<int> pending;
-      for (const int id : retry_queue) {
-        if (!accumulator.IsRecorded(id)) {
-          pending.push_back(id);
+    // Grant pump: serve every waiting lease-request while work is pending; once the
+    // queues run dry, let the first still-waiting requester steal.
+    for (const auto& worker_ptr : workers) {
+      WorkerState& worker = *worker_ptr;
+      if (worker.mode != WorkerState::Mode::kIdle || !worker.wants_lease) {
+        continue;
+      }
+      if (!pending_work_exists()) {
+        if (!try_steal()) {
+          break;  // nothing to grant and nothing worth stealing this round
         }
       }
-      std::sort(pending.begin(), pending.end());
-      pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
-      retry_queue = std::move(pending);
-      if (!retry_queue.empty()) {
-        std::vector<WorkerState*> idle;
-        bool anyone_working = false;
-        for (const auto& worker : workers) {
-          if (worker->mode == WorkerState::Mode::kIdle) {
-            idle.push_back(worker.get());
-          } else if (worker->mode == WorkerState::Mode::kWorking) {
-            anyone_working = true;
-          }
-        }
-        if (idle.empty() && !anyone_working) {
-          WorkerState* replacement = launch_worker();
-          if (replacement == nullptr) {
-            for (const auto& w : workers) {
-              w->channel->Close();
-            }
-            return serde::Error(
-                "launch budget exhausted with " +
-                std::to_string(retry_queue.size()) +
-                " units unfinished (workers kept failing or stalling)");
-          }
-          idle.push_back(replacement);
-        }
-        if (!idle.empty()) {
-          std::vector<std::vector<int>> split(idle.size());
-          for (size_t i = 0; i < retry_queue.size(); ++i) {
-            split[i % idle.size()].push_back(retry_queue[i]);
-          }
-          retry_queue.clear();
-          for (size_t i = 0; i < idle.size(); ++i) {
-            if (!split[i].empty()) {
-              assign_ids(*idle[i], std::move(split[i]), /*is_retry=*/true);
-            }
-          }
-          progress = true;
-        }
+      if (grant_lease(worker)) {
+        progress = true;
       }
     }
 
-    if (options.global_deadline_ms > 0 && ElapsedMs(start) > options.global_deadline_ms) {
-      for (const auto& w : workers) {
-        w->channel->Close();
+    // Replacement pump: pending work and nobody who could plausibly take it — every
+    // live worker is executing nothing, asking for nothing, and past the silence
+    // deadline (a just-launched worker whose hello is still in flight counts as
+    // plausibly coming, so a healthy startup never burns launch budget).
+    if (pending_work_exists()) {
+      bool anyone_might_work = false;
+      for (const auto& worker_ptr : workers) {
+        switch (worker_ptr->mode) {
+          case WorkerState::Mode::kWorking:
+          case WorkerState::Mode::kRevoking:
+            anyone_might_work = true;
+            break;
+          case WorkerState::Mode::kIdle:
+            if (worker_ptr->wants_lease ||
+                options.straggler_deadline_ms <= 0 ||
+                ElapsedMs(worker_ptr->last_activity) <= options.straggler_deadline_ms) {
+              anyone_might_work = true;
+            }
+            break;
+          default:
+            break;
+        }
       }
-      return serde::Error("dispatch exceeded its global deadline with " +
-                          std::to_string(accumulator.num_expected() -
-                                         accumulator.num_recorded()) +
-                          " units unfinished");
+      if (!anyone_might_work) {
+        WorkerState* replacement = launch_worker();
+        if (replacement == nullptr) {
+          close_all();
+          return finish(serde::Error(
+              "launch budget exhausted with " +
+              std::to_string(accumulator.num_expected() -
+                             accumulator.num_recorded()) +
+              " units unfinished (workers kept failing or stalling)"));
+        }
+        progress = true;  // its hello + lease-request arrive on the next drain
+      }
+    }
+
+    if (options.global_deadline_ms > 0 &&
+        ElapsedMs(start) > options.global_deadline_ms) {
+      close_all();
+      return finish(serde::Error("dispatch exceeded its global deadline with " +
+                                 std::to_string(accumulator.num_expected() -
+                                                accumulator.num_recorded()) +
+                                 " units unfinished"));
     }
     if (!progress) {
       std::this_thread::sleep_for(
@@ -932,7 +1364,7 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     }
     worker->channel->Close();
   }
-  return accumulator.Finalize(out);
+  return finish(accumulator.Finalize(out));
 }
 
 }  // namespace alert

@@ -1,31 +1,45 @@
-// Remote shard dispatcher: push sweep shards to workers, merge results as they
-// stream back, re-partition stragglers.  (Protocol: dispatch_protocol.h; unit
-// enumeration/partitioning: sweep_plan.h; execution + aggregation: sweep_runner.h.)
+// Pull-based worker-pool dispatcher: workers lease small batches of sweep units,
+// observed per-unit timings feed a live cost model that sizes the next lease, and
+// likely stragglers are re-planned (lease revocation / work stealing) before their
+// silence deadline.  (Protocol: dispatch_protocol.h; unit enumeration: sweep_plan.h;
+// execution + aggregation: sweep_runner.h.)
 //
 // The sharded sweep pipeline (PR 3) made every unit of the Table 4 evaluation a pure
 // function of (spec, unit id) and the merge a pure function of (plan, per-unit
-// results).  This module adds the missing control plane for running that at
-// multi-machine scale: a dispatcher that owns the plan, profiles once, and drives any
-// number of workers that own nothing.
+// results).  The first dispatcher (PR 4) pushed static LPT partitions once and only
+// re-partitioned on failure — at million-unit plans that strands throughput behind
+// the slowest worker.  This version inverts control:
 //
-// == Roles and guarantees ==
+// == The pull loop ==
 //
-// `DispatchSweep` partitions the plan across `num_workers` workers, ships each worker
-// (spec + warm-start profile snapshots + its unit ids) over a `Transport`, folds
-// results into a `SweepMergeAccumulator` the moment they arrive, and finalizes to the
-// exact CellResult vector the monolithic sweep produces.  The invariant that makes
-// this trustworthy: for any worker count, transport, failure schedule, or retry
-// timing, the aggregate CSV is byte-identical to `sweep_shard --shards=1 --csv`
-// (results are deterministic per unit; the accumulator is order-independent and
-// first-wins on redelivery; Finalize walks the plan in its enumeration order).
+// Workers say `lease-request` whenever they are idle; the dispatcher answers with a
+// lease — a prefix of the still-pending unit ids (plan enumeration order, streamed
+// via SweepUnitStream: per-worker unit lists are never materialized).  Lease size is
+// cost-fed: every `result` line carries the unit's observed wall time, an EWMA over
+// (observed ms / SweepUnitCost) turns that into a live ms-per-cost rate, and the next
+// lease takes units until their predicted time reaches `target_lease_ms`.  Before the
+// rate is known, leases stay small (a few units) so the model warms quickly.
 //
-// Failure handling: a worker whose channel closes mid-assignment (crash, lost ssh) or
-// that stays silent past `straggler_deadline_ms` has its *unfinished* unit ids —
-// assigned minus already-merged — re-partitioned across idle workers, relaunching
-// replacements when none are idle (bounded by `max_worker_launches`).  A completed
-// unit id is never reassigned (ALERT_CHECKed at every assignment).  Stragglers are
-// not killed: their late results still merge (first duplicate wins), so a deadline
-// that fires on a merely-slow worker costs duplicate work, never correctness.
+// Stealing and revocation: when a worker asks for work and nothing is pending, the
+// dispatcher revokes the lease of the most-loaded working peer (`lease-revoke`),
+// requeues its unfinished units, and grants them to the requester.  The victim stops
+// between units; results that raced the revocation merge first-wins, so a steal can
+// duplicate at most the unit in flight — never corrupt the output.  The same revoke
+// path serves the straggler deadline, which is now cost-scaled: a lease whose largest
+// unit is predicted to run long gets proportionally more silence budget (see
+// EffectiveLeaseDeadlineMs), so long units with heartbeats disabled stop tripping the
+// flat deadline.
+//
+// The invariant that makes all of this trustworthy is unchanged from PR 4 and tested
+// under randomized kill x revoke x steal schedules: for any worker count, transport,
+// failure schedule, or steal timing, the aggregate CSV is byte-identical to
+// `sweep_shard --shards=1 --csv` (results are deterministic per unit; the accumulator
+// is order-independent and first-wins on redelivery; Finalize walks the plan in its
+// enumeration order).
+//
+// `lease_mode = kStatic` keeps the PR 4 behavior (whole LPT shards granted up front,
+// no stealing, no cost sizing) as a baseline — the pool's makespan win on skewed
+// plans is asserted against it in the dispatch stats tests.
 //
 // == Transports ==
 //
@@ -33,17 +47,24 @@
 // grammar everywhere):
 //   InProcessTransport  — worker loop on a std::thread with in-memory queues; zero
 //                         process overhead, plus deterministic failure injection for
-//                         tests (die / go quiet after N results, duplicate delivery);
+//                         tests (die / go quiet after N results, duplicate delivery,
+//                         per-result delay to fake a slow machine);
 //   SubprocessTransport — one local child process per worker (sweep_shard --worker),
 //                         stdin/stdout pipes (src/common/subprocess.h);
 //   CommandTransport    — like SubprocessTransport but the command line is an
 //                         operator-supplied template run under /bin/sh — `ssh host
 //                         sweep_shard --worker` turns any reachable machine into a
-//                         worker with no shared filesystem.
+//                         worker with no shared filesystem;
+//   SocketTransport     — real TCP: the dispatcher listens on 127.0.0.1, launches
+//                         each worker from a {port}-templated command line
+//                         (`sweep_shard --worker --connect=127.0.0.1:{port}`), and
+//                         speaks the same line protocol over the socket.
 //
 // Thread-safety: DispatchSweep runs a single-threaded event loop; Transport/
 // WorkerChannel implementations are called only from that thread (the in-process
-// transport synchronizes its internal queues itself).
+// transport synchronizes its internal queues itself).  On the worker side the
+// revoke drain calls WorkerLink::TryReadLine from runner threads, serialized by the
+// worker's own mutex.
 #ifndef SRC_HARNESS_DISPATCH_H_
 #define SRC_HARNESS_DISPATCH_H_
 
@@ -77,7 +98,7 @@ class WorkerChannel {
  public:
   virtual ~WorkerChannel() = default;
   // Queues one protocol line to the worker.  An error means the worker is gone; the
-  // dispatcher then requeues the assignment elsewhere.
+  // dispatcher then requeues the lease elsewhere.
   virtual serde::Status Send(std::string_view line) = 0;
   // Next line from the worker.  timeout_ms 0 polls, < 0 blocks.
   virtual ChannelRead Recv(int timeout_ms, std::string* line) = 0;
@@ -99,13 +120,20 @@ class Transport {
 
 // --- worker side -------------------------------------------------------------------
 
-// Worker-side view of the byte stream: blocking line reads, line writes.
+// Worker-side view of the byte stream: blocking line reads, a non-blocking poll for
+// the revoke drain, line writes.
 class WorkerLink {
  public:
   virtual ~WorkerLink() = default;
   // Blocks for the next line; false once the dispatcher is gone (EOF) — the worker
   // then exits cleanly.
   virtual bool ReadLine(std::string* line) = 0;
+  // Non-blocking: true and fills *line if one is already available, false otherwise
+  // (including EOF — the blocking ReadLine is where EOF is acted on).  Called from
+  // runner threads during lease execution, serialized by the worker's drain mutex;
+  // implementations need not add their own locking against ReadLine, which is never
+  // concurrent with it.
+  virtual bool TryReadLine(std::string* line) = 0;
   virtual serde::Status WriteLine(std::string_view line) = 0;
 };
 
@@ -115,25 +143,30 @@ struct DispatchWorkerOptions {
   // the dispatcher's straggler deadline measures *liveness*, not time-between-results
   // — a healthy worker grinding through one long setting group must not look silent.
   // 0 disables (then only results and the initial heartbeat prove liveness; pair
-  // with a straggler deadline longer than the longest single group).
+  // with a straggler deadline longer than the longest single group, or rely on the
+  // dispatcher's cost-scaled deadline).
   int heartbeat_interval_ms = 5000;
-  // Failure injection (tests and the CI e2e): after sending N results, die
+  // Failure injection (tests and the CI e2e): after finishing N units, die
   // (fail_after_results) or go silent while still executing (hang_after_results,
-  // where 0 means silent from the very first line — the worker that "never
-  // reports"); -1 disables.  duplicate_results sends every result line twice,
-  // exercising the dispatcher's first-wins dedup.
+  // where 0 means the worker accepts its first lease and then never reports — the
+  // pure deadline-retry case); -1 disables.  duplicate_results sends every result
+  // line twice, exercising the dispatcher's first-wins dedup.  delay_per_result_ms
+  // sleeps that long per finished unit and adds the sleep to the reported timing —
+  // a deterministic "slow machine" for cost-model and steal tests.
   int fail_after_results = -1;
   int hang_after_results = -1;
   bool duplicate_results = false;
+  int delay_per_result_ms = 0;
 };
 
-// Runs the worker side of the protocol over `link` until EOF or `shutdown`: for each
-// assignment, rebuild the plan from the inlined spec, verify its fingerprint, adopt
-// the inlined profile snapshots (the worker never re-profiles), execute the assigned
-// units, and stream results back.  Returns a process exit code: 0 clean, 3 injected
-// death, 4 protocol/spec error (after sending `worker-error`).  The plan is cached
-// across assignments keyed by fingerprint, so straggler-retry waves on a warm worker
-// skip re-parsing.
+// Runs the worker side of the protocol over `link` until EOF or `shutdown`: say
+// hello, request a lease, and for each grant rebuild the plan from the inlined spec,
+// verify its fingerprint, adopt the inlined profile snapshots (the worker never
+// re-profiles), execute the leased units — polling for `lease-revoke` between units —
+// and stream results (with observed per-unit timings) back.  Returns a process exit
+// code: 0 clean, 3 injected death, 4 protocol/spec error (after sending
+// `worker-error`).  The plan is cached across leases keyed by fingerprint, so only
+// the first grant pays the spec parse.
 int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options = {});
 
 // --- transports --------------------------------------------------------------------
@@ -143,9 +176,11 @@ class InProcessTransport : public Transport {
  public:
   struct Options {
     int threads = 1;  // per worker; keep 1 unless the test wants nested parallelism
-    std::map<int, int> fail_after;    // launch index -> die after N results
-    std::map<int, int> hang_after;    // launch index -> go quiet after N results
-    std::set<int> duplicate_results;  // launch indices that double-send every result
+    int heartbeat_interval_ms = 5000;   // per-worker heartbeat (0 disables)
+    std::map<int, int> fail_after;      // launch index -> die after N results
+    std::map<int, int> hang_after;      // launch index -> go quiet after N results
+    std::set<int> duplicate_results;    // launch indices that double-send every result
+    std::map<int, int> delay_per_result;  // launch index -> ms of sleep per unit
   };
   InProcessTransport();  // default options
   explicit InProcessTransport(Options options);
@@ -179,16 +214,96 @@ class CommandTransport : public Transport {
   std::function<std::string(int)> command_for_worker_;
 };
 
+// Workers over localhost TCP: Launch listens on 127.0.0.1 (one listener, ephemeral
+// port, opened lazily), runs `command_for_worker(worker_index, port)` under
+// /bin/sh -c, and waits up to `accept_timeout_ms` for that worker to connect back.
+// The child is kept for kill/reap alongside the socket.  Launches are serial (the
+// dispatcher's event loop), so connections pair with the launch that is waiting.
+class SocketTransport : public Transport {
+ public:
+  struct Options {
+    // Renders the worker command; must make the worker dial 127.0.0.1:port, e.g.
+    // "./sweep_shard --worker --connect=127.0.0.1:" + std::to_string(port).
+    std::function<std::string(int worker_index, int port)> command_for_worker;
+    int accept_timeout_ms = 20000;
+  };
+  explicit SocketTransport(Options options);
+  ~SocketTransport() override;
+  serde::Status Launch(int worker_index, std::unique_ptr<WorkerChannel>* out) override;
+
+ private:
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
 // --- dispatcher --------------------------------------------------------------------
+
+// Live ms-per-cost-point model: an EWMA over (observed unit wall time /
+// SweepUnitCost(unit)).  Cheap on purpose — one rate for the whole fleet — because
+// its two consumers only need coarse truth: lease sizing ("how many pending units
+// fit in target_lease_ms?") and the cost-scaled straggler deadline ("could this
+// lease legitimately still be running?").  Exposed for unit tests.
+class LeaseCostModel {
+ public:
+  // `initial_rate_ms` seeds the model (ms per cost point); 0 = start unknown.
+  explicit LeaseCostModel(double initial_rate_ms = 0.0);
+
+  // Feeds one observation; ignored unless cost and ms are positive and finite.
+  void Observe(double cost, double ms);
+
+  // Predicted wall time of a unit with this cost; 0.0 while the rate is unknown.
+  double PredictMs(double cost) const;
+
+  bool seeded() const { return rate_ms_ > 0.0; }
+  double rate_ms() const { return rate_ms_; }
+
+ private:
+  double rate_ms_ = 0.0;
+};
+
+// The straggler deadline for a lease whose largest unmerged unit is predicted to
+// take `predicted_max_unit_ms`: the flat deadline, stretched to `cost_factor` times
+// the prediction when that is longer.  With an unknown cost model (prediction 0)
+// this is exactly the flat deadline.  Pure; exposed for unit tests — this is the
+// fix for the flat deadline misfiring on long units with heartbeats disabled.
+int EffectiveLeaseDeadlineMs(int flat_deadline_ms, double cost_factor,
+                             double predicted_max_unit_ms);
+
+// Grant policy: pull (cost-fed small leases + stealing) or static (the PR 4
+// baseline: whole LPT shards granted once, no stealing, no cost sizing).
+enum class LeaseMode : int { kPull = 0, kStatic = 1 };
 
 struct DispatchOptions {
   int num_workers = 2;
+  // Partition strategy for lease_mode == kStatic (and for nothing else: pull-mode
+  // leases are plan-order prefixes, sized by the cost model).
   ShardStrategy strategy = ShardStrategy::kRoundRobin;
-  // A worker with outstanding units that produces no line for this long is declared a
-  // straggler and its unfinished units are re-partitioned.  Generous by default: a
-  // false positive only duplicates work, but on a shared CI box a tight deadline
-  // would requeue everything.
+  LeaseMode lease_mode = LeaseMode::kPull;
+
+  // Pull-mode lease sizing: take pending units until their predicted time reaches
+  // target_lease_ms, capped at max_lease_units; while the cost model is unseeded,
+  // leases stay small (warm-up).  target_lease_ms trades scheduling overhead
+  // against tail latency — smaller leases steal/rebalance faster but chat more.
+  int target_lease_ms = 1000;
+  int max_lease_units = 64;
+  // Seeds the cost model (ms per SweepUnitCost point) so the first leases and
+  // deadlines are already scaled; 0 = learn from scratch.  Tests use this to make
+  // deadline behavior deterministic.
+  double initial_cost_rate_ms = 0.0;
+  // Steal leases for idle workers when nothing is pending (pull mode only).
+  bool enable_steal = true;
+
+  // A worker with outstanding units that produces no line for its *effective*
+  // deadline is declared a straggler: its lease is revoked and the unfinished units
+  // are requeued.  The effective deadline is EffectiveLeaseDeadlineMs(this,
+  // straggler_cost_factor, predicted max unmerged unit ms) — i.e. at least this
+  // flat value, stretched for leases whose units are legitimately long.  Generous
+  // by default: a false positive only duplicates work, but on a shared CI box a
+  // tight deadline would requeue everything.
   int straggler_deadline_ms = 60000;
+  double straggler_cost_factor = 4.0;
+
   // Launch budget: initial workers + replacements (0 = num_workers + 8).  Exhausting
   // it with units still unfinished fails the dispatch with a diagnostic.
   int max_worker_launches = 0;
@@ -198,14 +313,14 @@ struct DispatchOptions {
 
   // Results already known before any worker launches — e.g. cache hits from a
   // SweepResultCache (sweep_cache.h).  They enter the merge accumulator as
-  // first-class deliveries ahead of the initial wave, and their unit ids are never
-  // assigned to any worker; a fully preseeded plan finalizes without launching one.
+  // first-class deliveries ahead of the first lease, and their unit ids are never
+  // leased to any worker; a fully preseeded plan finalizes without launching one.
   // Ids must belong to the plan, and two preseeds for one id must agree —
   // otherwise the dispatch fails before any work starts.
   std::vector<SweepUnitResult> preseeded_results;
 
   // Observability hooks, all invoked on the dispatcher thread, in event order.
-  // on_assign fires before the assignment is sent; its ids never include a unit that
+  // on_assign fires before each lease is sent; its ids never include a unit that
   // already has a merged result (the no-rerun invariant — also ALERT_CHECKed).
   std::function<void(int worker, int seq, std::span<const int> unit_ids)> on_assign;
   // on_result fires per received result line; newly_recorded=false marks a
@@ -218,12 +333,17 @@ struct DispatchOptions {
 struct DispatchStats {
   int workers_launched = 0;   // successful Launch calls
   int failed_launches = 0;    // Launch calls that returned an error
-  int worker_failures = 0;    // channels that closed before finishing an assignment
-  int stragglers = 0;         // deadline expiries that triggered a re-partition
-  int retry_assignments = 0;  // assignments beyond the initial wave
+  int worker_failures = 0;    // channels that closed before finishing a lease
+  int stragglers = 0;         // deadline expiries that triggered a revoke + requeue
+  int leases_granted = 0;     // lease-grant messages sent
+  int retry_assignments = 0;  // leases containing at least one requeued unit
+  int lease_revocations = 0;  // lease-revoke messages sent (steals + stragglers)
+  int units_stolen = 0;       // unmerged units requeued by steals specifically
   int results_received = 0;   // result lines parsed (duplicates included)
   int duplicate_results = 0;  // redeliveries discarded by first-wins
   int preseeded = 0;          // results accepted from preseeded_results
+  double elapsed_ms = 0.0;    // wall time of the DispatchSweep call
+  double cost_rate_ms = 0.0;  // final cost-model rate (0 if never seeded)
 };
 
 // Captures the warm-start payload for a plan: for every (task, platform, seed) its

@@ -1,6 +1,7 @@
 #include "src/harness/dispatch_protocol.h"
 
 #include <cctype>
+#include <cmath>
 
 #include "src/common/check.h"
 
@@ -11,7 +12,10 @@ using serde::RecordReader;
 using serde::RecordWriter;
 using serde::Status;
 
-constexpr int kProtocolVersion = 1;
+// v2: pull-based leases (lease-request/grant/revoke/done) and per-unit timings on
+// result records.  v1 (push-based `assign` waves) is not spoken anymore — dispatcher
+// and workers ship in one binary, so there is no mixed-version fleet to support.
+constexpr int kProtocolVersion = 2;
 
 Status CheckVersion(RecordReader& reader) {
   int version = 0;
@@ -55,8 +59,8 @@ std::string SanitizeToken(std::string_view text) {
 
 }  // namespace
 
-std::string SerializeAssignHeader(const AssignHeader& header) {
-  return RecordWriter("assign")
+std::string SerializeLeaseGrant(const LeaseGrant& header) {
+  return RecordWriter("lease-grant")
       .Field("v", kProtocolVersion)
       .Field("seq", header.seq)
       .Field("plan", header.plan_fingerprint)
@@ -65,12 +69,12 @@ std::string SerializeAssignHeader(const AssignHeader& header) {
       .line();
 }
 
-serde::Status ParseAssignHeader(std::string_view line, AssignHeader* out) {
-  *out = AssignHeader{};
+serde::Status ParseLeaseGrant(std::string_view line, LeaseGrant* out) {
+  *out = LeaseGrant{};
   RecordReader reader;
   Status s = RecordReader::Parse(line, &reader);
   if (s) {
-    s = reader.ExpectTag("assign");
+    s = reader.ExpectTag("lease-grant");
   }
   if (s) {
     s = CheckVersion(reader);
@@ -88,12 +92,12 @@ serde::Status ParseAssignHeader(std::string_view line, AssignHeader* out) {
     s = reader.Get("snapshots", &out->num_snapshots);
   }
   if (s && (out->seq < 0 || out->num_units <= 0 || out->num_snapshots < 0)) {
-    s = serde::Error("assign header with negative seq/snapshots or no units");
+    s = serde::Error("lease-grant with negative seq/snapshots or no units");
   }
   if (s) {
     s = reader.ExpectAllConsumed();
   }
-  return serde::Wrap("assign", s);
+  return serde::Wrap("lease-grant", s);
 }
 
 std::string SerializeSnapshotKey(const SnapshotKey& key) {
@@ -186,15 +190,15 @@ serde::Status ParseUnitIdLine(std::string_view line, std::vector<int>* out) {
   return serde::Ok();
 }
 
-std::string SerializeAssignEnd(int seq) {
-  return RecordWriter("assign-end").Field("seq", seq).line();
+std::string SerializeLeaseEnd(int seq) {
+  return RecordWriter("lease-end").Field("seq", seq).line();
 }
 
-serde::Status ParseAssignEnd(std::string_view line, int* seq) {
+serde::Status ParseLeaseEnd(std::string_view line, int* seq) {
   RecordReader reader;
   Status s = RecordReader::Parse(line, &reader);
   if (s) {
-    s = reader.ExpectTag("assign-end");
+    s = reader.ExpectTag("lease-end");
   }
   if (s) {
     s = reader.Get("seq", seq);
@@ -202,18 +206,42 @@ serde::Status ParseAssignEnd(std::string_view line, int* seq) {
   if (s) {
     s = reader.ExpectAllConsumed();
   }
-  return serde::Wrap("assign-end", s);
+  return serde::Wrap("lease-end", s);
+}
+
+std::string SerializeLeaseRevoke(int seq) {
+  return RecordWriter("lease-revoke").Field("seq", seq).line();
+}
+
+serde::Status ParseLeaseRevoke(std::string_view line, int* seq) {
+  RecordReader reader;
+  Status s = RecordReader::Parse(line, &reader);
+  if (s) {
+    s = reader.ExpectTag("lease-revoke");
+  }
+  if (s) {
+    s = reader.Get("seq", seq);
+  }
+  if (s) {
+    s = reader.ExpectAllConsumed();
+  }
+  return serde::Wrap("lease-revoke", s);
 }
 
 std::string SerializeWorkerHello() {
   return RecordWriter("worker-hello").Field("v", kProtocolVersion).line();
 }
 
+std::string SerializeLeaseRequest() {
+  return RecordWriter("lease-request").Field("v", kProtocolVersion).line();
+}
+
 std::string SerializeHeartbeat(int seq, int done) {
   return RecordWriter("heartbeat").Field("seq", seq).Field("done", done).line();
 }
 
-std::string SerializeWorkerResult(int seq, const SweepUnitResult& result) {
+std::string SerializeWorkerResult(int seq, const SweepUnitResult& result,
+                                  double unit_ms) {
   RecordWriter w("result");
   w.Field("seq", seq)
       .Field("unit", result.unit_id)
@@ -222,12 +250,18 @@ std::string SerializeWorkerResult(int seq, const SweepUnitResult& result) {
   if (result.usable) {
     w.Field("metric", result.metric);
   }
+  if (!std::isfinite(unit_ms) || unit_ms < 0.0) {
+    unit_ms = 0.0;
+  }
+  w.Field("ms", unit_ms);
   return w.line();
 }
 
-std::string SerializeAssignDone(int seq, int num_units, uint64_t plan_fingerprint) {
-  return RecordWriter("assign-done")
+std::string SerializeLeaseDone(int seq, int done, int num_units,
+                               uint64_t plan_fingerprint) {
+  return RecordWriter("lease-done")
       .Field("seq", seq)
+      .Field("done", done)
       .Field("units", num_units)
       .Field("plan", plan_fingerprint)
       .line();
@@ -250,6 +284,9 @@ serde::Status ParseWorkerMessage(std::string_view line, WorkerMessage* out) {
   const std::string& tag = reader.tag();
   if (tag == "worker-hello") {
     out->kind = WorkerMessage::Kind::kHello;
+    s = CheckVersion(reader);
+  } else if (tag == "lease-request") {
+    out->kind = WorkerMessage::Kind::kLeaseRequest;
     s = CheckVersion(reader);
   } else if (tag == "heartbeat") {
     out->kind = WorkerMessage::Kind::kHeartbeat;
@@ -275,20 +312,32 @@ serde::Status ParseWorkerMessage(std::string_view line, WorkerMessage* out) {
     if (s && out->result.usable) {
       s = reader.Get("metric", &out->result.metric);
     }
+    if (s) {
+      s = reader.Get("ms", &out->unit_ms);
+    }
+    if (s && !(out->unit_ms >= 0.0)) {  // also rejects NaN
+      s = serde::Error("negative unit time");
+    }
     if (s && out->result.unit_id < 0) {
       s = serde::Error("negative unit id");
     }
     if (s && out->result.skipped && out->result.usable) {
       s = serde::Error("result cannot be both skipped and usable");
     }
-  } else if (tag == "assign-done") {
-    out->kind = WorkerMessage::Kind::kAssignDone;
+  } else if (tag == "lease-done") {
+    out->kind = WorkerMessage::Kind::kLeaseDone;
     s = reader.Get("seq", &out->seq);
+    if (s) {
+      s = reader.Get("done", &out->done);
+    }
     if (s) {
       s = reader.Get("units", &out->num_units);
     }
     if (s) {
       s = reader.Get("plan", &out->plan_fingerprint);
+    }
+    if (s && (out->done < 0 || out->done > out->num_units)) {
+      s = serde::Error("lease-done delivered count out of range");
     }
   } else if (tag == "worker-error") {
     out->kind = WorkerMessage::Kind::kError;

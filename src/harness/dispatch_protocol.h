@@ -1,28 +1,45 @@
 // Wire protocol of the remote shard dispatcher (record grammar: src/common/serde.h).
 //
 // The dispatcher and its workers exchange newline-delimited serde records over an
-// arbitrary byte stream (pipes to local subprocesses, ssh to remote ones, in-memory
-// queues in tests).  The conversation, per worker:
+// arbitrary byte stream (pipes to local subprocesses, localhost TCP sockets, ssh to
+// remote ones, in-memory queues in tests).  Protocol v2 is pull-based: a worker asks
+// for work and the dispatcher answers with a *lease* — a small batch of unit ids the
+// worker executes and reports on, sized by the dispatcher's live cost model.  The
+// conversation, per worker:
 //
-//   worker -> dispatcher   worker-hello v=1
-//   dispatcher -> worker   assign v=1 seq=S plan=FP units=N snapshots=M
+//   worker -> dispatcher   worker-hello v=2
+//                          lease-request v=2          (ready for work)
+//   dispatcher -> worker   lease-grant v=2 seq=S plan=FP units=N snapshots=M
 //                          <sweep-spec block, ending with its own `end` line>
 //                          M x ( snapshot-for task=T platform=P seed=E choice=C
 //                                <profile-snapshot block, ending with `end`> )
 //                          ids values=I,I,...        (repeated; N ids total)
-//                          assign-end seq=S
+//                          lease-end seq=S
 //   worker -> dispatcher   heartbeat seq=S done=K    (periodic liveness while
 //                                                     executing; K units finished)
-//                          result seq=S unit=U skipped=B usable=B [metric=X]
-//                          ...                       (streamed as units finish)
-//                          assign-done seq=S units=N plan=FP
-//   dispatcher -> worker   (next assign, for straggler-retry waves)  |  shutdown
+//                          result seq=S unit=U skipped=B usable=B [metric=X] ms=T
+//                          ...                       (streamed as units finish; ms
+//                                                     is the unit's observed wall
+//                                                     time, feeding the cost model)
+//                          lease-done seq=S done=D units=N plan=FP
+//                          lease-request v=2          (and the cycle repeats)
+//   dispatcher -> worker   lease-revoke seq=S        (steal / straggler re-plan: stop
+//                                                     working seq S; the dispatcher
+//                                                     has requeued its remainder)
+//                          ...                       |  shutdown
 //   worker -> dispatcher   worker-error seq=S reason=TOKEN   (fatal; worker exits)
+//
+// Revocation semantics: a worker checks for `lease-revoke` between units; on a match
+// with its current lease it stops starting new units, reports `lease-done` with the
+// delivered count D < N, and requests again.  Results that raced the revocation are
+// fine: the dispatcher's merge is first-wins on identical duplicates, so a revoked
+// unit finishing on both its old and new owner costs duplicate work, never
+// correctness.  A revoke for any other seq is stale and ignored.
 //
 // Design rules: every record is one line, so a killed worker can never corrupt more
 // than its final line (which the dispatcher discards); the spec and the profile
-// snapshots ride inside the assignment, so a worker needs no shared filesystem; the
-// plan fingerprint appears in `assign` and is echoed in `assign-done`, so a worker
+// snapshots ride inside the lease, so a worker needs no shared filesystem; the plan
+// fingerprint appears in `lease-grant` and is echoed in `lease-done`, so a worker
 // that rebuilt a different plan from the same bytes fails loudly instead of returning
 // mis-numbered unit ids.  Parsing is strict serde: unknown tags, duplicate keys, or
 // out-of-range enums are diagnostics, never aborts.
@@ -42,19 +59,19 @@
 
 namespace alert {
 
-// Header of one work assignment (`assign`).  `seq` numbers assignments globally
-// across workers, so late results from a superseded assignment are still
-// attributable.  `num_snapshots` profile snapshots and `num_units` unit ids follow.
-struct AssignHeader {
+// Header of one lease (`lease-grant`).  `seq` numbers leases globally across
+// workers, so late results from a revoked lease are still attributable.
+// `num_snapshots` profile snapshots and `num_units` unit ids follow.
+struct LeaseGrant {
   int seq = 0;
   uint64_t plan_fingerprint = 0;
   int num_units = 0;
   int num_snapshots = 0;
 
-  friend bool operator==(const AssignHeader&, const AssignHeader&) = default;
+  friend bool operator==(const LeaseGrant&, const LeaseGrant&) = default;
 };
 
-// Key line preceding one serialized ProfileSnapshot inside an assignment
+// Key line preceding one serialized ProfileSnapshot inside a lease
 // (`snapshot-for`): which (task, platform, seed, candidate-set choice) the snapshot
 // warm-starts.
 struct SnapshotKey {
@@ -70,25 +87,31 @@ struct SnapshotKey {
 // class hierarchy: the dispatcher switches on `kind` in its event loop.
 struct WorkerMessage {
   enum class Kind : int {
-    kHello = 0,      // worker-hello: worker is up and speaks this protocol version
-    kHeartbeat = 1,  // liveness while executing (done = units finished so far)
-    kResult = 2,     // one finished unit
-    kAssignDone = 3, // assignment complete (echoes unit count + plan fingerprint)
-    kError = 4,      // fatal worker-side error; the worker exits after sending it
+    kHello = 0,         // worker-hello: worker is up and speaks this protocol version
+    kLeaseRequest = 1,  // lease-request: idle and ready for the next lease
+    kHeartbeat = 2,     // liveness while executing (done = units finished so far)
+    kResult = 3,        // one finished unit (unit_ms = observed wall time)
+    kLeaseDone = 4,     // lease closed (done = results delivered, may be < granted
+                        // after a revocation; echoes unit count + plan fingerprint)
+    kError = 5,         // fatal worker-side error; the worker exits after sending it
   };
   Kind kind = Kind::kHello;
-  int seq = 0;                    // all kinds except hello
-  int done = 0;                   // heartbeat
+  int seq = 0;                    // all kinds except hello / lease-request
+  int done = 0;                   // heartbeat, lease-done (results delivered)
   SweepUnitResult result;         // result
-  int num_units = 0;              // assign-done
-  uint64_t plan_fingerprint = 0;  // assign-done
+  double unit_ms = 0.0;           // result: wall time of the unit on the worker.
+                                  // Deliberately NOT part of SweepUnitResult — the
+                                  // merge's first-wins equality must compare payloads
+                                  // only, never timings (which differ per machine).
+  int num_units = 0;              // lease-done (units granted)
+  uint64_t plan_fingerprint = 0;  // lease-done
   std::string reason;             // error (whitespace-free token)
 };
 
 // --- dispatcher -> worker ----------------------------------------------------------
 
-std::string SerializeAssignHeader(const AssignHeader& header);
-serde::Status ParseAssignHeader(std::string_view line, AssignHeader* out);
+std::string SerializeLeaseGrant(const LeaseGrant& header);
+serde::Status ParseLeaseGrant(std::string_view line, LeaseGrant* out);
 
 std::string SerializeSnapshotKey(const SnapshotKey& key);
 serde::Status ParseSnapshotKey(std::string_view line, SnapshotKey* out);
@@ -101,9 +124,14 @@ std::vector<std::string> SerializeUnitIdLines(std::span<const int> ids);
 // caller's concern — the dispatcher never emits them).
 serde::Status ParseUnitIdLine(std::string_view line, std::vector<int>* out);
 
-std::string SerializeAssignEnd(int seq);
-// Matches `assign-end`; fills `*seq`.
-serde::Status ParseAssignEnd(std::string_view line, int* seq);
+std::string SerializeLeaseEnd(int seq);
+// Matches `lease-end`; fills `*seq`.
+serde::Status ParseLeaseEnd(std::string_view line, int* seq);
+
+// Revokes lease `seq`: the worker stops starting its units (see the revocation
+// semantics above).
+std::string SerializeLeaseRevoke(int seq);
+serde::Status ParseLeaseRevoke(std::string_view line, int* seq);
 
 // The shutdown record (no fields).  Workers exit cleanly on receipt (or on EOF).
 inline constexpr std::string_view kShutdownLine = "shutdown";
@@ -111,9 +139,13 @@ inline constexpr std::string_view kShutdownLine = "shutdown";
 // --- worker -> dispatcher ----------------------------------------------------------
 
 std::string SerializeWorkerHello();
+std::string SerializeLeaseRequest();
 std::string SerializeHeartbeat(int seq, int done);
-std::string SerializeWorkerResult(int seq, const SweepUnitResult& result);
-std::string SerializeAssignDone(int seq, int num_units, uint64_t plan_fingerprint);
+// `unit_ms` must be finite and non-negative (clamped to 0 otherwise).
+std::string SerializeWorkerResult(int seq, const SweepUnitResult& result,
+                                  double unit_ms);
+std::string SerializeLeaseDone(int seq, int done, int num_units,
+                               uint64_t plan_fingerprint);
 // `reason` is sanitized (whitespace -> '_') to satisfy the record grammar.
 std::string SerializeWorkerError(int seq, std::string_view reason);
 

@@ -111,52 +111,77 @@ serde::Status ValidateSweepSpec(const SweepSpec& spec) {
   return serde::Ok();
 }
 
-SweepPlan BuildSweepPlan(const SweepSpec& spec) {
+SweepUnitStream::SweepUnitStream(const SweepSpec& spec) : spec_(spec) {
   const serde::Status valid = ValidateSweepSpec(spec);
   if (!valid) {
-    std::fprintf(stderr, "BuildSweepPlan: %s\n", valid.message.c_str());
+    std::fprintf(stderr, "SweepUnitStream: %s\n", valid.message.c_str());
     ALERT_CHECK(valid.ok);
   }
+  std::sort(spec_.grid_indices.begin(), spec_.grid_indices.end());
+  spec_.grid_indices.erase(
+      std::unique(spec_.grid_indices.begin(), spec_.grid_indices.end()),
+      spec_.grid_indices.end());
 
-  SweepPlan plan;
-  plan.spec = spec;
-  std::sort(plan.spec.grid_indices.begin(), plan.spec.grid_indices.end());
-  plan.spec.grid_indices.erase(
-      std::unique(plan.spec.grid_indices.begin(), plan.spec.grid_indices.end()),
-      plan.spec.grid_indices.end());
-
-  if (plan.spec.grid_indices.empty()) {
+  if (spec_.grid_indices.empty()) {
     // Every cell's grid has the same shape (6 x 6); validated above.
     const size_t grid_size = BuildConstraintGrid(spec.cells[0].mode, spec.cells[0].task,
                                                  spec.cells[0].platform)
                                  .size();
-    plan.grid_indices.resize(grid_size);
-    std::iota(plan.grid_indices.begin(), plan.grid_indices.end(), 0);
+    grid_indices_.resize(grid_size);
+    std::iota(grid_indices_.begin(), grid_indices_.end(), 0);
   } else {
-    plan.grid_indices = plan.spec.grid_indices;
+    grid_indices_ = spec_.grid_indices;
   }
 
-  for (const SweepCellSpec& cell : plan.spec.cells) {
-    for (const uint64_t seed : plan.spec.seeds) {
-      for (const int grid_index : plan.grid_indices) {
-        SweepUnit unit;
-        unit.cell = cell;
-        unit.seed = seed;
-        unit.grid_index = grid_index;
-        unit.num_inputs = plan.spec.num_inputs;
+  units_per_setting_ = 1 + static_cast<int>(spec_.schemes.size());
+  num_units_ = static_cast<int>(spec_.cells.size()) *
+               static_cast<int>(spec_.seeds.size()) *
+               static_cast<int>(grid_indices_.size()) * units_per_setting_;
+}
 
-        unit.kind = SweepUnitKind::kStaticOracle;
-        unit.id = static_cast<int>(plan.units.size());
-        plan.units.push_back(unit);
+SweepUnit SweepUnitStream::UnitAt(int id) const {
+  ALERT_CHECK(id >= 0 && id < num_units_);
+  // Decompose the plan id along the enumeration nesting: cells (outermost) x seeds x
+  // grid settings x (static oracle first, then schemes in spec order).
+  const int within_setting = id % units_per_setting_;
+  int setting = id / units_per_setting_;
+  const int grid_pos = setting % static_cast<int>(grid_indices_.size());
+  setting /= static_cast<int>(grid_indices_.size());
+  const int seed_pos = setting % static_cast<int>(spec_.seeds.size());
+  const int cell_pos = setting / static_cast<int>(spec_.seeds.size());
 
-        unit.kind = SweepUnitKind::kScheme;
-        for (const SchemeId scheme : plan.spec.schemes) {
-          unit.scheme = scheme;
-          unit.id = static_cast<int>(plan.units.size());
-          plan.units.push_back(unit);
-        }
-      }
-    }
+  SweepUnit unit;
+  unit.id = id;
+  unit.cell = spec_.cells[static_cast<size_t>(cell_pos)];
+  unit.seed = spec_.seeds[static_cast<size_t>(seed_pos)];
+  unit.grid_index = grid_indices_[static_cast<size_t>(grid_pos)];
+  unit.num_inputs = spec_.num_inputs;
+  if (within_setting == 0) {
+    unit.kind = SweepUnitKind::kStaticOracle;
+  } else {
+    unit.kind = SweepUnitKind::kScheme;
+    unit.scheme = spec_.schemes[static_cast<size_t>(within_setting - 1)];
+  }
+  return unit;
+}
+
+bool SweepUnitStream::Next(SweepUnit* out) {
+  if (cursor_ >= num_units_) {
+    return false;
+  }
+  *out = UnitAt(cursor_++);
+  return true;
+}
+
+SweepPlan BuildSweepPlan(const SweepSpec& spec) {
+  SweepUnitStream stream(spec);
+  SweepPlan plan;
+  plan.spec = stream.spec();
+  plan.grid_indices = stream.grid_indices();
+  plan.units.reserve(static_cast<size_t>(stream.size()));
+  SweepUnit unit;
+  while (stream.Next(&unit)) {
+    plan.units.push_back(unit);
   }
   return plan;
 }

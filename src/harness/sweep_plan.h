@@ -115,11 +115,49 @@ struct SweepPlan {
 // an error message, not a crash.
 serde::Status ValidateSweepSpec(const SweepSpec& spec);
 
+// Streaming view of a spec's unit enumeration: the same cells x seeds x grid x
+// (static oracle + schemes) cross-product BuildSweepPlan materializes, but computed
+// unit-by-unit so a dispatcher scheduling a million-unit plan never holds the unit
+// list in memory.  `UnitAt(id)` is O(1) random access by plan id (pure index
+// arithmetic over the cross-product); `Next` is the sequential cursor form.
+// BuildSweepPlan is implemented on top of this class, so the two can never drift:
+// stream position i IS plan.units[i], field for field.
+//
+// The spec must validate (ALERT_CHECKed, like BuildSweepPlan; callers with
+// untrusted input run ValidateSweepSpec first).  The spec is copied and
+// canonicalized (grid subset sorted + deduped); the stream borrows nothing.
+class SweepUnitStream {
+ public:
+  explicit SweepUnitStream(const SweepSpec& spec);
+
+  // The canonicalized spec and the resolved grid subset (0..N-1 when the spec's
+  // subset was empty) — identical to the SweepPlan fields of the same names.
+  const SweepSpec& spec() const { return spec_; }
+  const std::vector<int>& grid_indices() const { return grid_indices_; }
+
+  int size() const { return num_units_; }
+
+  // The unit at plan id `id` (0 <= id < size(); ALERT_CHECKed).
+  SweepUnit UnitAt(int id) const;
+
+  // Sequential enumeration in plan order; false once exhausted.
+  bool Next(SweepUnit* out);
+  void Reset() { cursor_ = 0; }
+
+ private:
+  SweepSpec spec_;
+  std::vector<int> grid_indices_;
+  int units_per_setting_ = 0;  // 1 static oracle + schemes
+  int num_units_ = 0;
+  int cursor_ = 0;
+};
+
 // The single enumeration point.  Deterministic: equal specs produce equal plans
 // (same unit order, ids = positions) in every process, on every platform — the
 // foundation of the shard/merge and dispatch byte-identity guarantees.  The spec
 // must validate (ALERT_CHECKed; callers with untrusted input run ValidateSweepSpec
-// first).  Returns an owned value; the plan borrows nothing.
+// first).  Returns an owned value; the plan borrows nothing.  Materializes a
+// SweepUnitStream — use the stream directly when the unit list itself is not needed.
 SweepPlan BuildSweepPlan(const SweepSpec& spec);
 
 // Deterministic relative cost of a unit, used by cost-weighted partitioning: inputs

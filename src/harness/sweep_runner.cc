@@ -1,5 +1,6 @@
 #include "src/harness/sweep_runner.h"
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -96,11 +97,26 @@ std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
   }
 
   std::vector<SweepUnitResult> results(units.size());
+  std::vector<double> unit_ms(units.size(), 0.0);
   std::mutex stream_mutex;
   ParallelFor(
       static_cast<int>(group_list.size()),
       [&](int g) {
         const SettingGroup& group = *group_list[static_cast<size_t>(g)];
+        if (options.should_cancel) {
+          // Checked under the stream mutex: the cancel source (the dispatch
+          // worker's revoke drain) is shared with on_result and is not
+          // thread-safe on its own.
+          const std::lock_guard<std::mutex> lock(stream_mutex);
+          if (options.should_cancel()) {
+            return;  // leave the group's result slots default-initialized
+          }
+        }
+        const auto group_clock = [] { return std::chrono::steady_clock::now(); };
+        const auto ms_between = [](std::chrono::steady_clock::time_point a,
+                                   std::chrono::steady_clock::time_point b) {
+          return std::chrono::duration<double, std::milli>(b - a).count();
+        };
         const int any_pos =
             group.static_pos >= 0 ? group.static_pos : group.scheme_pos.front();
         const SweepUnit& any_unit = units[static_cast<size_t>(any_pos)];
@@ -113,8 +129,10 @@ std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
         bool static_infeasible = false;
         if (group.static_pos >= 0) {
           const SweepUnit& unit = units[static_cast<size_t>(group.static_pos)];
+          const auto t0 = group_clock();
           const StaticOracleResult static_best = FindStaticOracle(
               experiment, experiment.stack(DnnSetChoice::kBoth), goals);
+          unit_ms[static_cast<size_t>(group.static_pos)] = ms_between(t0, group_clock());
           SweepUnitResult& out = results[static_cast<size_t>(group.static_pos)];
           out.unit_id = unit.id;
           out.usable = static_best.feasible;
@@ -133,9 +151,11 @@ std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
             out.skipped = true;
             continue;
           }
+          const auto t0 = group_clock();
           auto scheduler = MakeScheduler(unit.scheme, experiment, goals);
           const RunResult run = experiment.Run(
               experiment.stack(SchemeDnnSet(unit.scheme)), *scheduler, goals);
+          unit_ms[static_cast<size_t>(pos)] = ms_between(t0, group_clock());
           if (!SettingViolated(goals, run)) {
             out.usable = true;
             out.metric = MetricValue(mode, task, run);
@@ -147,10 +167,12 @@ std::vector<SweepUnitResult> RunSweepUnits(const SweepPlan& plan,
           // coherent at group granularity.
           const std::lock_guard<std::mutex> lock(stream_mutex);
           if (group.static_pos >= 0) {
-            options.on_result(results[static_cast<size_t>(group.static_pos)]);
+            options.on_result(results[static_cast<size_t>(group.static_pos)],
+                              unit_ms[static_cast<size_t>(group.static_pos)]);
           }
           for (const int pos : group.scheme_pos) {
-            options.on_result(results[static_cast<size_t>(pos)]);
+            options.on_result(results[static_cast<size_t>(pos)],
+                              unit_ms[static_cast<size_t>(pos)]);
           }
         }
       },

@@ -41,18 +41,29 @@ struct SweepRunOptions {
   const ProfileSnapshotStore* warm_start = nullptr;
 
   // Streaming hook: invoked once per finished unit, as soon as its setting group
-  // completes.  Calls are serialized under an internal mutex but their order across
-  // setting groups is nondeterministic (it follows ParallelFor completion order);
-  // consumers that need determinism must key on result.unit_id, as the merge plane
-  // does.  The returned result vector is unaffected.  The callback must not re-enter
-  // the sweep runner.
-  std::function<void(const SweepUnitResult&)> on_result;
+  // completes.  `unit_ms` is the unit's observed wall time on this machine (the
+  // dispatch worker streams it back as cost-model feedback; 0.0 for skipped units).
+  // Calls are serialized under an internal mutex but their order across setting
+  // groups is nondeterministic (it follows ParallelFor completion order); consumers
+  // that need determinism must key on result.unit_id, as the merge plane does.  The
+  // returned result vector is unaffected.  The callback must not re-enter the sweep
+  // runner.
+  std::function<void(const SweepUnitResult& result, double unit_ms)> on_result;
+
+  // Cooperative cancellation: polled (serialized under the same internal mutex as
+  // on_result) before each setting group starts.  Once it returns true, groups that
+  // have not started are neither executed nor streamed — their slots in the returned
+  // vector stay default-initialized (unit_id == -1).  Groups already running finish
+  // and stream normally.  The dispatch worker wires this to lease revocation.
+  std::function<bool()> should_cancel;
 };
 
 // Executes `units` (any subset of plan.units; each must match the plan's unit of the
 // same id — ALERT_CHECKed, a violated precondition is a caller bug) and returns one
 // result per unit, in the same order.  Deterministic for a given (plan, units):
-// thread count, shard shape, and warm-start never change a result.  When a setting's
+// thread count, shard shape, and warm-start never change a result — except under
+// should_cancel, which leaves unstarted groups' slots default-initialized (callers
+// stream executed results instead of consuming the vector).  When a setting's
 // static-oracle unit is part of `units` and turns out infeasible, that setting's
 // scheme units in `units` are marked skipped instead of run — the merge plane
 // excludes such settings wholesale, so skipping never changes the aggregate (only

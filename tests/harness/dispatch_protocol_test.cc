@@ -13,29 +13,35 @@
 namespace alert {
 namespace {
 
-TEST(DispatchProtocolTest, AssignHeaderRoundTrips) {
-  AssignHeader header;
-  header.seq = 7;
-  header.plan_fingerprint = 0xdeadbeefcafef00dULL;
-  header.num_units = 123;
-  header.num_snapshots = 6;
-  AssignHeader parsed;
-  const serde::Status s = ParseAssignHeader(SerializeAssignHeader(header), &parsed);
+TEST(DispatchProtocolTest, LeaseGrantRoundTrips) {
+  LeaseGrant grant;
+  grant.seq = 7;
+  grant.plan_fingerprint = 0xdeadbeefcafef00dULL;
+  grant.num_units = 123;
+  grant.num_snapshots = 6;
+  LeaseGrant parsed;
+  const serde::Status s = ParseLeaseGrant(SerializeLeaseGrant(grant), &parsed);
   ASSERT_TRUE(s.ok) << s.message;
-  EXPECT_EQ(parsed, header);
+  EXPECT_EQ(parsed, grant);
 }
 
-TEST(DispatchProtocolTest, AssignHeaderRejectsCorruption) {
-  AssignHeader header;
-  header.num_units = 4;
-  const std::string good = SerializeAssignHeader(header);
-  AssignHeader out;
-  ASSERT_TRUE(ParseAssignHeader(good, &out).ok);
+TEST(DispatchProtocolTest, LeaseGrantRejectsCorruption) {
+  LeaseGrant grant;
+  grant.num_units = 4;
+  const std::string good = SerializeLeaseGrant(grant);
+  LeaseGrant out;
+  ASSERT_TRUE(ParseLeaseGrant(good, &out).ok);
 
-  EXPECT_FALSE(ParseAssignHeader("result seq=0 unit=1 skipped=0 usable=0", &out).ok);
-  EXPECT_FALSE(ParseAssignHeader(good + " extra=1", &out).ok);
-  EXPECT_FALSE(ParseAssignHeader("assign v=2 seq=0 plan=1 units=4 snapshots=0", &out).ok);
-  EXPECT_FALSE(ParseAssignHeader("assign v=1 seq=0 plan=1 units=0 snapshots=0", &out).ok);
+  // Wrong record, trailing junk, an empty lease, and both version skews.
+  EXPECT_FALSE(
+      ParseLeaseGrant("result seq=0 unit=1 skipped=0 usable=0 ms=1", &out).ok);
+  EXPECT_FALSE(ParseLeaseGrant(good + " extra=1", &out).ok);
+  EXPECT_FALSE(
+      ParseLeaseGrant("lease-grant v=2 seq=0 plan=1 units=0 snapshots=0", &out).ok);
+  EXPECT_FALSE(
+      ParseLeaseGrant("lease-grant v=1 seq=0 plan=1 units=4 snapshots=0", &out).ok);
+  EXPECT_FALSE(
+      ParseLeaseGrant("lease-grant v=3 seq=0 plan=1 units=4 snapshots=0", &out).ok);
 }
 
 TEST(DispatchProtocolTest, SnapshotKeyRoundTripsAndRangeChecks) {
@@ -80,18 +86,26 @@ TEST(DispatchProtocolTest, UnitIdLineRejectsJunk) {
   EXPECT_FALSE(ParseUnitIdLine("ids count=3", &ids).ok);
 }
 
-TEST(DispatchProtocolTest, AssignEndRoundTrips) {
+TEST(DispatchProtocolTest, LeaseEndAndRevokeRoundTrip) {
   int seq = -1;
-  const serde::Status s = ParseAssignEnd(SerializeAssignEnd(9), &seq);
-  ASSERT_TRUE(s.ok) << s.message;
+  ASSERT_TRUE(ParseLeaseEnd(SerializeLeaseEnd(9), &seq).ok);
   EXPECT_EQ(seq, 9);
-  EXPECT_FALSE(ParseAssignEnd("assign v=1 seq=0 plan=1 units=1 snapshots=0", &seq).ok);
+  EXPECT_FALSE(ParseLeaseEnd(SerializeLeaseRevoke(9), &seq).ok);
+
+  seq = -1;
+  ASSERT_TRUE(ParseLeaseRevoke(SerializeLeaseRevoke(3), &seq).ok);
+  EXPECT_EQ(seq, 3);
+  EXPECT_FALSE(ParseLeaseRevoke(SerializeLeaseEnd(3), &seq).ok);
+  EXPECT_FALSE(ParseLeaseRevoke("lease-revoke seq=3 extra=1", &seq).ok);
 }
 
 TEST(DispatchProtocolTest, WorkerMessagesRoundTrip) {
   WorkerMessage m;
   ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerHello(), &m).ok);
   EXPECT_EQ(m.kind, WorkerMessage::Kind::kHello);
+
+  ASSERT_TRUE(ParseWorkerMessage(SerializeLeaseRequest(), &m).ok);
+  EXPECT_EQ(m.kind, WorkerMessage::Kind::kLeaseRequest);
 
   ASSERT_TRUE(ParseWorkerMessage(SerializeHeartbeat(3, 17), &m).ok);
   EXPECT_EQ(m.kind, WorkerMessage::Kind::kHeartbeat);
@@ -102,19 +116,27 @@ TEST(DispatchProtocolTest, WorkerMessagesRoundTrip) {
   result.unit_id = 12;
   result.usable = true;
   result.metric = 0.12345678901234567;
-  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerResult(5, result), &m).ok);
+  ASSERT_TRUE(
+      ParseWorkerMessage(SerializeWorkerResult(5, result, 250.25), &m).ok);
   EXPECT_EQ(m.kind, WorkerMessage::Kind::kResult);
   EXPECT_EQ(m.seq, 5);
   EXPECT_EQ(m.result, result);  // exact double round-trip (%.17g)
+  EXPECT_DOUBLE_EQ(m.unit_ms, 250.25);
 
   SweepUnitResult skipped;
   skipped.unit_id = 4;
   skipped.skipped = true;
-  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerResult(5, skipped), &m).ok);
+  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerResult(5, skipped, 0.0), &m).ok);
   EXPECT_EQ(m.result, skipped);
 
-  ASSERT_TRUE(ParseWorkerMessage(SerializeAssignDone(8, 44, 0x1234ULL), &m).ok);
-  EXPECT_EQ(m.kind, WorkerMessage::Kind::kAssignDone);
+  // Garbage timings are clamped on the wire, never round-tripped.
+  ASSERT_TRUE(ParseWorkerMessage(SerializeWorkerResult(5, skipped, -7.0), &m).ok);
+  EXPECT_EQ(m.unit_ms, 0.0);
+
+  ASSERT_TRUE(ParseWorkerMessage(SerializeLeaseDone(8, 40, 44, 0x1234ULL), &m).ok);
+  EXPECT_EQ(m.kind, WorkerMessage::Kind::kLeaseDone);
+  EXPECT_EQ(m.seq, 8);
+  EXPECT_EQ(m.done, 40);  // a revoked lease legitimately delivers fewer than granted
   EXPECT_EQ(m.num_units, 44);
   EXPECT_EQ(m.plan_fingerprint, 0x1234ULL);
 
@@ -128,10 +150,23 @@ TEST(DispatchProtocolTest, WorkerMessageRejectsMalformedLines) {
   EXPECT_FALSE(ParseWorkerMessage("", &m).ok);
   EXPECT_FALSE(ParseWorkerMessage("unknown-tag a=1", &m).ok);
   EXPECT_FALSE(ParseWorkerMessage("worker-hello v=9", &m).ok);
-  // usable result without its metric, and a both-skipped-and-usable contradiction.
-  EXPECT_FALSE(ParseWorkerMessage("result seq=0 unit=1 skipped=0 usable=1", &m).ok);
+  EXPECT_FALSE(ParseWorkerMessage("lease-request v=1", &m).ok);
+  // A result without its timing: v1 leftovers must not parse as v2.
+  EXPECT_FALSE(ParseWorkerMessage("result seq=0 unit=1 skipped=1 usable=0", &m).ok);
+  // Negative and NaN timings.
   EXPECT_FALSE(
-      ParseWorkerMessage("result seq=0 unit=1 skipped=1 usable=1 metric=1", &m).ok);
+      ParseWorkerMessage("result seq=0 unit=1 skipped=1 usable=0 ms=-1", &m).ok);
+  EXPECT_FALSE(
+      ParseWorkerMessage("result seq=0 unit=1 skipped=1 usable=0 ms=nan", &m).ok);
+  // usable result without its metric, and a both-skipped-and-usable contradiction.
+  EXPECT_FALSE(
+      ParseWorkerMessage("result seq=0 unit=1 skipped=0 usable=1 ms=1", &m).ok);
+  EXPECT_FALSE(ParseWorkerMessage(
+                   "result seq=0 unit=1 skipped=1 usable=1 metric=1 ms=1", &m)
+                   .ok);
+  // A lease-done claiming more deliveries than its lease held.
+  EXPECT_FALSE(
+      ParseWorkerMessage("lease-done seq=0 done=5 units=4 plan=1", &m).ok);
   // A line truncated mid-key (a killed worker's torn last line).
   EXPECT_FALSE(ParseWorkerMessage("result seq=0 uni", &m).ok);
 }

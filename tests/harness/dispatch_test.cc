@@ -1,13 +1,18 @@
 // Dispatcher correctness under failure: the merged aggregate must be byte-identical
-// to the monolithic sweep for any worker count, kill schedule, silent straggler, or
-// duplicate delivery — and a completed unit id must never be re-assigned.  Also
-// covers the incremental merge accumulator and the warm-start (never re-profile)
+// to the monolithic sweep for any worker count, lease mode, kill schedule, silent
+// straggler, lease revocation, steal order, or duplicate delivery — and a completed
+// unit id must never be re-leased.  Also covers the cost model and cost-scaled
+// straggler deadline, the pull pool's makespan win over static shards on a skewed
+// fleet, the incremental merge accumulator, and the warm-start (never re-profile)
 // snapshot path the dispatcher ships to workers.
 #include "src/harness/dispatch.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <climits>
+#include <cmath>
+#include <limits>
 #include <random>
 #include <set>
 #include <string>
@@ -185,28 +190,34 @@ TEST_F(DispatchTest, WarmStartedExperimentReproducesTheSnapshotExactly) {
 
 TEST_F(DispatchTest, InProcessDispatchMatchesMonolithicForAnyWorkerCount) {
   for (const int workers : {1, 2, 5}) {
-    for (const ShardStrategy strategy :
-         {ShardStrategy::kRoundRobin, ShardStrategy::kCostWeighted}) {
-      InProcessTransport transport;
-      DispatchOptions options;
-      options.num_workers = workers;
-      options.strategy = strategy;
-      std::string csv;
-      DispatchStats stats;
-      const serde::Status s = Dispatch(transport, options, &csv, &stats);
-      ASSERT_TRUE(s.ok) << s.message;
-      EXPECT_EQ(csv, *monolithic_csv_)
-          << "workers=" << workers
-          << " strategy=" << ShardStrategyName(strategy);
-      EXPECT_EQ(stats.workers_launched, workers);
-      EXPECT_EQ(stats.worker_failures, 0);
+    for (const LeaseMode mode : {LeaseMode::kPull, LeaseMode::kStatic}) {
+      for (const ShardStrategy strategy :
+           {ShardStrategy::kRoundRobin, ShardStrategy::kCostWeighted}) {
+        InProcessTransport transport;
+        DispatchOptions options;
+        options.num_workers = workers;
+        options.lease_mode = mode;
+        options.strategy = strategy;
+        std::string csv;
+        DispatchStats stats;
+        const serde::Status s = Dispatch(transport, options, &csv, &stats);
+        ASSERT_TRUE(s.ok) << s.message;
+        EXPECT_EQ(csv, *monolithic_csv_)
+            << "workers=" << workers << " mode=" << static_cast<int>(mode)
+            << " strategy=" << ShardStrategyName(strategy);
+        EXPECT_EQ(stats.workers_launched, workers);
+        EXPECT_EQ(stats.worker_failures, 0);
+        EXPECT_GE(stats.leases_granted, mode == LeaseMode::kPull ? workers : 1);
+      }
     }
   }
 }
 
 TEST_F(DispatchTest, WorkerDyingMidShardIsRetriedWithoutRerunningCompletedUnits) {
   InProcessTransport::Options in_options;
-  in_options.fail_after = {{0, 2}};  // worker 0 dies after reporting two units
+  // Worker 0 dies after its first result — mid-lease (cold leases hold two units),
+  // so the dispatcher must requeue the undelivered remainder.
+  in_options.fail_after = {{0, 1}};
   InProcessTransport transport(in_options);
   DispatchOptions options;
   options.num_workers = 2;
@@ -284,6 +295,197 @@ TEST_F(DispatchTest, RandomizedKillSchedulesAlwaysMergeByteIdentically) {
   }
 }
 
+// --- lease economics: cost model, sizing, stealing, deadlines ----------------------
+
+TEST(LeaseCostModelTest, LearnsAnEwmaRateAndIgnoresGarbageObservations) {
+  LeaseCostModel model;
+  EXPECT_FALSE(model.seeded());
+  EXPECT_EQ(model.PredictMs(10.0), 0.0);
+
+  model.Observe(2.0, 10.0);  // 5 ms per cost point; first sample adopted whole
+  EXPECT_TRUE(model.seeded());
+  EXPECT_DOUBLE_EQ(model.rate_ms(), 5.0);
+  EXPECT_DOUBLE_EQ(model.PredictMs(4.0), 20.0);
+
+  model.Observe(1.0, 10.0);  // a 10 ms/point sample, blended at alpha 0.3
+  EXPECT_NEAR(model.rate_ms(), 0.7 * 5.0 + 0.3 * 10.0, 1e-12);
+
+  const double before = model.rate_ms();
+  model.Observe(0.0, 10.0);                                      // zero cost
+  model.Observe(-1.0, 10.0);                                     // negative cost
+  model.Observe(2.0, 0.0);                                       // zero ms
+  model.Observe(2.0, std::numeric_limits<double>::quiet_NaN());  // NaN ms
+  model.Observe(std::numeric_limits<double>::infinity(), 5.0);   // infinite cost
+  EXPECT_DOUBLE_EQ(model.rate_ms(), before);
+  EXPECT_EQ(model.PredictMs(-3.0), 0.0);  // nonsense cost predicts nothing
+}
+
+TEST(LeaseCostModelTest, SeededModelPredictsBeforeAnyObservation) {
+  const LeaseCostModel model(3.0);
+  EXPECT_TRUE(model.seeded());
+  EXPECT_DOUBLE_EQ(model.PredictMs(2.0), 6.0);
+  const LeaseCostModel unseedable(-1.0);  // garbage seed = start unknown
+  EXPECT_FALSE(unseedable.seeded());
+}
+
+TEST(EffectiveLeaseDeadlineTest, StretchesForLongUnitsAndFallsBackToFlat) {
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, 4.0, 0.0), 100);     // model unknown
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, 0.0, 500.0), 100);   // scaling disabled
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, -2.0, 500.0), 100);  // scaling disabled
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, 4.0, 10.0), 100);    // flat dominates
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, 4.0, 500.0), 2000);  // stretched
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, 4.0, 25.1), 101);    // ceil, not trunc
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, 1e12, 1e12), INT_MAX);  // clamped
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, 4.0, nan), 100);
+  EXPECT_EQ(EffectiveLeaseDeadlineMs(100, nan, 500.0), 100);
+}
+
+TEST_F(DispatchTest, PullLeasesBeatStaticShardsOnASkewedFleet) {
+  // Worker 0 simulates a machine ~an order of magnitude slower than worker 1.
+  // Static LPT cannot know that — it splits cost evenly and the slow worker grinds
+  // through half the plan.  The pull pool only ever exposes the slow worker to
+  // small leases, and the fast worker drains the rest.  This is the tentpole's
+  // makespan claim, asserted with a wide margin so CI noise cannot flake it.
+  constexpr int kDelayMs = 80;
+  const auto run = [&](LeaseMode mode, DispatchStats* stats) {
+    InProcessTransport::Options in_options;
+    in_options.delay_per_result = {{0, kDelayMs}};
+    InProcessTransport transport(in_options);
+    DispatchOptions options;
+    options.num_workers = 2;
+    options.lease_mode = mode;
+    options.strategy = ShardStrategy::kCostWeighted;  // static = the LPT baseline
+    std::string csv;
+    const serde::Status s = Dispatch(transport, options, &csv, stats);
+    ASSERT_TRUE(s.ok) << s.message;
+    EXPECT_EQ(csv, *monolithic_csv_);
+  };
+  DispatchStats pull;
+  DispatchStats lpt;
+  run(LeaseMode::kPull, &pull);
+  run(LeaseMode::kStatic, &lpt);
+  // Static: the slow worker sleeps through ~half the plan's cost (>= 8 units x
+  // 80 ms).  Pull: it only ever holds its small warm-up lease(s).
+  EXPECT_LT(pull.elapsed_ms, 0.75 * lpt.elapsed_ms)
+      << "pull pool did not beat static LPT on a skewed fleet";
+  EXPECT_GT(pull.leases_granted, lpt.leases_granted);
+  EXPECT_EQ(pull.worker_failures, 0);
+  EXPECT_EQ(lpt.worker_failures, 0);
+}
+
+TEST_F(DispatchTest, IdleWorkerStealsFromAnOverloadedPeer) {
+  // Worker 0 takes 300 ms per unit; worker 1 drains the rest of the plan and goes
+  // idle long before worker 0 finishes even one unit of its two-unit warm-up lease.
+  // With nothing pending, the only way worker 1 gets work — and the dispatch gets
+  // its makespan back — is revoking the overloaded lease and re-granting its
+  // unfinished remainder.  The straggler deadline is set high so it cannot be the
+  // mechanism; any re-plan here is a steal.
+  InProcessTransport::Options in_options;
+  in_options.delay_per_result = {{0, 300}};
+  InProcessTransport transport(in_options);
+  DispatchOptions options;
+  options.num_workers = 2;
+  options.target_lease_ms = 100;  // age/overload guards trip at a few hundred ms
+  options.straggler_deadline_ms = 60000;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_GE(stats.units_stolen, 1);
+  EXPECT_GE(stats.lease_revocations, 1);
+  EXPECT_EQ(stats.stragglers, 0) << "re-plan must come from stealing, not deadline";
+  EXPECT_EQ(stats.worker_failures, 0);
+}
+
+TEST_F(DispatchTest, CostScaledDeadlineToleratesSlowUnitsWithHeartbeatsOff) {
+  // The satellite-2 regression: heartbeats off, every unit slower than the flat
+  // straggler deadline.  A flat deadline declares healthy workers stragglers over
+  // and over (the control run below proves the setup would trip it); the
+  // cost-scaled deadline sees the seeded model predict long units and stretches,
+  // so nobody is declared a straggler.  Both schedules must still merge
+  // byte-identically — false straggling costs duplicate work, never correctness.
+  double min_cost = std::numeric_limits<double>::infinity();
+  for (const SweepUnit& unit : plan_->units) {
+    min_cost = std::min(min_cost, SweepUnitCost(unit));
+  }
+  ASSERT_GT(min_cost, 0.0);
+  constexpr int kDelayMs = 120;
+  const auto run = [&](double cost_factor, DispatchStats* stats) {
+    InProcessTransport::Options in_options;
+    in_options.heartbeat_interval_ms = 0;  // silence between results is real
+    in_options.delay_per_result = {{0, kDelayMs}, {1, kDelayMs}};
+    InProcessTransport transport(in_options);
+    DispatchOptions options;
+    options.num_workers = 2;
+    options.straggler_deadline_ms = 50;  // flat deadline < one unit's wall time
+    options.straggler_cost_factor = cost_factor;
+    // Seed the model so every unit is predicted to take >= 2 x kDelayMs: deadline
+    // behavior is then deterministic from the first lease.
+    options.initial_cost_rate_ms = 2.0 * kDelayMs / min_cost;
+    std::string csv;
+    const serde::Status s = Dispatch(transport, options, &csv, stats);
+    ASSERT_TRUE(s.ok) << s.message;
+    EXPECT_EQ(csv, *monolithic_csv_);
+  };
+  DispatchStats scaled;
+  run(/*cost_factor=*/4.0, &scaled);
+  EXPECT_EQ(scaled.stragglers, 0)
+      << "cost-scaled deadline still misfires on long units";
+  DispatchStats flat;
+  run(/*cost_factor=*/0.0, &flat);
+  EXPECT_GE(flat.stragglers, 1)
+      << "control: the flat deadline was never in danger, so the scaled run "
+         "proves nothing";
+}
+
+TEST_F(DispatchTest, RandomizedScheduleMatrixMergesByteIdenticallyForAllK) {
+  // The satellite-4 equivalence suite: kills x silences x duplicates x skewed
+  // speeds (which drive revocations and steals via the small lease target), over
+  // K in {2, 4, 8}.  Whatever the schedule, the merged aggregate must be the
+  // monolithic bytes.
+  for (const int workers : {2, 4, 8}) {
+    for (const uint32_t seed : {7u, 11u}) {
+      std::mt19937 rng(1000u * static_cast<uint32_t>(workers) + seed);
+      InProcessTransport::Options in_options;
+      in_options.heartbeat_interval_ms = 50;
+      for (int w = 0; w < workers; ++w) {
+        switch (rng() % 4) {
+          case 0:
+            in_options.fail_after[w] = 1 + static_cast<int>(rng() % 4);
+            break;
+          case 1:
+            in_options.hang_after[w] = static_cast<int>(rng() % 3);
+            break;
+          case 2:
+            in_options.delay_per_result[w] = 30 + static_cast<int>(rng() % 3) * 30;
+            break;
+          default:
+            break;  // a well-behaved worker
+        }
+        if (rng() % 2 == 0) {
+          in_options.duplicate_results.insert(w);
+        }
+      }
+      InProcessTransport transport(in_options);
+      DispatchOptions options;
+      options.num_workers = workers;
+      options.lease_mode = LeaseMode::kPull;
+      options.enable_steal = true;
+      options.target_lease_ms = 25;  // small leases: lots of grants and steals
+      options.straggler_deadline_ms = 250;
+      options.max_worker_launches = 64;
+      std::string csv;
+      DispatchStats stats;
+      const serde::Status s = Dispatch(transport, options, &csv, &stats);
+      ASSERT_TRUE(s.ok) << "workers=" << workers << " seed=" << seed << ": "
+                        << s.message;
+      EXPECT_EQ(csv, *monolithic_csv_) << "workers=" << workers << " seed=" << seed;
+    }
+  }
+}
+
 // --- transport failure handling ----------------------------------------------------
 
 // Fails the first N launches, then delegates to a real in-process transport.
@@ -358,6 +560,7 @@ class ScriptedLink : public WorkerLink {
     *line = lines_[next_++];
     return true;
   }
+  bool TryReadLine(std::string*) override { return false; }  // nothing mid-lease
   serde::Status WriteLine(std::string_view line) override {
     sent.emplace_back(line);
     return serde::Ok();
@@ -370,15 +573,15 @@ class ScriptedLink : public WorkerLink {
 };
 
 TEST_F(DispatchTest, WorkerRejectsAPlanFingerprintMismatch) {
-  // A syntactically valid assignment whose claimed fingerprint does not match what
-  // the spec builds: the worker must refuse (unit ids would be meaningless) and
-  // report a worker-error instead of returning mis-numbered results.
-  AssignHeader header;
-  header.seq = 0;
-  header.plan_fingerprint = PlanFingerprint(*plan_) + 1;
-  header.num_units = 1;
-  header.num_snapshots = 0;
-  std::vector<std::string> lines = {SerializeAssignHeader(header)};
+  // A syntactically valid lease whose claimed fingerprint does not match what the
+  // spec builds: the worker must refuse (unit ids would be meaningless) and report
+  // a worker-error instead of returning mis-numbered results.
+  LeaseGrant grant;
+  grant.seq = 0;
+  grant.plan_fingerprint = PlanFingerprint(*plan_) + 1;
+  grant.num_units = 1;
+  grant.num_snapshots = 0;
+  std::vector<std::string> lines = {SerializeLeaseGrant(grant)};
   const std::string spec_text = SerializeSweepSpec(plan_->spec);
   size_t pos = 0;
   while (pos < spec_text.size()) {
@@ -389,11 +592,12 @@ TEST_F(DispatchTest, WorkerRejectsAPlanFingerprintMismatch) {
   for (std::string& id_line : SerializeUnitIdLines(std::vector<int>{0})) {
     lines.push_back(std::move(id_line));
   }
-  lines.push_back(SerializeAssignEnd(0));
+  lines.push_back(SerializeLeaseEnd(0));
 
   ScriptedLink link(lines);
   EXPECT_EQ(RunDispatchWorker(link), 4);
-  ASSERT_FALSE(link.sent.empty());
+  // hello, lease-request, then the refusal.
+  ASSERT_GE(link.sent.size(), 3u);
   WorkerMessage last;
   ASSERT_TRUE(ParseWorkerMessage(link.sent.back(), &last).ok);
   EXPECT_EQ(last.kind, WorkerMessage::Kind::kError);

@@ -104,6 +104,11 @@ int main(int argc, char** argv) {
               current_path.c_str(), baseline_path.c_str(), 100.0 * threshold,
               simd_active ? "true" : "false");
   int failures = 0;
+  // Metrics the gate actually compared.  A baseline whose derived/gates sections
+  // name nothing the current report has would otherwise "pass" without checking a
+  // single number — and a gate that can pass vacuously protects nothing.
+  int compared = 0;
+  int skipped = 0;
 
   for (const auto& [name, base_value] : base_derived.members()) {
     if (!base_value.is_number()) {
@@ -111,6 +116,7 @@ int main(int argc, char** argv) {
     }
     if (!simd_active && IsSimdMetric(name)) {
       std::printf("  SKIP  %-44s (simd inactive)\n", name.c_str());
+      ++skipped;
       continue;
     }
     const alert::JsonValue* cur = cur_derived.Find(name);
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
+    ++compared;
     const double floor = base_value.number_value() * (1.0 - threshold);
     if (cur->number_value() < floor) {
       std::printf(
@@ -140,6 +147,7 @@ int main(int argc, char** argv) {
     }
     if (!simd_active && IsSimdMetric(name)) {
       std::printf("  SKIP  gate %-39s (simd inactive)\n", name.c_str());
+      ++skipped;
       continue;
     }
     const alert::JsonValue* cur = cur_derived.Find(name);
@@ -148,6 +156,7 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
+    ++compared;
     if (cur->number_value() < gate.number_value()) {
       std::printf("  FAIL  gate %-39s %8.3f < floor %.3f  PERF REGRESSION\n",
                   name.c_str(), cur->number_value(), gate.number_value());
@@ -162,6 +171,16 @@ int main(int argc, char** argv) {
     std::printf("bench_check: %d PERF REGRESSION(S) — see above\n", failures);
     return 1;
   }
-  std::printf("bench_check: all metrics within trajectory\n");
+  if (compared == 0) {
+    // Distinct from a regression (1) and indistinguishable from a broken setup:
+    // a baseline with no numeric metrics, or one whose every metric was skipped.
+    std::fprintf(stderr,
+                 "bench_check: VACUOUS GATE — %s names no comparable metric "
+                 "(%d compared, %d skipped); the gate checked nothing\n",
+                 baseline_path.c_str(), compared, skipped);
+    return 2;
+  }
+  std::printf("bench_check: all %d metric(s) within trajectory (%d skipped)\n",
+              compared, skipped);
   return 0;
 }

@@ -1,13 +1,15 @@
-// sweep_dispatch — run a whole sweep by pushing shards to workers and merging the
-// results as they stream back (straggler retry included).
+// sweep_dispatch — run a whole sweep through the pull-based worker pool: workers
+// lease small batches of units, observed timings size the next lease, and stragglers
+// are re-planned (lease revocation / work stealing) before their silence deadline.
 //
 // Where sweep_shard/sweep_merge are the *manual* distributed pipeline (the operator
 // runs each shard and merges by hand), sweep_dispatch is the automated control plane:
-// it profiles once, partitions the plan, ships (spec + profile snapshots + unit ids)
-// to `--workers=K` workers over the chosen transport, merges per-unit results the
-// moment they arrive, and re-partitions the unfinished remainder of any worker that
-// dies or goes silent.  The aggregate CSV is byte-identical to the monolithic
-// `sweep_shard --shards=1 --csv` no matter the worker count or failure schedule.
+// it profiles once, ships (spec + profile snapshots + leased unit ids) to up to
+// `--workers=K` workers over the chosen transport, merges per-unit results the
+// moment they arrive, and requeues the unfinished remainder of any worker that dies,
+// goes silent, or gets its lease stolen.  The aggregate CSV is byte-identical to the
+// monolithic `sweep_shard --shards=1 --csv` no matter the worker count, failure
+// schedule, or steal timing.
 //
 // Transports:
 //   --transport=inprocess   worker threads inside this process (no binaries needed);
@@ -16,6 +18,8 @@
 //   --transport=command     an arbitrary shell command per worker, `{worker}`
 //                           replaced by the launch index — e.g.
 //                           --worker-cmd='ssh host-{worker} /opt/alert/sweep_shard --worker'
+//   --transport=socket      localhost TCP: each worker is launched from --worker-cmd
+//                           with `{port}` expanded and dials back with --connect
 //
 // A full walkthrough (including the failure-injection flags used by CI) lives in
 // docs/DISTRIBUTED.md.
@@ -43,14 +47,29 @@ namespace {
       "usage: %s --spec=FILE --workers=K [options]\n"
       "  --spec=FILE            sweep spec (sweep_shard --write-default-spec writes one)\n"
       "  --workers=K            number of workers in the initial wave\n"
-      "  --transport=inprocess|subprocess|command   (default subprocess)\n"
-      "  --worker-bin=PATH      sweep_shard binary for the subprocess transport\n"
-      "                         (default: sweep_shard next to this binary)\n"
-      "  --worker-cmd=TEMPLATE  shell command per worker for the command transport;\n"
-      "                         {worker} expands to the launch index\n"
-      "  --strategy=round-robin|cost-weighted   initial partition (default round-robin)\n"
+      "  --transport=inprocess|subprocess|command|socket   (default subprocess)\n"
+      "  --worker-bin=PATH      sweep_shard binary for the subprocess and socket\n"
+      "                         transports (default: sweep_shard next to this binary)\n"
+      "  --worker-cmd=TEMPLATE  shell command per worker for the command and socket\n"
+      "                         transports; {worker} expands to the launch index and\n"
+      "                         {port} (socket) to the dispatcher's TCP port\n"
+      "  --static-leases        grant whole static shards once (the pre-pull\n"
+      "                         baseline): no stealing, no cost-fed sizing\n"
+      "  --strategy=round-robin|cost-weighted   static-lease partition (default\n"
+      "                         round-robin; pull leases are plan-order prefixes)\n"
+      "  --target-lease-ms=N    pull mode: size each lease to ~N ms of predicted\n"
+      "                         work (default 1000)\n"
+      "  --max-lease-units=N    pull mode: hard cap on units per lease (default 64)\n"
+      "  --initial-cost-rate=R  seed the cost model at R ms per cost point instead\n"
+      "                         of learning from the first results (default 0 = learn)\n"
+      "  --no-steal             disable lease stealing for idle workers\n"
       "  --worker-threads=N     threads per worker (default 0 = hardware)\n"
+      "  --heartbeat-ms=N       worker heartbeat interval (default 5000; 0 disables\n"
+      "                         — then rely on --cost-factor for long units)\n"
       "  --deadline-ms=N        straggler silence deadline (default 60000)\n"
+      "  --cost-factor=F        stretch the deadline to F x the predicted time of a\n"
+      "                         lease's largest unit when longer (default 4.0;\n"
+      "                         0 disables the scaling)\n"
       "  --global-deadline-ms=N abort the dispatch after N ms (default 600000)\n"
       "  --max-launches=N       total launch budget incl. replacements (default K+8)\n"
       "  --out=CSV              write the aggregate CSV here\n"
@@ -63,6 +82,7 @@ namespace {
       "  --inject-fail=I:N      (testing) worker launch index I dies after N results\n"
       "  --inject-hang=I:N      (testing) worker I goes silent after N results\n"
       "  --inject-dup=I         (testing) worker I sends every result twice\n"
+      "  --inject-delay=I:N     (testing) worker I sleeps N ms per unit (slow machine)\n"
       "  -v                     log dispatch events to stderr\n",
       argv0);
   std::exit(2);
@@ -100,15 +120,18 @@ std::pair<int, int> ParseIndexCount(const std::string& value, const char* flag) 
           ParseIntOrDie(value.substr(colon + 1), flag)};
 }
 
-std::string ExpandWorkerTemplate(const std::string& text, int worker_index) {
-  std::string out = text;
-  const std::string token = "{worker}";
+void ExpandToken(std::string* text, const std::string& token,
+                 const std::string& value) {
   size_t pos = 0;
-  while ((pos = out.find(token, pos)) != std::string::npos) {
-    const std::string value = std::to_string(worker_index);
-    out.replace(pos, token.size(), value);
+  while ((pos = text->find(token, pos)) != std::string::npos) {
+    text->replace(pos, token.size(), value);
     pos += value.size();
   }
+}
+
+std::string ExpandWorkerTemplate(const std::string& text, int worker_index) {
+  std::string out = text;
+  ExpandToken(&out, "{worker}", std::to_string(worker_index));
   return out;
 }
 
@@ -139,7 +162,9 @@ int main(int argc, char** argv) {
   options.num_workers = -1;
   std::map<int, int> inject_fail;
   std::map<int, int> inject_hang;
+  std::map<int, int> inject_delay;
   std::set<int> inject_dup;
+  int heartbeat_ms = 5000;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -160,6 +185,26 @@ int main(int argc, char** argv) {
       }
     } else if (auto v = ArgValue(arg, "--worker-threads")) {
       worker_threads = ParseIntOrDie(*v, "--worker-threads");
+    } else if (std::strcmp(arg, "--static-leases") == 0) {
+      options.lease_mode = LeaseMode::kStatic;
+    } else if (auto v = ArgValue(arg, "--target-lease-ms")) {
+      options.target_lease_ms = ParseIntOrDie(*v, "--target-lease-ms");
+    } else if (auto v = ArgValue(arg, "--max-lease-units")) {
+      options.max_lease_units = ParseIntOrDie(*v, "--max-lease-units");
+    } else if (auto v = ArgValue(arg, "--initial-cost-rate")) {
+      const serde::Status s = serde::ParseDouble(*v, &options.initial_cost_rate_ms);
+      if (!s) {
+        Fail("--initial-cost-rate: " + s.message);
+      }
+    } else if (std::strcmp(arg, "--no-steal") == 0) {
+      options.enable_steal = false;
+    } else if (auto v = ArgValue(arg, "--cost-factor")) {
+      const serde::Status s = serde::ParseDouble(*v, &options.straggler_cost_factor);
+      if (!s) {
+        Fail("--cost-factor: " + s.message);
+      }
+    } else if (auto v = ArgValue(arg, "--heartbeat-ms")) {
+      heartbeat_ms = ParseIntOrDie(*v, "--heartbeat-ms");
     } else if (auto v = ArgValue(arg, "--deadline-ms")) {
       options.straggler_deadline_ms = ParseIntOrDie(*v, "--deadline-ms");
     } else if (auto v = ArgValue(arg, "--global-deadline-ms")) {
@@ -180,6 +225,8 @@ int main(int argc, char** argv) {
       inject_hang.insert(ParseIndexCount(*v, "--inject-hang"));
     } else if (auto v = ArgValue(arg, "--inject-dup")) {
       inject_dup.insert(ParseIntOrDie(*v, "--inject-dup"));
+    } else if (auto v = ArgValue(arg, "--inject-delay")) {
+      inject_delay.insert(ParseIndexCount(*v, "--inject-delay"));
     } else if (std::strcmp(arg, "--print") == 0) {
       print = true;
     } else if (std::strcmp(arg, "-v") == 0) {
@@ -228,34 +275,62 @@ int main(int argc, char** argv) {
   // lets an injected failure converge instead of recurring forever.
   const auto worker_argv = [&](int worker_index) {
     std::vector<std::string> argvv = {worker_bin, "--worker",
-                                      "--threads=" + std::to_string(worker_threads)};
+                                      "--threads=" + std::to_string(worker_threads),
+                                      "--heartbeat-ms=" + std::to_string(heartbeat_ms)};
     if (const auto it = inject_fail.find(worker_index); it != inject_fail.end()) {
       argvv.push_back("--worker-fail-after=" + std::to_string(it->second));
     }
     if (const auto it = inject_hang.find(worker_index); it != inject_hang.end()) {
       argvv.push_back("--worker-hang-after=" + std::to_string(it->second));
     }
+    if (const auto it = inject_delay.find(worker_index); it != inject_delay.end()) {
+      argvv.push_back("--worker-delay-ms=" + std::to_string(it->second));
+    }
     if (inject_dup.count(worker_index) > 0) {
       argvv.push_back("--worker-dup-results");
     }
     return argvv;
+  };
+  // The same launch rendered as one shell line (socket transport runs it under sh).
+  const auto worker_shell = [&](int worker_index, int port) {
+    std::string cmd;
+    if (!worker_cmd.empty()) {
+      cmd = ExpandWorkerTemplate(worker_cmd, worker_index);
+    } else {
+      for (const std::string& piece : worker_argv(worker_index)) {
+        if (!cmd.empty()) {
+          cmd.push_back(' ');
+        }
+        cmd += piece;
+      }
+      cmd += " --connect=127.0.0.1:{port}";
+    }
+    ExpandToken(&cmd, "{port}", std::to_string(port));
+    return cmd;
   };
 
   std::unique_ptr<Transport> transport;
   if (transport_name == "inprocess") {
     InProcessTransport::Options in_options;
     in_options.threads = worker_threads;
+    in_options.heartbeat_interval_ms = heartbeat_ms;
     in_options.fail_after = inject_fail;
     in_options.hang_after = inject_hang;
+    in_options.delay_per_result = inject_delay;
     in_options.duplicate_results = inject_dup;
     transport = std::make_unique<InProcessTransport>(in_options);
+  } else if (transport_name == "socket") {
+    SocketTransport::Options sock_options;
+    sock_options.command_for_worker = worker_shell;
+    transport = std::make_unique<SocketTransport>(std::move(sock_options));
   } else if (transport_name == "subprocess") {
     transport = std::make_unique<SubprocessTransport>(worker_argv);
   } else if (transport_name == "command") {
     if (worker_cmd.empty()) {
       Fail("--transport=command needs --worker-cmd");
     }
-    if (!inject_fail.empty() || !inject_hang.empty() || !inject_dup.empty()) {
+    if (!inject_fail.empty() || !inject_hang.empty() || !inject_dup.empty() ||
+        !inject_delay.empty()) {
       Fail("injection flags are not supported with --transport=command");
     }
     transport = std::make_unique<CommandTransport>(
@@ -341,10 +416,12 @@ int main(int argc, char** argv) {
     std::fputs(csv.c_str(), stdout);
   }
   std::fprintf(stderr,
-               "sweep_dispatch: %zu units over %d workers (%d launches, %d failures, "
-               "%d stragglers, %d retries, %d duplicates)\n",
-               plan.units.size(), options.num_workers, stats.workers_launched,
-               stats.worker_failures, stats.stragglers, stats.retry_assignments,
-               stats.duplicate_results);
+               "sweep_dispatch: %zu units over %d workers in %d leases "
+               "(%d launches, %d failures, %d stragglers, %d revocations, "
+               "%d stolen, %d retries, %d duplicates, %.0f ms)\n",
+               plan.units.size(), options.num_workers, stats.leases_granted,
+               stats.workers_launched, stats.worker_failures, stats.stragglers,
+               stats.lease_revocations, stats.units_stolen, stats.retry_assignments,
+               stats.duplicate_results, stats.elapsed_ms);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "src/common/net.h"
 #include "src/harness/dispatch.h"
 #include "src/harness/sweep_cache.h"
 #include "src/harness/sweep_io.h"
@@ -52,13 +53,20 @@ namespace {
       "  --print-units            list this shard's serialized units and exit\n"
       "  --dump-profile=FILE      dump the first unit's kBoth profile snapshot\n"
       "  --write-default-spec=FILE  write a small example spec and exit\n"
-      "       %s --worker [--threads=N]\n"
+      "       %s --worker [--threads=N] [--connect=HOST:PORT]\n"
       "  --worker                 speak the sweep_dispatch worker protocol on\n"
       "                           stdin/stdout (spec and profiles arrive inline;\n"
       "                           see docs/DISTRIBUTED.md)\n"
+      "  --connect=HOST:PORT      dial the dispatcher over TCP instead of using\n"
+      "                           stdin/stdout (the socket transport's worker side)\n"
+      "  --heartbeat-ms=N         heartbeat interval while executing (default 5000;\n"
+      "                           0 disables — then pair the dispatcher with a\n"
+      "                           cost-scaled straggler deadline)\n"
       "  --worker-fail-after=N    (testing) die after reporting N units\n"
       "  --worker-hang-after=N    (testing) go silent after reporting N units\n"
-      "  --worker-dup-results     (testing) send every result line twice\n",
+      "  --worker-dup-results     (testing) send every result line twice\n"
+      "  --worker-delay-ms=N      (testing) slow machine: sleep N ms per unit and\n"
+      "                           fold the sleep into the reported unit time\n",
       argv0, argv0, argv0);
   std::exit(2);
 }
@@ -98,22 +106,27 @@ int ParseIntOrDie(const std::string& value, const char* flag) {
   return out;
 }
 
-// stdin/stdout as the worker protocol stream (each line flushed: the dispatcher
-// merges results as they arrive, so buffering a line would stall its event loop).
-class StdioWorkerLink final : public WorkerLink {
+// The worker protocol stream over a pair of fds — stdin/stdout by default, a
+// connected TCP socket under --connect.  net::LineChannel writes are unbuffered
+// (the dispatcher merges results as they arrive, so buffering a line would stall
+// its event loop) and its non-blocking read backs the revocation drain.
+class FdWorkerLink final : public WorkerLink {
  public:
+  FdWorkerLink(int read_fd, int write_fd, bool owns_fds)
+      : io_(read_fd, write_fd, owns_fds) {}
+
   bool ReadLine(std::string* line) override {
-    return static_cast<bool>(std::getline(std::cin, *line));
+    return io_.ReadLine(/*timeout_ms=*/-1, line) == net::ReadStatus::kLine;
+  }
+  bool TryReadLine(std::string* line) override {
+    return io_.ReadLine(/*timeout_ms=*/0, line) == net::ReadStatus::kLine;
   }
   serde::Status WriteLine(std::string_view line) override {
-    std::string buffer(line);
-    buffer.push_back('\n');
-    if (std::fwrite(buffer.data(), 1, buffer.size(), stdout) != buffer.size()) {
-      return serde::Error("stdout write failed");
-    }
-    std::fflush(stdout);
-    return serde::Ok();
+    return io_.WriteLine(line);
   }
+
+ private:
+  net::LineChannel io_;
 };
 
 }  // namespace
@@ -132,6 +145,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   bool print_units = false;
   bool worker_mode = false;
+  std::string connect_addr;
   DispatchWorkerOptions worker_options;
   ShardStrategy strategy = ShardStrategy::kRoundRobin;
 
@@ -139,12 +153,18 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--worker") == 0) {
       worker_mode = true;
+    } else if (auto v = ArgValue(arg, "--connect")) {
+      connect_addr = *v;
+    } else if (auto v = ArgValue(arg, "--heartbeat-ms")) {
+      worker_options.heartbeat_interval_ms = ParseIntOrDie(*v, "--heartbeat-ms");
     } else if (auto v = ArgValue(arg, "--worker-fail-after")) {
       worker_options.fail_after_results = ParseIntOrDie(*v, "--worker-fail-after");
     } else if (auto v = ArgValue(arg, "--worker-hang-after")) {
       worker_options.hang_after_results = ParseIntOrDie(*v, "--worker-hang-after");
     } else if (std::strcmp(arg, "--worker-dup-results") == 0) {
       worker_options.duplicate_results = true;
+    } else if (auto v = ArgValue(arg, "--worker-delay-ms")) {
+      worker_options.delay_per_result_ms = ParseIntOrDie(*v, "--worker-delay-ms");
     } else if (auto v = ArgValue(arg, "--spec")) {
       spec_path = *v;
     } else if (auto v = ArgValue(arg, "--shards")) {
@@ -181,8 +201,26 @@ int main(int argc, char** argv) {
 
   if (worker_mode) {
     worker_options.threads = threads;
-    StdioWorkerLink link;
+    if (!connect_addr.empty()) {
+      std::string host;
+      int port = 0;
+      serde::Status s = net::ParseHostPort(connect_addr, &host, &port);
+      if (!s) {
+        Fail("--connect: " + s.message);
+      }
+      int conn_fd = -1;
+      s = net::ConnectTcp(host, port, &conn_fd);
+      if (!s) {
+        Fail("--connect: " + s.message);
+      }
+      FdWorkerLink link(conn_fd, conn_fd, /*owns_fds=*/true);
+      return RunDispatchWorker(link, worker_options);
+    }
+    FdWorkerLink link(/*read_fd=*/0, /*write_fd=*/1, /*owns_fds=*/false);
     return RunDispatchWorker(link, worker_options);
+  }
+  if (!connect_addr.empty()) {
+    Fail("--connect only makes sense with --worker");
   }
 
   if (!default_spec_path.empty()) {
