@@ -37,6 +37,30 @@ AlertScheduler::AlertScheduler(std::unique_ptr<const DecisionEngine> owned,
   }
 }
 
+BeliefState AlertScheduler::ExportBelief() const {
+  BeliefState state;
+  state.kalman = slowdown_.filter().state();
+  state.xi_censored = slowdown_.num_censored();
+  state.idle = idle_power_.state();
+  state.energy_spent = energy_spent_;
+  state.inputs_observed = inputs_observed_;
+  return state;
+}
+
+void AlertScheduler::RestoreBelief(const BeliefState& state) {
+  ALERT_CHECK(!wcet_window_.has_value());
+  ALERT_CHECK(state.inputs_observed >= 0);
+  slowdown_.Restore(state.kalman, state.xi_censored);
+  idle_power_.Restore(state.idle);
+  energy_spent_ = state.energy_spent;
+  inputs_observed_ = state.inputs_observed;
+  if (cache_ != nullptr) {
+    // A restored belief is a discontinuity: old-belief entries are dead weight, the
+    // same hygiene rule as set_goals (keys still guard correctness either way).
+    cache_->Invalidate();
+  }
+}
+
 XiBelief AlertScheduler::xi_belief() const {
   if (wcet_window_.has_value() && wcet_window_->size() > 0) {
     // Hard-guarantee variant: plan against the worst slowdown seen in the window.

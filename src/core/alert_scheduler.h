@@ -81,6 +81,25 @@ struct DecisionSnapshot {
   Joules allowance = 0.0;                  // plain or paced energy allowance
 };
 
+// The complete learned state of one ALERT instance — everything a decision reads
+// beyond the (immutable) profile, goals, and options: the xi Kalman filter, the
+// Eq. 8 idle-power filter, and the paced-budget ledger.  Exporting it from one
+// scheduler and restoring it into a freshly constructed one (same engine family,
+// same options) reproduces the original's decisions bit-for-bit — the contract the
+// serving daemon's belief persistence across tenant reconnects is built on
+// (src/daemon/alertd.h gives it a serde wire format).  The raw xi observation
+// history and the WCET window are not captured: the former is diagnostic only, and
+// restoring into a wcet_window scheduler is unsupported (checked).
+struct BeliefState {
+  AdaptiveKalmanFilter::State kalman;
+  int xi_censored = 0;
+  IdlePowerFilter::State idle;
+  Joules energy_spent = 0.0;
+  int inputs_observed = 0;
+
+  friend bool operator==(const BeliefState&, const BeliefState&) = default;
+};
+
 // Expands an engine Selection into the scheduling decision the harness executes.
 SchedulingDecision MakeSchedulingDecision(const ConfigSpace& space,
                                           const DecisionEngine::Selection& selection);
@@ -129,6 +148,11 @@ class AlertScheduler final : public Scheduler {
   // to clear.
   void set_power_limit(Watts limit) { power_limit_ = limit; }
   Watts power_limit() const { return power_limit_; }
+
+  // Belief persistence (see BeliefState above).  RestoreBelief requires the
+  // hard-guarantee WCET window to be off (its ring buffer is not captured; checked).
+  BeliefState ExportBelief() const;
+  void RestoreBelief(const BeliefState& state);
 
   // Current belief over the global slowdown factor.
   XiBelief xi_belief() const;

@@ -109,6 +109,16 @@ class DecisionCache {
   // Drops every entry (goal change / explicit reset); dropped entries count as stale.
   void Invalidate();
 
+  // Drops only the entries recorded under `goals` (matched on every goal-derived key
+  // field, including the Eq. 12 percentile that mirrors prob_threshold); returns the
+  // number dropped, counted as stale.  This is the per-tenant goal-reconfiguration
+  // path: in a cache shared by several tenants of one candidate family (the multi-job
+  // coordinator), one tenant's goal flip must not cold-start its neighbours — their
+  // entries are keyed under different goals and survive untouched.  Correctness never
+  // depends on this call (goals are part of every key); it only keeps dead old-goal
+  // entries from occupying LRU capacity.
+  size_t InvalidateGoals(const Goals& goals);
+
   const DecisionEngine& engine() const { return *engine_; }
   const DecisionCachePolicy& policy() const { return policy_; }
   const DecisionCacheStats& stats() const { return stats_; }

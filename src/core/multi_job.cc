@@ -70,6 +70,23 @@ const std::string& MultiJobCoordinator::job_name(int index) const {
   return jobs_[static_cast<size_t>(index)].name;
 }
 
+void MultiJobCoordinator::set_total_power_budget(Watts budget) {
+  ALERT_CHECK(budget > 0.0);
+  total_power_budget_ = budget;
+}
+
+void MultiJobCoordinator::SetJobGoals(int index, const Goals& goals) {
+  ALERT_CHECK(index >= 0 && index < num_jobs());
+  ALERT_CHECK(goals.Valid());
+  Job& job = jobs_[static_cast<size_t>(index)];
+  const Goals old_goals = job.scheduler->goals();
+  job.scheduler->set_goals(goals);
+  Family& family = families_[static_cast<size_t>(job.family)];
+  if (family.cache != nullptr) {
+    family.cache->InvalidateGoals(old_goals);
+  }
+}
+
 void MultiJobCoordinator::set_decision_cache_policy(const DecisionCachePolicy& policy) {
   cache_policy_ = policy;
   for (Family& family : families_) {

@@ -61,8 +61,23 @@ class MultiJobCoordinator {
   // runs and platforms; jobs over the same ConfigSpace share one scoring engine).
   int num_families() const { return static_cast<int>(families_.size()); }
   Watts total_power_budget() const { return total_power_budget_; }
+  // Online budget reconfiguration (a shared package limit raised or lowered while
+  // jobs run, e.g. the daemon's `limit-set` verb).  The budget is read afresh every
+  // round, so the change takes effect on the next DecideRound without disturbing any
+  // scheduler or cache state.
+  void set_total_power_budget(Watts budget);
   AllocationPolicy allocation_policy() const { return policy_; }
   void set_allocation_policy(AllocationPolicy policy) { policy_ = policy; }
+
+  // Per-job goal reconfiguration (requirements change at run time, Section 1.1 —
+  // the daemon's `goal-set` verb).  Updates the job's scheduler goals and, when
+  // decision caching is on, drops only the entries its family's shared cache holds
+  // under the OLD goals (DecisionCache::InvalidateGoals): goal fields are part of
+  // every cache key, so other tenants' entries — and every other family's cache —
+  // stay hot.  Calling job(i).set_goals() directly is wrong under coordination: it
+  // leaves the dead old-goal entries charging the family cache's LRU capacity, and
+  // the only previous remedy (set_decision_cache_policy) cold-started every family.
+  void SetJobGoals(int index, const Goals& goals);
 
   // Rounds with at least this many jobs score their families under ParallelFor.
   // Scoring results are identical either way, but the parallel dispatch spawns (and

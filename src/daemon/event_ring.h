@@ -1,0 +1,101 @@
+// Lock-free single-producer/single-consumer event ring for daemon observability.
+//
+// The serving daemon (src/daemon/alertd.h) must never let logging stall a decision
+// round: the event loop *produces* fixed-size event records into this ring and a
+// dedicated writer thread *consumes* them into the structured log, so the hot path
+// performs two relaxed-ish atomic ops and a POD copy — no locks, no allocation, no
+// syscalls (the SwClock production clock daemon logs through the same shape of
+// ring).  When the consumer falls behind and the ring fills, events are DROPPED and
+// counted rather than blocking the producer; the drop counter is part of the
+// daemon's stats surface, so silent loss is impossible.
+//
+// == Contract ==
+//
+//   * Exactly one producer thread calls TryPush; exactly one consumer thread calls
+//     TryPop.  Any number of threads may read dropped()/pushed()/popped().
+//   * FIFO: events pop in push order (asserted by the ordering/wraparound tests).
+//   * Capacity is rounded up to a power of two; a ring holds capacity() events.
+//
+// Memory ordering is the classic SPSC pairing: the producer publishes a slot with a
+// release store of tail_ (the consumer's acquire load of tail_ then sees the slot's
+// bytes), and the consumer releases head_ after copying out (the producer's acquire
+// load of head_ then knows the slot is free to overwrite).
+#ifndef SRC_DAEMON_EVENT_RING_H_
+#define SRC_DAEMON_EVENT_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace alert::daemon {
+
+template <typename T>
+class EventRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring slots are copied as raw PODs between threads");
+
+ public:
+  explicit EventRing(size_t capacity) {
+    ALERT_CHECK(capacity > 0);
+    size_t rounded = 1;
+    while (rounded < capacity) {
+      rounded <<= 1;
+    }
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer side.  False = ring full; the event is dropped and counted.
+  bool TryPush(const T& event) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[static_cast<size_t>(tail) & mask_] = event;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  False = ring empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    *out = slots_[static_cast<size_t>(head) & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Counters (any thread).  pushed() counts successful pushes only; a producer that
+  // observed pushed() - popped() == 0 after stopping knows the consumer drained it.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t pushed() const { return tail_.load(std::memory_order_acquire); }
+  uint64_t popped() const { return head_.load(std::memory_order_acquire); }
+  bool empty() const { return pushed() == popped(); }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Separate cache lines: the producer mutates tail_, the consumer head_; sharing a
+  // line would make every push/pop pair ping-pong it.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace alert::daemon
+
+#endif  // SRC_DAEMON_EVENT_RING_H_

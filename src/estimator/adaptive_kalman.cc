@@ -43,6 +43,27 @@ void AdaptiveKalmanFilter::Update(double observation) {
   ++num_updates_;
 }
 
+AdaptiveKalmanFilter::State AdaptiveKalmanFilter::state() const {
+  State s;
+  s.mean = mean_;
+  s.variance = variance_;
+  s.gain = gain_;
+  s.process_noise = process_noise_;
+  s.last_innovation = last_innovation_;
+  s.num_updates = num_updates_;
+  return s;
+}
+
+void AdaptiveKalmanFilter::Restore(const State& state) {
+  ALERT_CHECK(state.num_updates >= 0);
+  mean_ = state.mean;
+  variance_ = state.variance;
+  gain_ = state.gain;
+  process_noise_ = state.process_noise;
+  last_innovation_ = state.last_innovation;
+  num_updates_ = state.num_updates;
+}
+
 double AdaptiveKalmanFilter::stddev() const { return std::sqrt(variance_); }
 
 double AdaptiveKalmanFilter::predictive_stddev() const {

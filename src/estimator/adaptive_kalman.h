@@ -31,10 +31,29 @@ struct AdaptiveKalmanParams {
 
 class AdaptiveKalmanFilter {
  public:
+  // The complete mutable state of a filter: restoring it into a filter constructed
+  // with the same params reproduces the original bit-for-bit (Update reads nothing
+  // else), which is what belief persistence across daemon reconnects relies on.
+  // Params are deliberately not part of the state — they are configuration, fixed at
+  // construction on both sides of a persist/restore boundary.
+  struct State {
+    double mean = 1.0;
+    double variance = 0.1;
+    double gain = 0.5;
+    double process_noise = 0.1;
+    double last_innovation = 0.0;
+    int num_updates = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
   explicit AdaptiveKalmanFilter(const AdaptiveKalmanParams& params = {});
 
   // Incorporates one observation of the tracked quantity (e.g. an observed xi ratio).
   void Update(double observation);
+
+  State state() const;
+  void Restore(const State& state);
 
   // Estimated mean of the tracked quantity.
   double mean() const { return mean_; }

@@ -21,6 +21,23 @@ void IdlePowerFilter::Update(Watts idle_power, Watts inference_power) {
   ++num_updates_;
 }
 
+IdlePowerFilter::State IdlePowerFilter::state() const {
+  State s;
+  s.ratio = ratio_;
+  s.variance = variance_;
+  s.gain = gain_;
+  s.num_updates = num_updates_;
+  return s;
+}
+
+void IdlePowerFilter::Restore(const State& state) {
+  ALERT_CHECK(state.num_updates >= 0);
+  ratio_ = state.ratio;
+  variance_ = state.variance;
+  gain_ = state.gain;
+  num_updates_ = state.num_updates;
+}
+
 Watts IdlePowerFilter::PredictIdlePower(Watts inference_power) const {
   return ratio_ * inference_power;
 }

@@ -20,11 +20,25 @@ struct IdlePowerFilterParams {
 
 class IdlePowerFilter {
  public:
+  // Complete mutable state (see AdaptiveKalmanFilter::State for the persist/restore
+  // contract: same-params filter + Restore == the original, bit-for-bit).
+  struct State {
+    double ratio = 0.25;
+    double variance = 0.01;
+    double gain = 0.0;
+    int num_updates = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
   explicit IdlePowerFilter(const IdlePowerFilterParams& params = {});
 
   // Feeds one observation: measured idle power and the inference power of the
   // configuration that produced it.
   void Update(Watts idle_power, Watts inference_power);
+
+  State state() const;
+  void Restore(const State& state);
 
   // Estimated idle/inference power ratio phi.
   double ratio() const { return ratio_; }

@@ -39,6 +39,15 @@ class SlowdownEstimator {
 
   const AdaptiveKalmanFilter& filter() const { return filter_; }
 
+  // Restores the belief from a persisted filter state (daemon reconnects).  The raw
+  // observation history is diagnostic only — no decision reads it — and is not part
+  // of persisted state, so it restarts empty.
+  void Restore(const AdaptiveKalmanFilter::State& filter_state, int num_censored) {
+    filter_.Restore(filter_state);
+    history_.clear();
+    num_censored_ = num_censored;
+  }
+
  private:
   AdaptiveKalmanFilter filter_;
   std::vector<double> history_;

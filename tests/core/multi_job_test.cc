@@ -364,5 +364,85 @@ TEST_F(MultiJobTest, WarmK64HeterogeneousRoundPerformsZeroHeapAllocations) {
   }
 }
 
+// --- Per-job goal reconfiguration under shared family caches ---
+
+// SetJobGoals must drop exactly the entries keyed under the reconfigured job's OLD
+// goals: the sibling job in the same family and the whole other family stay hot.
+// (A cold-start here would show up as extra misses and a stale count covering every
+// live entry — the regression this test pins.)
+TEST_F(MultiJobTest, SetJobGoalsInvalidatesOnlyTheOldGoalEntries) {
+  // Family A: the fixture's kBoth space, two jobs with DISTINCT goals (so the old-goal
+  // invalidation can only match one of them).  Family B: a separate traditional-only
+  // space with one job.
+  std::vector<DnnModel> models_b =
+      BuildEvaluationSet(TaskId::kImageClassification, DnnSetChoice::kTraditionalOnly);
+  PlatformSimulator sim_b(GetPlatform(PlatformId::kCpu1), models_b);
+  ConfigSpace space_b(sim_b);
+
+  std::vector<JobSpec> jobs(3);
+  jobs[0].name = "a0";
+  jobs[0].space = &space_;
+  jobs[0].goals = AccuracyGoals(0.08);
+  jobs[1].name = "a1";
+  jobs[1].space = &space_;
+  jobs[1].goals = AccuracyGoals(0.10);
+  jobs[2].name = "b0";
+  jobs[2].space = &space_b;
+  jobs[2].goals = AccuracyGoals(0.09);
+  MultiJobCoordinator coordinator(jobs, 60.0);
+  DecisionCachePolicy policy;
+  policy.mode = DecisionCacheMode::kExact;
+  coordinator.set_decision_cache_policy(policy);
+
+  std::vector<InferenceRequest> requests;
+  for (const JobSpec& spec : jobs) {
+    requests.push_back(InferenceRequest{0, spec.goals.deadline, spec.goals.deadline});
+  }
+
+  coordinator.DecideRound(requests);
+  const DecisionCacheStats cold = coordinator.decision_cache_stats();
+  ASSERT_GT(cold.insertions, 0u);
+  EXPECT_EQ(cold.stale, 0u);
+
+  // Identical round, beliefs untouched: pure hits.
+  const auto warm_decisions = coordinator.DecideRound(requests);
+  const DecisionCacheStats warm = coordinator.decision_cache_stats();
+  EXPECT_EQ(warm.misses, cold.misses);
+  EXPECT_GT(warm.hits, cold.hits);
+
+  // Reconfigure job 0.  Only its old-goal entries may be dropped.
+  coordinator.SetJobGoals(0, AccuracyGoals(0.12));
+  const DecisionCacheStats flipped = coordinator.decision_cache_stats();
+  EXPECT_GT(flipped.stale, 0u);
+  EXPECT_LT(flipped.stale, cold.insertions) << "invalidation cold-started the caches";
+  EXPECT_EQ(flipped.hits, warm.hits);  // invalidation itself performs no lookups
+
+  // Next round: job 0 re-scores under its new goals (misses grow), jobs 1 and 2 still
+  // hit their surviving entries and decide exactly what they decided before.
+  const auto after = coordinator.DecideRound(requests);
+  const DecisionCacheStats reconfigured = coordinator.decision_cache_stats();
+  EXPECT_GT(reconfigured.misses, flipped.misses);
+  EXPECT_GT(reconfigured.hits, flipped.hits);
+  EXPECT_EQ(after[1].candidate.model_index, warm_decisions[1].candidate.model_index);
+  EXPECT_EQ(after[1].candidate.stage_limit, warm_decisions[1].candidate.stage_limit);
+  EXPECT_EQ(after[1].power_index, warm_decisions[1].power_index);
+  EXPECT_EQ(after[2].candidate.model_index, warm_decisions[2].candidate.model_index);
+  EXPECT_EQ(after[2].candidate.stage_limit, warm_decisions[2].candidate.stage_limit);
+  EXPECT_EQ(after[2].power_index, warm_decisions[2].power_index);
+
+  // Reconfigure the family-B job: family A's entries must survive untouched — the
+  // stale delta stays below the number of entries the caches currently hold.
+  const uint64_t live_entries = reconfigured.insertions - reconfigured.stale;
+  coordinator.SetJobGoals(2, AccuracyGoals(0.14));
+  const DecisionCacheStats flipped_b = coordinator.decision_cache_stats();
+  EXPECT_GT(flipped_b.stale, reconfigured.stale);
+  EXPECT_LT(flipped_b.stale - reconfigured.stale, live_entries);
+  const DecisionCacheStats before_final = flipped_b;
+  const auto final_round = coordinator.DecideRound(requests);
+  const DecisionCacheStats final_stats = coordinator.decision_cache_stats();
+  EXPECT_GT(final_stats.hits, before_final.hits);  // family A still hot
+  EXPECT_EQ(final_round[1].power_index, warm_decisions[1].power_index);
+}
+
 }  // namespace
 }  // namespace alert
