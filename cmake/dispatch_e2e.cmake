@@ -5,7 +5,13 @@
 #   3. ditto under failure injection: a worker killed mid-lease (--inject-fail), a
 #      silent worker tripping the straggler deadline (--inject-hang), and a slow
 #      worker whose lease gets stolen (--inject-delay with a small lease target);
-#   4. ditto with --static-leases (the pre-pull baseline path stays supported).
+#   4. ditto with --static-leases (the pre-pull baseline path stays supported);
+#   5. ditto with --pipeline-leases (grant N+1 while N drains);
+#   6. kill-the-dispatcher-then-resume: --crash-after exits nonzero mid-sweep, a
+#      rerun with the same --checkpoint-dir preseeds the surviving checkpoint and
+#      finishes; the resumed CSV is byte-compared to mono.csv on every transport,
+#      and a deliberately corrupted checkpoint must be a hard error, not a silent
+#      restart.
 # Socket-transport steps tee dispatcher stderr into ${WORK_DIR}/logs/ so CI can
 # upload the lease/steal event stream as an artifact when a step fails.
 # Invoked with -DSWEEP_SHARD=... -DSWEEP_DISPATCH=... -DWORK_DIR=...
@@ -108,5 +114,64 @@ run_step_logged(socket_fail ${SWEEP_DISPATCH} --spec=spec.txt --workers=2
                 --inject-fail=0:1 --out=dispatched_socket_fail.csv -v)
 compare_files(mono.csv dispatched_socket_fail.csv)
 
+# Lease pipelining: each worker's next lease is granted while the current one
+# drains.  Clean run plus a kill schedule (a dead worker's undelivered prefetch
+# must be requeued like any other lease).
+run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=3 --transport=inprocess
+         --pipeline-leases --max-lease-units=4 --out=dispatched_pipe.csv)
+compare_files(mono.csv dispatched_pipe.csv)
+run_step(${SWEEP_DISPATCH} --spec=spec.txt --workers=2 --transport=subprocess
+         --worker-bin=${SWEEP_SHARD} --worker-threads=2 --pipeline-leases
+         --inject-fail=0:1 --out=dispatched_pipe_fail.csv -v)
+compare_files(mono.csv dispatched_pipe_fail.csv)
+
+# --- kill the dispatcher, then resume ------------------------------------------------
+# The dispatcher checkpoints merged results to ckpt_<transport>/checkpoint.sweep and
+# is killed (--crash-after exits nonzero) partway in; the rerun preseeds the
+# surviving checkpoint, re-leases only unfinished units, and must still produce the
+# monolithic bytes.  Both runs keep their -v stderr in logs/ for CI artifacts.
+function(run_step_expect_crash name)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE rc
+                  ERROR_FILE ${WORK_DIR}/logs/${name}.log)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "dispatch_e2e: step '${name}' was injected a crash but "
+                        "exited 0 — the kill never happened")
+  endif()
+endfunction()
+
+foreach(transport inprocess subprocess socket)
+  set(resume_flags --spec=spec.txt --workers=2 --transport=${transport}
+      --worker-bin=${SWEEP_SHARD} --worker-threads=2
+      --checkpoint-dir=ckpt_${transport} --checkpoint-every=2)
+  run_step_expect_crash(resume_${transport}_crash ${SWEEP_DISPATCH} ${resume_flags}
+                        --crash-after=4 --out=dispatched_resume_${transport}.csv -v)
+  run_step_logged(resume_${transport} ${SWEEP_DISPATCH} ${resume_flags}
+                  --out=dispatched_resume_${transport}.csv -v)
+  compare_files(mono.csv dispatched_resume_${transport}.csv)
+endforeach()
+
+# Command transport (injection flags unsupported there, but --crash-after is
+# dispatcher-side): same kill-then-resume cycle.
+set(resume_cmd_flags --spec=spec.txt --workers=2 --transport=command
+    "--worker-cmd=${SWEEP_SHARD} --worker --threads=2"
+    --checkpoint-dir=ckpt_command --checkpoint-every=2)
+run_step_expect_crash(resume_command_crash ${SWEEP_DISPATCH} ${resume_cmd_flags}
+                      --crash-after=4 --out=dispatched_resume_command.csv -v)
+run_step_logged(resume_command ${SWEEP_DISPATCH} ${resume_cmd_flags}
+                --out=dispatched_resume_command.csv -v)
+compare_files(mono.csv dispatched_resume_command.csv)
+
+# A corrupted (truncated) checkpoint must be a loud refusal, never a silent restart.
+file(MAKE_DIRECTORY ${WORK_DIR}/ckpt_corrupt)
+file(WRITE ${WORK_DIR}/ckpt_corrupt/checkpoint.sweep
+     "sweep-checkpoint v=1 plan=1 units=1\n")
+run_step_expect_crash(resume_corrupt ${SWEEP_DISPATCH} --spec=spec.txt --workers=2
+                      --transport=inprocess --checkpoint-dir=ckpt_corrupt
+                      --out=dispatched_corrupt.csv)
+if(EXISTS ${WORK_DIR}/dispatched_corrupt.csv)
+  message(FATAL_ERROR "dispatch_e2e: a corrupt checkpoint still produced a CSV")
+endif()
+
 message(STATUS "dispatch_e2e: dispatched CSVs byte-identical to the monolithic sweep "
-               "over all transports, worker counts, and failure schedules")
+               "over all transports, worker counts, failure schedules, and "
+               "kill-the-dispatcher resume cycles")

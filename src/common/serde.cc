@@ -369,4 +369,17 @@ Status WriteFile(const std::string& path, std::string_view contents) {
   return Ok();
 }
 
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  Status s = WriteFile(tmp, contents);
+  if (!s) {
+    return s;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Error("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  return Ok();
+}
+
 }  // namespace alert::serde

@@ -350,12 +350,14 @@ struct WorkerPlanCache {
 };
 
 // Reads lines up to and including the block-terminating bare `end`, returning the
-// joined block text.  False when the stream ends first.
-bool ReadBlock(WorkerLink& link, std::string* out) {
+// joined block text.  False when the stream ends first.  `read_line` is the lease's
+// line source (pending-first, then the link — see HandleLease).
+template <typename ReadLineFn>
+bool ReadBlock(const ReadLineFn& read_line, std::string* out) {
   out->clear();
   std::string line;
   for (;;) {
-    if (!link.ReadLine(&line)) {
+    if (!read_line(&line)) {
       return false;
     }
     out->append(line);
@@ -365,6 +367,50 @@ bool ReadBlock(WorkerLink& link, std::string* out) {
     }
   }
 }
+
+// Owns the worker's periodic-liveness thread.  RAII on purpose: every exit from
+// HandleLease — normal, injected death, a protocol error return, or an exception
+// unwinding out of RunSweepUnits — must stop and join this thread *before* the
+// lease's locals (the write path, the link) go away, or the heartbeat would write
+// to a half-torn-down channel.  Stop() is idempotent so the happy path can stop it
+// deterministically before writing lease-done (heartbeats never trail the final
+// record); the destructor covers every other path.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(int interval_ms, std::function<void()> tick) {
+    if (interval_ms > 0) {
+      thread_ = std::thread([this, interval_ms, tick = std::move(tick)] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                             [this] { return stop_; })) {
+          tick();
+        }
+      });
+    }
+  }
+
+  HeartbeatThread(const HeartbeatThread&) = delete;
+  HeartbeatThread& operator=(const HeartbeatThread&) = delete;
+
+  void Stop() {
+    if (thread_.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+  }
+
+  ~HeartbeatThread() { Stop(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 serde::Status FailWorker(WorkerLink& link, int seq, const std::string& reason) {
   (void)link.WriteLine(SerializeWorkerError(seq, reason));
@@ -376,12 +422,27 @@ serde::Status FailWorker(WorkerLink& link, int seq, const std::string& reason) {
 // exits 4); `died` reports injected death (exit 3).  `quiet` and `finished_total`
 // persist across leases: a worker that went silent stays silent, and the failure
 // injection thresholds count units over the worker's lifetime.  `pending` collects
-// non-revoke lines drained mid-lease (shutdown racing a lease) for the main loop.
+// non-revoke lines drained mid-lease for the main loop — with lease pipelining the
+// dispatcher sends lease N+1 while N executes, so a whole prefetched lease (grant
+// through lease-end) routinely arrives via `pending`; every read below therefore
+// drains `pending` before touching the link.  `revoked_seqs` carries revocations
+// observed for leases this worker has not started yet (a stolen prefetch): such a
+// lease is closed unexecuted.  `idle_ms` is how long the worker waited between its
+// lease-request and this grant, reported on the lease's first heartbeat.
 serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
                           const DispatchWorkerOptions& options, WorkerPlanCache& cache,
                           std::atomic<bool>& quiet, std::atomic<int>& finished_total,
-                          std::deque<std::string>& pending, bool* died) {
+                          std::deque<std::string>& pending,
+                          std::set<int>& revoked_seqs, double idle_ms, bool* died) {
   *died = false;
+  const auto read_line = [&](std::string* out) {
+    if (!pending.empty()) {
+      *out = std::move(pending.front());
+      pending.pop_front();
+      return true;
+    }
+    return link.ReadLine(out);
+  };
   LeaseGrant header;
   serde::Status s = ParseLeaseGrant(header_line, &header);
   if (!s) {
@@ -389,7 +450,7 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
   }
 
   std::string block;
-  if (!ReadBlock(link, &block)) {
+  if (!ReadBlock(read_line, &block)) {
     return serde::Error("stream closed inside lease spec");
   }
   if (!cache.valid || cache.fingerprint != header.plan_fingerprint) {
@@ -413,7 +474,7 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
   ProfileSnapshotStore store;
   std::string line;
   for (int i = 0; i < header.num_snapshots; ++i) {
-    if (!link.ReadLine(&line)) {
+    if (!read_line(&line)) {
       return serde::Error("stream closed inside lease snapshots");
     }
     SnapshotKey key;
@@ -421,7 +482,7 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
     if (!s) {
       return FailWorker(link, header.seq, s.message);
     }
-    if (!ReadBlock(link, &block)) {
+    if (!ReadBlock(read_line, &block)) {
       return serde::Error("stream closed inside a profile snapshot");
     }
     ProfileSnapshot snapshot;
@@ -434,7 +495,7 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
 
   std::vector<int> ids;
   for (;;) {
-    if (!link.ReadLine(&line)) {
+    if (!read_line(&line)) {
       return serde::Error("stream closed inside lease unit ids");
     }
     int end_seq = 0;
@@ -467,6 +528,18 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
   if (options.hang_after_results == 0) {
     quiet.store(true);
   }
+
+  // A lease revoked before it ever started (the dispatcher stole the undelivered
+  // prefetch): close it with zero results and run nothing — its units are already
+  // requeued on the dispatcher's side.
+  if (revoked_seqs.erase(header.seq) > 0) {
+    if (!quiet.load()) {
+      (void)link.WriteLine(SerializeLeaseDone(
+          header.seq, 0, static_cast<int>(units.size()), cache.fingerprint));
+    }
+    return serde::Ok();
+  }
+
   std::atomic<int> delivered{0};  // result lines written for this lease
   // The result stream (serialized by the sweep runner) and the heartbeat thread
   // below both write; one mutex keeps lines whole on the shared byte stream.
@@ -476,13 +549,18 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
     (void)link.WriteLine(line_out);
   };
   if (!quiet.load()) {
-    write_line(SerializeHeartbeat(header.seq, 0));
+    // The first heartbeat doubles as the idle report: how long this worker sat
+    // between asking for work and this grant arriving (~0 when the lease was
+    // prefetched — the whole point of pipelining).
+    write_line(SerializeHeartbeat(header.seq, 0, idle_ms));
   }
 
   // Revocation drain: between setting groups the runner polls should_cancel, which
   // pulls whatever the dispatcher sent mid-lease.  A revoke for this lease stops new
-  // groups; anything else (shutdown racing the lease, a stale revoke) is queued for
-  // the main loop / dropped.
+  // groups; a revoke for any other seq targets a lease this worker has not started —
+  // the prefetched next lease — and is remembered in `revoked_seqs` so that lease is
+  // closed unexecuted when its turn comes.  Everything else (a prefetched grant,
+  // shutdown racing the lease) is queued for the main loop.
   std::mutex drain_mutex;
   std::atomic<bool> revoked{false};
   const auto drain = [&] {
@@ -493,8 +571,9 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
       if (ParseLeaseRevoke(drained, &revoke_seq)) {
         if (revoke_seq == header.seq) {
           revoked.store(true);
+        } else {
+          revoked_seqs.insert(revoke_seq);
         }
-        // A revoke for another seq already ended with that lease: stale, dropped.
       } else {
         pending.push_back(std::move(drained));
       }
@@ -534,42 +613,24 @@ serde::Status HandleLease(WorkerLink& link, const std::string& header_line,
 
   // Periodic liveness while executing: a setting group can legitimately run longer
   // than the dispatcher's straggler deadline, and silence must mean trouble, not
-  // depth of work.
-  std::mutex hb_mutex;
-  std::condition_variable hb_cv;
-  bool hb_stop = false;
-  std::thread heartbeat;
-  if (options.heartbeat_interval_ms > 0) {
-    heartbeat = std::thread([&] {
-      std::unique_lock<std::mutex> lock(hb_mutex);
-      while (!hb_cv.wait_for(lock,
-                             std::chrono::milliseconds(options.heartbeat_interval_ms),
-                             [&] { return hb_stop; })) {
-        if (!quiet.load()) {
-          write_line(SerializeHeartbeat(header.seq, delivered.load()));
-        }
-      }
-    });
-  }
-  const auto stop_heartbeat = [&] {
-    if (heartbeat.joinable()) {
-      {
-        const std::lock_guard<std::mutex> lock(hb_mutex);
-        hb_stop = true;
-      }
-      hb_cv.notify_all();
-      heartbeat.join();
+  // depth of work.  RAII (HeartbeatThread) guarantees the thread is joined before
+  // any return below tears down the write path — including exceptions unwinding out
+  // of RunSweepUnits, which previously would have skipped the stop entirely.
+  HeartbeatThread heartbeat(options.heartbeat_interval_ms, [&] {
+    if (!quiet.load()) {
+      write_line(SerializeHeartbeat(header.seq, delivered.load()));
     }
-  };
+  });
 
   try {
     RunSweepUnits(plan, units, run);
   } catch (const InjectedWorkerDeath&) {
-    stop_heartbeat();
+    heartbeat.Stop();
     *died = true;
     return serde::Ok();
   }
-  stop_heartbeat();
+  // Deterministic close: no heartbeat may interleave with (or trail) lease-done.
+  heartbeat.Stop();
   drain();  // pick up a revoke/shutdown that arrived after the last group
   if (!quiet.load()) {
     write_line(SerializeLeaseDone(header.seq, delivered.load(),
@@ -591,7 +652,11 @@ int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options) {
   std::atomic<bool> quiet{false};
   std::atomic<int> finished_total{0};
   std::deque<std::string> pending;
+  std::set<int> revoked_seqs;  // revokes seen for leases not started yet
   std::string line;
+  // Measures grant-wait idle: reset whenever a lease-request goes out, read when the
+  // matching grant is picked up (instantly, if the lease was prefetched).
+  Clock::time_point waiting_since = Clock::now();
   for (;;) {
     if (!pending.empty()) {
       line = std::move(pending.front());
@@ -604,11 +669,17 @@ int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options) {
     }
     int revoke_seq = 0;
     if (ParseLeaseRevoke(line, &revoke_seq)) {
-      continue;  // revoke for a lease already closed: stale, ignored
+      // Either a lease this worker has not started yet (a stolen prefetch — remember
+      // it so that lease is closed unexecuted) or one already closed (then the seq
+      // never reappears and the entry is inert).
+      revoked_seqs.insert(revoke_seq);
+      continue;
     }
+    const double idle_ms = ElapsedMsDouble(waiting_since);
     bool died = false;
-    const serde::Status s =
-        HandleLease(link, line, options, cache, quiet, finished_total, pending, &died);
+    const serde::Status s = HandleLease(link, line, options, cache, quiet,
+                                        finished_total, pending, revoked_seqs,
+                                        idle_ms, &died);
     if (died) {
       return 3;
     }
@@ -622,6 +693,7 @@ int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options) {
       if (!link.WriteLine(SerializeLeaseRequest())) {
         return 0;  // dispatcher is gone; shutdown race
       }
+      waiting_since = Clock::now();
     }
   }
 }
@@ -631,26 +703,76 @@ int RunDispatchWorker(WorkerLink& link, const DispatchWorkerOptions& options) {
 
 LeaseCostModel::LeaseCostModel(double initial_rate_ms) {
   if (std::isfinite(initial_rate_ms) && initial_rate_ms > 0.0) {
-    rate_ms_ = initial_rate_ms;
+    fleet_rate_ms_ = initial_rate_ms;
+    seed_rate_ms_ = initial_rate_ms;
   }
 }
 
-void LeaseCostModel::Observe(double cost, double ms) {
+void LeaseCostModel::Observe(int worker, double cost, double ms) {
   if (!std::isfinite(cost) || !std::isfinite(ms) || cost <= 0.0 || ms <= 0.0) {
     return;
   }
   // EWMA, alpha 0.3: reactive enough to follow a machine warming up or a noisy
   // neighbor appearing, smooth enough that one odd unit does not whipsaw lease sizes.
+  // Every observation feeds both the worker's own rate (its machine truth) and the
+  // fleet prior (what a brand-new worker is assumed to run at until it reports).
   constexpr double kAlpha = 0.3;
   const double rate = ms / cost;
-  rate_ms_ = rate_ms_ > 0.0 ? (1.0 - kAlpha) * rate_ms_ + kAlpha * rate : rate;
+  fleet_rate_ms_ =
+      fleet_rate_ms_ > 0.0 ? (1.0 - kAlpha) * fleet_rate_ms_ + kAlpha * rate : rate;
+  double& worker_rate = worker_rate_ms_[worker];
+  if (worker_rate > 0.0) {
+    worker_rate = (1.0 - kAlpha) * worker_rate + kAlpha * rate;
+  } else if (seed_rate_ms_ > 0.0) {
+    // An explicit operator seed is a stated prior for *every* machine: the worker's
+    // first sample blends against it rather than replacing it, or one flat-delay
+    // unit with an unusually large cost would crater the rate (and with it the
+    // cost-scaled straggler deadline).  The *learned* fleet rate deliberately does
+    // not get this treatment — it is biased toward whichever machines reported
+    // first, and adopting the first own-sample whole separates a skewed fleet's
+    // rates in one lease instead of several.
+    worker_rate = (1.0 - kAlpha) * seed_rate_ms_ + kAlpha * rate;
+  } else {
+    worker_rate = rate;
+  }
 }
 
-double LeaseCostModel::PredictMs(double cost) const {
-  if (rate_ms_ <= 0.0 || !std::isfinite(cost) || cost <= 0.0) {
+double LeaseCostModel::RateFor(int worker) const {
+  const auto it = worker_rate_ms_.find(worker);
+  if (it != worker_rate_ms_.end() && it->second > 0.0) {
+    return it->second;
+  }
+  return fleet_rate_ms_;
+}
+
+bool LeaseCostModel::worker_seeded(int worker) const {
+  const auto it = worker_rate_ms_.find(worker);
+  return it != worker_rate_ms_.end() && it->second > 0.0;
+}
+
+double LeaseCostModel::PredictMs(int worker, double cost) const {
+  const double rate = RateFor(worker);
+  if (rate <= 0.0 || !std::isfinite(cost) || cost <= 0.0) {
     return 0.0;
   }
-  return rate_ms_ * cost;
+  return rate * cost;
+}
+
+bool PullLeaseWantsMore(int units_taken, int max_units, int cold_cap, bool rate_known,
+                        double predicted_ms, int target_ms) {
+  if (units_taken <= 0) {
+    return true;  // a lease is never empty while work is pending
+  }
+  // The max-units clamp comes first, unconditionally: a family of zero-cost units
+  // (SweepUnitCost 0 -> PredictMs 0) keeps predicted_ms at 0 forever, and without
+  // this bound the lease would swallow an unbounded plan prefix.
+  if (units_taken >= max_units) {
+    return false;
+  }
+  if (!rate_known) {
+    return units_taken < cold_cap;
+  }
+  return predicted_ms < static_cast<double>(target_ms);
 }
 
 int EffectiveLeaseDeadlineMs(int flat_deadline_ms, double cost_factor,
@@ -715,6 +837,12 @@ struct WorkerState {
   bool wants_lease = false;  // lease-request received and not yet answered
   int seq = -1;              // current (or last) lease
   std::vector<int> assigned_ids;
+  // The pipelined next lease (pipeline_leases): already sent to the worker, not yet
+  // started there.  Promoted to the active lease on this lease's lease-done, or
+  // revoked first by steals/stragglers (its units are undelivered inventory —
+  // nothing is executing them, so reclaiming them is free).
+  int prefetch_seq = -1;
+  std::vector<int> prefetch_ids;
   Clock::time_point last_activity;  // any line (straggler deadline input)
   Clock::time_point lease_start;
   Clock::time_point last_result;  // last result line (steal heuristic input)
@@ -813,7 +941,12 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
   LeaseCostModel model(options.initial_cost_rate_ms);
   const auto finish = [&](serde::Status s) {
     st.elapsed_ms = ElapsedMsDouble(start);
-    st.cost_rate_ms = model.rate_ms();
+    st.cost_model_seeded = model.seeded();
+    // NaN, not 0, when never seeded: a 0 here is indistinguishable from a genuinely
+    // ~0 observed rate, and downstream formatters must check cost_model_seeded.
+    st.cost_rate_ms = model.seeded() ? model.rate_ms()
+                                     : std::numeric_limits<double>::quiet_NaN();
+    st.worker_cost_rates = model.worker_rates();
     return s;
   };
   if (options.num_workers <= 0) {
@@ -851,10 +984,41 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
       ++st.preseeded;
     }
   }
+  // Checkpointing: every recorded result, serialized whole and renamed into place.
+  // Small plans make rewriting the full set cheap; the atomic rename means a crash
+  // mid-write leaves the previous checkpoint intact.
+  int results_since_checkpoint = 0;
+  int fresh_results = 0;  // newly recorded worker deliveries (crash-injection input)
+  const auto write_checkpoint = [&]() -> serde::Status {
+    if (options.checkpoint_path.empty()) {
+      return serde::Ok();
+    }
+    SweepCheckpoint checkpoint;
+    checkpoint.plan_fingerprint = context.fingerprint;
+    checkpoint.results = accumulator.RecordedResults();
+    const serde::Status s = serde::WriteFileAtomic(options.checkpoint_path,
+                                                   SerializeSweepCheckpoint(checkpoint));
+    if (!s) {
+      // A checkpoint that cannot be written is a loud dispatch failure, not a
+      // warning: the operator asked for crash durability and is not getting it.
+      return serde::Wrap("checkpoint write", s);
+    }
+    ++st.checkpoints_written;
+    results_since_checkpoint = 0;
+    return serde::Ok();
+  };
+
   if (accumulator.complete()) {
     log("every unit preseeded; nothing to dispatch");
+    const serde::Status s = write_checkpoint();
+    if (!s) {
+      return finish(s);
+    }
     return finish(accumulator.Finalize(out));
   }
+
+  const bool pipeline = options.pipeline_leases &&
+                        options.lease_mode == LeaseMode::kPull;
 
   std::vector<std::unique_ptr<WorkerState>> workers;
   std::deque<int> retry_queue;  // unit ids awaiting re-grant (revokes, failures)
@@ -942,6 +1106,22 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     return requeued;
   };
 
+  // Requeues a worker's undelivered prefetched lease (nothing executes those units,
+  // so this loses no work).
+  const auto requeue_prefetch = [&](WorkerState& worker) {
+    int requeued = 0;
+    for (const int id : worker.prefetch_ids) {
+      if (!accumulator.IsRecorded(id)) {
+        retry_queue.push_back(id);
+        in_flight[static_cast<size_t>(id)] = 0;
+        ++requeued;
+      }
+    }
+    worker.prefetch_ids.clear();
+    worker.prefetch_seq = -1;
+    return requeued;
+  };
+
   const auto fail_worker = [&](WorkerState& worker, const std::string& why) {
     if (worker.mode == WorkerState::Mode::kDead) {
       return;
@@ -949,38 +1129,36 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     log("worker " + std::to_string(worker.launch_index) + " failed: " + why);
     ++st.worker_failures;
     requeue_unfinished(worker);
+    requeue_prefetch(worker);
     worker.mode = WorkerState::Mode::kDead;
     worker.wants_lease = false;
     worker.channel->Close();
   };
 
-  // Builds the next pull-mode lease: requeued work first (it is the oldest and thus
-  // the likeliest tail of the critical path), then fresh plan-order units.  Size is
-  // cost-fed — take units until their predicted time reaches the target — with small
-  // fixed leases while the model is still cold so it warms on real observations.
-  const auto build_pull_lease = [&](bool* is_retry) {
+  // Builds the next pull-mode lease for `worker`: requeued work first (it is the
+  // oldest and thus the likeliest tail of the critical path), then fresh plan-order
+  // units.  Size is cost-fed *at this worker's own rate* — a slow machine gets a
+  // proportionally shorter unit prefix for the same target_lease_ms, which is how
+  // per-worker rates keep a heterogeneous fleet's leases finishing together — with
+  // small fixed leases while the model is still cold so it warms on observations.
+  const auto build_pull_lease = [&](const WorkerState& worker, bool* is_retry) {
     std::vector<int> ids;
     double predicted = 0.0;
     const int remaining = static_cast<int>(accumulator.num_expected() -
                                            accumulator.num_recorded());
     const int cold_cap =
         std::clamp(remaining / (4 * std::max(1, options.num_workers)), 1, 8);
+    const bool rate_known = model.RateFor(worker.launch_index) > 0.0;
     const auto want_more = [&] {
-      if (ids.empty()) {
-        return true;
-      }
-      if (static_cast<int>(ids.size()) >= max_lease_units) {
-        return false;
-      }
-      if (!model.seeded()) {
-        return static_cast<int>(ids.size()) < cold_cap;
-      }
-      return predicted < static_cast<double>(target_lease_ms);
+      return PullLeaseWantsMore(static_cast<int>(ids.size()), max_lease_units,
+                                cold_cap, rate_known, predicted, target_lease_ms);
     };
     const auto take = [&](int id) {
       ids.push_back(id);
       in_flight[static_cast<size_t>(id)] = 1;
-      predicted += model.PredictMs(SweepUnitCost(plan.units[static_cast<size_t>(id)]));
+      predicted += model.PredictMs(
+          worker.launch_index,
+          SweepUnitCost(plan.units[static_cast<size_t>(id)]));
     };
     while (want_more()) {
       int id = -1;
@@ -1040,7 +1218,7 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     bool is_retry = false;
     std::vector<int> ids = options.lease_mode == LeaseMode::kStatic
                                ? build_static_lease(&is_retry)
-                               : build_pull_lease(&is_retry);
+                               : build_pull_lease(worker, &is_retry);
     if (ids.empty()) {
       return false;
     }
@@ -1069,6 +1247,39 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     return true;
   };
 
+  // Pipelining: send a working worker its *next* lease while the current one drains.
+  // The worker's line source is pending-first, so the prefetched grant is consumed
+  // the instant lease-done goes out — the request/grant round trip (the whole idle
+  // window on an ssh-style transport) disappears.  One outstanding prefetch per
+  // worker; false when no work is pending or the send fails.
+  const auto prefetch_lease = [&](WorkerState& worker) {
+    bool is_retry = false;
+    std::vector<int> ids = build_pull_lease(worker, &is_retry);
+    if (ids.empty()) {
+      return false;
+    }
+    for (const int id : ids) {
+      ALERT_CHECK(!accumulator.IsRecorded(id));
+    }
+    const int seq = next_seq++;
+    ++st.leases_granted;
+    ++st.leases_pipelined;
+    if (is_retry) {
+      ++st.retry_assignments;
+    }
+    if (options.on_assign) {
+      options.on_assign(worker.launch_index, seq, ids);
+    }
+    worker.prefetch_seq = seq;
+    worker.prefetch_ids = std::move(ids);
+    const serde::Status s = SendLease(context, worker, seq, worker.prefetch_ids);
+    if (!s) {
+      fail_worker(worker, "send: " + s.message);
+      return false;
+    }
+    return true;
+  };
+
   // Steal: an idle requester with nothing pending takes the remainder of the
   // most-loaded working lease.  Guards against ping-pong: the victim must hold at
   // least two unmerged units, its lease must be older than the target (a lease the
@@ -1079,6 +1290,40 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     if (options.lease_mode != LeaseMode::kPull || !options.enable_steal ||
         !model.seeded()) {
       return false;
+    }
+    // Undelivered prefetches first: those units are pure inventory — no worker has
+    // started them, so reclaiming them for an idle peer duplicates nothing and needs
+    // none of the anti-ping-pong guards below.  Biggest prefetch wins.
+    WorkerState* prefetch_victim = nullptr;
+    int prefetch_unmerged = 0;
+    for (const auto& worker_ptr : workers) {
+      WorkerState& candidate = *worker_ptr;
+      if (candidate.mode != WorkerState::Mode::kWorking ||
+          candidate.prefetch_seq < 0) {
+        continue;
+      }
+      int unmerged = 0;
+      for (const int id : candidate.prefetch_ids) {
+        if (!accumulator.IsRecorded(id)) {
+          ++unmerged;
+        }
+      }
+      if (unmerged > prefetch_unmerged) {
+        prefetch_victim = &candidate;
+        prefetch_unmerged = unmerged;
+      }
+    }
+    if (prefetch_victim != nullptr) {
+      (void)prefetch_victim->channel->Send(
+          SerializeLeaseRevoke(prefetch_victim->prefetch_seq));
+      const int stolen = requeue_prefetch(*prefetch_victim);
+      ++st.lease_revocations;
+      st.units_stolen += stolen;
+      log("reclaimed " + std::to_string(stolen) +
+          " prefetched units from worker " +
+          std::to_string(prefetch_victim->launch_index));
+      // The victim keeps executing its active lease untouched: no mode change.
+      return stolen > 0;
     }
     WorkerState* victim = nullptr;
     double victim_remaining = 0.0;
@@ -1095,8 +1340,12 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
       for (const int id : candidate.assigned_ids) {
         if (!accumulator.IsRecorded(id)) {
           ++unmerged;
-          remaining_ms +=
-              model.PredictMs(SweepUnitCost(plan.units[static_cast<size_t>(id)]));
+          // Remaining work valued at the victim's own rate: on a heterogeneous
+          // fleet the slow machine's small lease is genuinely a lot of *time*, and
+          // that — not the fleet-average view of it — is what the thief relieves.
+          remaining_ms += model.PredictMs(
+              candidate.launch_index,
+              SweepUnitCost(plan.units[static_cast<size_t>(id)]));
         }
       }
       if (unmerged < 2) {
@@ -1139,7 +1388,11 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
     }
     switch (message.kind) {
       case WorkerMessage::Kind::kHello:
+        break;
       case WorkerMessage::Kind::kHeartbeat:
+        if (message.idle_ms >= 0.0) {
+          st.worker_idle_ms += message.idle_ms;  // grant-wait report (first heartbeat)
+        }
         break;
       case WorkerMessage::Kind::kLeaseRequest:
         worker.wants_lease = true;
@@ -1159,12 +1412,32 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
           ++st.duplicate_results;
         }
         if (!message.result.skipped) {
-          model.Observe(SweepUnitCost(plan.units[static_cast<size_t>(
+          model.Observe(worker.launch_index,
+                        SweepUnitCost(plan.units[static_cast<size_t>(
                             message.result.unit_id)]),
                         message.unit_ms);
         }
         if (options.on_result) {
           options.on_result(worker.launch_index, message.result, newly);
+        }
+        if (newly) {
+          ++fresh_results;
+          ++results_since_checkpoint;
+          // Crash injection fires *before* a coincident periodic write, like a real
+          // kill would: whatever the last completed checkpoint held is all a resume
+          // gets.
+          if (options.crash_after_results >= 0 &&
+              fresh_results >= options.crash_after_results) {
+            return serde::Error("injected dispatcher crash after " +
+                                std::to_string(fresh_results) + " results");
+          }
+          if (!options.checkpoint_path.empty() && !accumulator.complete() &&
+              results_since_checkpoint >= std::max(1, options.checkpoint_every)) {
+            const serde::Status cs = write_checkpoint();
+            if (!cs) {
+              return cs;
+            }
+          }
         }
         break;
       }
@@ -1175,11 +1448,25 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
         }
         if (message.seq == worker.seq) {
           // Whatever the lease still owed (a revoked remainder, a straggler's
-          // abandoned units) is requeued; the worker — straggler or victim — is
-          // schedulable again.
+          // abandoned units) is requeued; then the worker either promotes its
+          // prefetched lease — it is already executing it — or goes idle.
           requeue_unfinished(worker);
-          worker.mode = WorkerState::Mode::kIdle;
+          if (worker.prefetch_seq >= 0) {
+            worker.seq = worker.prefetch_seq;
+            worker.assigned_ids = std::move(worker.prefetch_ids);
+            worker.prefetch_seq = -1;
+            worker.prefetch_ids.clear();
+            worker.mode = WorkerState::Mode::kWorking;
+            worker.lease_start = worker.last_activity;
+            worker.last_result = worker.last_activity;
+          } else {
+            worker.mode = WorkerState::Mode::kIdle;
+          }
         }
+        // A lease-done for any other seq is the worker closing a lease the
+        // dispatcher already wrote off (a revoked prefetch replies done=0; a
+        // straggler's abandoned lease drains late): its units were requeued when
+        // the revoke was issued, so there is nothing left to do here.
         break;
       case WorkerMessage::Kind::kError:
         fail_worker(worker, "worker-error: " + message.reason);
@@ -1262,9 +1549,13 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
         double predicted_max = 0.0;
         for (const int id : worker.assigned_ids) {
           if (!accumulator.IsRecorded(id)) {
+            // The worker's *own* rate: a slow machine legitimately needs longer per
+            // unit, so its deadline stretches with its observed speed instead of
+            // the fleet average declaring it a straggler while healthy.
             predicted_max = std::max(
                 predicted_max,
-                model.PredictMs(SweepUnitCost(plan.units[static_cast<size_t>(id)])));
+                model.PredictMs(worker.launch_index,
+                                SweepUnitCost(plan.units[static_cast<size_t>(id)])));
           }
         }
         const int deadline = EffectiveLeaseDeadlineMs(
@@ -1272,13 +1563,20 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
             predicted_max);
         if (ElapsedMs(worker.last_activity) > deadline) {
           ++st.stragglers;
-          ++st.lease_revocations;
           log("worker " + std::to_string(worker.launch_index) +
               " exceeded its straggler deadline (" + std::to_string(deadline) +
               " ms); revoking and requeueing its unfinished units");
+          // The undelivered prefetch goes first — its units are pure inventory and
+          // must not sit on a silent worker.
+          if (worker.prefetch_seq >= 0) {
+            (void)worker.channel->Send(SerializeLeaseRevoke(worker.prefetch_seq));
+            requeue_prefetch(worker);
+            ++st.lease_revocations;
+          }
           // Best-effort: a hung-but-alive worker stops between units, a dead one
           // never reads it.  Either way the units are requeued now.
           (void)worker.channel->Send(SerializeLeaseRevoke(worker.seq));
+          ++st.lease_revocations;
           requeue_unfinished(worker);
           // Not killed and not schedulable: late results still merge, but no new
           // work until it closes the abandoned lease with lease-done.
@@ -1304,6 +1602,24 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
       }
       if (grant_lease(worker)) {
         progress = true;
+      }
+    }
+
+    // Prefetch pump (after the grant pump, so idle requesters are never starved by
+    // inventory parked on busy peers): every working worker without an outstanding
+    // prefetch gets its next lease queued behind the active one.
+    if (pipeline) {
+      for (const auto& worker_ptr : workers) {
+        WorkerState& worker = *worker_ptr;
+        if (worker.mode != WorkerState::Mode::kWorking || worker.prefetch_seq >= 0) {
+          continue;
+        }
+        if (!pending_work_exists()) {
+          break;
+        }
+        if (prefetch_lease(worker)) {
+          progress = true;
+        }
       }
     }
 
@@ -1363,6 +1679,14 @@ serde::Status DispatchSweep(const SweepPlan& plan, Transport& transport,
       (void)worker->channel->Send(std::string(kShutdownLine));
     }
     worker->channel->Close();
+  }
+  // The final, complete checkpoint: a resume after this point preseeds every unit
+  // and finalizes without launching a worker.
+  {
+    const serde::Status s = write_checkpoint();
+    if (!s) {
+      return finish(s);
+    }
   }
   return finish(accumulator.Finalize(out));
 }

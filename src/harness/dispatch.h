@@ -69,6 +69,7 @@
 #define SRC_HARNESS_DISPATCH_H_
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -239,27 +240,46 @@ class SocketTransport : public Transport {
 
 // --- dispatcher --------------------------------------------------------------------
 
-// Live ms-per-cost-point model: an EWMA over (observed unit wall time /
-// SweepUnitCost(unit)).  Cheap on purpose — one rate for the whole fleet — because
-// its two consumers only need coarse truth: lease sizing ("how many pending units
-// fit in target_lease_ms?") and the cost-scaled straggler deadline ("could this
-// lease legitimately still be running?").  Exposed for unit tests.
+// Live ms-per-cost-point model: per-worker EWMAs over (observed unit wall time /
+// SweepUnitCost(unit)), plus a fleet-wide EWMA that serves as the prior for workers
+// with no observations yet.  One fleet rate was enough for lease sizing on a uniform
+// pool, but it washes out a heterogeneous fleet's per-machine truth: a 5x-slower
+// machine fed the fleet average gets leases sized for the average machine (too big —
+// it strands the tail) and a straggler deadline scaled for the average machine (too
+// tight — it gets revoked while healthy).  Its consumers — lease sizing ("how many
+// pending units fit in target_lease_ms *on this worker*?"), the cost-scaled
+// straggler deadline, and steal-victim selection (remaining work valued at the
+// victim's own rate) — all key observations by the worker's launch index.  Exposed
+// for unit tests.
 class LeaseCostModel {
  public:
-  // `initial_rate_ms` seeds the model (ms per cost point); 0 = start unknown.
+  // `initial_rate_ms` seeds the fleet prior (ms per cost point); 0 = start unknown.
   explicit LeaseCostModel(double initial_rate_ms = 0.0);
 
-  // Feeds one observation; ignored unless cost and ms are positive and finite.
-  void Observe(double cost, double ms);
+  // Feeds one observation from `worker` (a launch index); updates that worker's EWMA
+  // and the fleet prior.  Ignored unless cost and ms are positive and finite.
+  void Observe(int worker, double cost, double ms);
 
-  // Predicted wall time of a unit with this cost; 0.0 while the rate is unknown.
-  double PredictMs(double cost) const;
+  // Predicted wall time of a unit with this cost on `worker`: the worker's own rate
+  // when it has observations, else the fleet prior, else 0.0 (unknown).
+  double PredictMs(int worker, double cost) const;
 
-  bool seeded() const { return rate_ms_ > 0.0; }
-  double rate_ms() const { return rate_ms_; }
+  // The rate PredictMs would use for `worker` (worker EWMA, else fleet prior, else 0).
+  double RateFor(int worker) const;
+
+  bool seeded() const { return fleet_rate_ms_ > 0.0; }
+  bool worker_seeded(int worker) const;
+  double rate_ms() const { return fleet_rate_ms_; }
+  // Per-worker observed rates only (no prior fallback), keyed by launch index.
+  const std::map<int, double>& worker_rates() const { return worker_rate_ms_; }
 
  private:
-  double rate_ms_ = 0.0;
+  double fleet_rate_ms_ = 0.0;
+  // The explicit constructor seed, kept apart from the learned fleet rate: a
+  // worker's first own observation blends against it instead of being adopted
+  // whole, so an operator-stated prior is not erased by one unrepresentative unit.
+  double seed_rate_ms_ = 0.0;
+  std::map<int, double> worker_rate_ms_;
 };
 
 // The straggler deadline for a lease whose largest unmerged unit is predicted to
@@ -269,6 +289,14 @@ class LeaseCostModel {
 // fix for the flat deadline misfiring on long units with heartbeats disabled.
 int EffectiveLeaseDeadlineMs(int flat_deadline_ms, double cost_factor,
                              double predicted_max_unit_ms);
+
+// Pull-lease sizing predicate: keep taking units while the lease is empty, under the
+// cold-start cap (rate unknown), or — rate known — predicted to finish inside the
+// target.  The max-units clamp binds in every branch: a plan whose units have
+// SweepUnitCost == 0 predicts 0 ms forever and must not swallow an unbounded plan
+// prefix.  Pure; exposed for unit tests.
+bool PullLeaseWantsMore(int units_taken, int max_units, int cold_cap, bool rate_known,
+                        double predicted_ms, int target_ms);
 
 // Grant policy: pull (cost-fed small leases + stealing) or static (the PR 4
 // baseline: whole LPT shards granted once, no stealing, no cost sizing).
@@ -293,6 +321,28 @@ struct DispatchOptions {
   double initial_cost_rate_ms = 0.0;
   // Steal leases for idle workers when nothing is pending (pull mode only).
   bool enable_steal = true;
+  // Lease-grant pipelining (pull mode only): while a worker drains lease N, the
+  // dispatcher sends lease N+1 (one outstanding prefetch per worker), so the worker
+  // promotes the prefetched lease the instant N finishes instead of paying a
+  // request/grant round trip — on an ssh-style transport that round trip is pure
+  // idle time.  Revocation-aware: a steal or straggler revoke cancels the
+  // undelivered prefetch first (those units are pure inventory — nothing is running
+  // them), then the active lease.
+  bool pipeline_leases = false;
+
+  // Checkpoint/resume of the merge accumulator.  When `checkpoint_path` is set, the
+  // dispatcher serializes every recorded result there (SerializeSweepCheckpoint,
+  // atomic rename) after every `checkpoint_every` newly merged results and again on
+  // completion, so a dispatcher crash costs at most `checkpoint_every` units of
+  // re-execution.  Resume = load the checkpoint into `preseeded_results` (the tool
+  // does this; fingerprint-mismatched or corrupt files are loud errors) — the
+  // preseed path already merges them first and never re-leases their ids.
+  std::string checkpoint_path;
+  int checkpoint_every = 16;
+  // Test/e2e hook: after this many *newly recorded* fresh-worker results the
+  // dispatch returns an error immediately — no final checkpoint, no accumulator
+  // drain — simulating a dispatcher killed mid-sweep.  -1 disables.
+  int crash_after_results = -1;
 
   // A worker with outstanding units that produces no line for its *effective*
   // deadline is declared a straggler: its lease is revoked and the unfinished units
@@ -335,15 +385,28 @@ struct DispatchStats {
   int failed_launches = 0;    // Launch calls that returned an error
   int worker_failures = 0;    // channels that closed before finishing a lease
   int stragglers = 0;         // deadline expiries that triggered a revoke + requeue
-  int leases_granted = 0;     // lease-grant messages sent
+  int leases_granted = 0;     // lease-grant messages sent (prefetches included)
+  int leases_pipelined = 0;   // of those, prefetches sent while a lease was draining
   int retry_assignments = 0;  // leases containing at least one requeued unit
   int lease_revocations = 0;  // lease-revoke messages sent (steals + stragglers)
   int units_stolen = 0;       // unmerged units requeued by steals specifically
   int results_received = 0;   // result lines parsed (duplicates included)
   int duplicate_results = 0;  // redeliveries discarded by first-wins
   int preseeded = 0;          // results accepted from preseeded_results
+  int checkpoints_written = 0;  // periodic + final checkpoint files written
   double elapsed_ms = 0.0;    // wall time of the DispatchSweep call
-  double cost_rate_ms = 0.0;  // final cost-model rate (0 if never seeded)
+  // Final fleet cost-model rate.  A never-seeded model reports NaN — not 0.0, which
+  // is indistinguishable from a genuinely ~0 observed rate; check cost_model_seeded
+  // before formatting (serde::FormatDouble aborts on NaN by design).
+  double cost_rate_ms = std::numeric_limits<double>::quiet_NaN();
+  bool cost_model_seeded = false;
+  // Per-worker observed rates (launch index -> ms per cost point), workers with at
+  // least one observation only.
+  std::map<int, double> worker_cost_rates;
+  // Total grant-wait idle time reported by workers (the gap between a worker's
+  // lease-request and the grant reaching it, summed fleet-wide) — the metric lease
+  // pipelining exists to shrink.
+  double worker_idle_ms = 0.0;
 };
 
 // Captures the warm-start payload for a plan: for every (task, platform, seed) its

@@ -236,8 +236,13 @@ std::string SerializeLeaseRequest() {
   return RecordWriter("lease-request").Field("v", kProtocolVersion).line();
 }
 
-std::string SerializeHeartbeat(int seq, int done) {
-  return RecordWriter("heartbeat").Field("seq", seq).Field("done", done).line();
+std::string SerializeHeartbeat(int seq, int done, double idle_ms) {
+  RecordWriter w("heartbeat");
+  w.Field("seq", seq).Field("done", done);
+  if (std::isfinite(idle_ms) && idle_ms >= 0.0) {
+    w.Field("idle", idle_ms);
+  }
+  return w.line();
 }
 
 std::string SerializeWorkerResult(int seq, const SweepUnitResult& result,
@@ -293,6 +298,12 @@ serde::Status ParseWorkerMessage(std::string_view line, WorkerMessage* out) {
     s = reader.Get("seq", &out->seq);
     if (s) {
       s = reader.Get("done", &out->done);
+    }
+    if (s && reader.Has("idle")) {
+      s = reader.Get("idle", &out->idle_ms);
+      if (s && out->idle_ms < 0.0) {
+        s = serde::Error("negative idle time");
+      }
     }
     if (s && out->done < 0) {
       s = serde::Error("negative done count");

@@ -15,8 +15,11 @@
 //                                <profile-snapshot block, ending with `end`> )
 //                          ids values=I,I,...        (repeated; N ids total)
 //                          lease-end seq=S
-//   worker -> dispatcher   heartbeat seq=S done=K    (periodic liveness while
-//                                                     executing; K units finished)
+//   worker -> dispatcher   heartbeat seq=S done=K [idle=MS]  (periodic liveness
+//                                                     while executing; K units
+//                                                     finished.  idle= rides only a
+//                                                     lease's first beat: the ms the
+//                                                     worker waited for this grant)
 //                          result seq=S unit=U skipped=B usable=B [metric=X] ms=T
 //                          ...                       (streamed as units finish; ms
 //                                                     is the unit's observed wall
@@ -34,7 +37,11 @@
 // delivered count D < N, and requests again.  Results that raced the revocation are
 // fine: the dispatcher's merge is first-wins on identical duplicates, so a revoked
 // unit finishing on both its old and new owner costs duplicate work, never
-// correctness.  A revoke for any other seq is stale and ignored.
+// correctness.  A revoke for a lease the worker has not *started* yet — a prefetch
+// sent under lease pipelining — is recorded, and that grant is closed unexecuted
+// (lease-done done=0) when it is reached in the input stream; grants always precede
+// their revokes on the wire, so a recorded revoke cannot orphan.  A revoke for any
+// other seq is stale and ignored.
 //
 // Design rules: every record is one line, so a killed worker can never corrupt more
 // than its final line (which the dispatcher discards); the spec and the profile
@@ -106,6 +113,10 @@ struct WorkerMessage {
   int num_units = 0;              // lease-done (units granted)
   uint64_t plan_fingerprint = 0;  // lease-done
   std::string reason;             // error (whitespace-free token)
+  double idle_ms = -1.0;          // heartbeat: ms the worker sat idle between its
+                                  // lease-request and this lease's grant arriving
+                                  // (optional `idle=` field; -1 when absent — only
+                                  // the first heartbeat of a lease carries it)
 };
 
 // --- dispatcher -> worker ----------------------------------------------------------
@@ -140,7 +151,9 @@ inline constexpr std::string_view kShutdownLine = "shutdown";
 
 std::string SerializeWorkerHello();
 std::string SerializeLeaseRequest();
-std::string SerializeHeartbeat(int seq, int done);
+// `idle_ms` >= 0 adds the optional `idle=` field (the grant-wait time the worker
+// observed); negative omits it.  Non-finite values are treated as absent.
+std::string SerializeHeartbeat(int seq, int done, double idle_ms = -1.0);
 // `unit_ms` must be finite and non-negative (clamped to 0 otherwise).
 std::string SerializeWorkerResult(int seq, const SweepUnitResult& result,
                                   double unit_ms);

@@ -399,6 +399,80 @@ serde::Status ParseShardResults(std::string_view text, ShardResults* out) {
   return serde::Ok();
 }
 
+std::string SerializeSweepCheckpoint(const SweepCheckpoint& checkpoint) {
+  std::string text;
+  text += RecordWriter("sweep-checkpoint")
+              .Field("v", kFormatVersion)
+              .Field("plan", checkpoint.plan_fingerprint)
+              .Field("units", static_cast<int>(checkpoint.results.size()))
+              .line();
+  text += '\n';
+  for (const SweepUnitResult& result : checkpoint.results) {
+    text += SerializeSweepUnitResult(result);
+    text += '\n';
+  }
+  text += "end\n";
+  return text;
+}
+
+serde::Status ParseSweepCheckpoint(std::string_view text, SweepCheckpoint* out) {
+  *out = SweepCheckpoint{};
+  const std::vector<std::string_view> lines = serde::DataLines(text);
+  if (lines.empty()) {
+    return serde::Error("empty checkpoint file");
+  }
+  RecordReader reader;
+  Status s = RecordReader::Parse(lines[0], &reader);
+  if (s) {
+    s = reader.ExpectTag("sweep-checkpoint");
+  }
+  if (s) {
+    s = CheckVersion(reader);
+  }
+  int declared_units = 0;
+  if (s) {
+    s = reader.Get("plan", &out->plan_fingerprint);
+  }
+  if (s) {
+    s = reader.Get("units", &declared_units);
+  }
+  if (s && declared_units < 0) {
+    s = serde::Error("negative unit count");
+  }
+  if (s) {
+    s = reader.ExpectAllConsumed();
+  }
+  if (!s) {
+    return serde::Wrap("checkpoint header", s);
+  }
+
+  bool saw_end = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (saw_end) {
+      return serde::Error("content after 'end'");
+    }
+    if (lines[i] == "end") {
+      saw_end = true;
+      continue;
+    }
+    SweepUnitResult result;
+    s = ParseSweepUnitResult(lines[i], &result);
+    if (!s) {
+      return serde::Wrap("checkpoint line " + std::to_string(i + 1), s);
+    }
+    out->results.push_back(result);
+  }
+  if (!saw_end) {
+    return serde::Error("checkpoint missing 'end' (truncated file?)");
+  }
+  if (static_cast<int>(out->results.size()) != declared_units) {
+    return serde::Error("checkpoint header declares " + std::to_string(declared_units) +
+                        " units but file carries " +
+                        std::to_string(out->results.size()));
+  }
+  return serde::Ok();
+}
+
 std::string SerializeProfileSnapshot(const ProfileSnapshot& snapshot) {
   std::string text;
   text += RecordWriter("profile-snapshot")

@@ -66,6 +66,24 @@ struct ShardResults {
 std::string SerializeShardResults(const ShardResults& shard);
 serde::Status ParseShardResults(std::string_view text, ShardResults* out);
 
+// A dispatcher checkpoint: the merge accumulator's recorded unit results at some
+// point mid-sweep, fingerprint-guarded so a checkpoint from a different plan is
+// rejected at resume time instead of silently poisoning the merge.  Written via
+// serde::WriteFileAtomic, so a dispatcher killed mid-write leaves either the old
+// complete checkpoint or the new one — never a torn file.
+struct SweepCheckpoint {
+  uint64_t plan_fingerprint = 0;
+  std::vector<SweepUnitResult> results;
+
+  friend bool operator==(const SweepCheckpoint&, const SweepCheckpoint&) = default;
+};
+
+std::string SerializeSweepCheckpoint(const SweepCheckpoint& checkpoint);
+// Strict: truncation (missing 'end'), trailing content, and a declared-count
+// mismatch are loud errors — a corrupt checkpoint must never silently degrade
+// into an empty resume.
+serde::Status ParseSweepCheckpoint(std::string_view text, SweepCheckpoint* out);
+
 std::string SerializeProfileSnapshot(const ProfileSnapshot& snapshot);
 serde::Status ParseProfileSnapshot(std::string_view text, ProfileSnapshot* out);
 

@@ -232,6 +232,17 @@ std::vector<int> SweepMergeAccumulator::MissingUnitIds() const {
   return missing;
 }
 
+std::vector<SweepUnitResult> SweepMergeAccumulator::RecordedResults() const {
+  std::vector<SweepUnitResult> out;
+  out.reserve(num_recorded_);
+  for (size_t id = 0; id < recorded_.size(); ++id) {
+    if (recorded_[id]) {
+      out.push_back(results_[id]);
+    }
+  }
+  return out;
+}
+
 serde::Status SweepMergeAccumulator::Finalize(std::vector<CellResult>* out) const {
   out->clear();
   if (!complete()) {

@@ -100,6 +100,8 @@ class SweepMergeAccumulator {
   bool IsRecorded(int unit_id) const;
   // Plan ids still missing, ascending.  Empty iff complete().
   std::vector<int> MissingUnitIds() const;
+  // Every recorded result, ascending by unit id — the checkpoint payload.
+  std::vector<SweepUnitResult> RecordedResults() const;
 
   // Folds the recorded results into one CellResult per (cell, seed), ordered
   // cells-major as the plan enumerates them — arithmetic identical to the historical

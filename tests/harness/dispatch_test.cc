@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <climits>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <random>
 #include <set>
@@ -300,32 +301,86 @@ TEST_F(DispatchTest, RandomizedKillSchedulesAlwaysMergeByteIdentically) {
 TEST(LeaseCostModelTest, LearnsAnEwmaRateAndIgnoresGarbageObservations) {
   LeaseCostModel model;
   EXPECT_FALSE(model.seeded());
-  EXPECT_EQ(model.PredictMs(10.0), 0.0);
+  EXPECT_EQ(model.PredictMs(0, 10.0), 0.0);
 
-  model.Observe(2.0, 10.0);  // 5 ms per cost point; first sample adopted whole
+  model.Observe(0, 2.0, 10.0);  // 5 ms per cost point; first sample adopted whole
   EXPECT_TRUE(model.seeded());
   EXPECT_DOUBLE_EQ(model.rate_ms(), 5.0);
-  EXPECT_DOUBLE_EQ(model.PredictMs(4.0), 20.0);
+  EXPECT_DOUBLE_EQ(model.PredictMs(0, 4.0), 20.0);
 
-  model.Observe(1.0, 10.0);  // a 10 ms/point sample, blended at alpha 0.3
+  model.Observe(0, 1.0, 10.0);  // a 10 ms/point sample, blended at alpha 0.3
   EXPECT_NEAR(model.rate_ms(), 0.7 * 5.0 + 0.3 * 10.0, 1e-12);
+  EXPECT_NEAR(model.RateFor(0), 0.7 * 5.0 + 0.3 * 10.0, 1e-12);
 
   const double before = model.rate_ms();
-  model.Observe(0.0, 10.0);                                      // zero cost
-  model.Observe(-1.0, 10.0);                                     // negative cost
-  model.Observe(2.0, 0.0);                                       // zero ms
-  model.Observe(2.0, std::numeric_limits<double>::quiet_NaN());  // NaN ms
-  model.Observe(std::numeric_limits<double>::infinity(), 5.0);   // infinite cost
+  model.Observe(0, 0.0, 10.0);                                      // zero cost
+  model.Observe(0, -1.0, 10.0);                                     // negative cost
+  model.Observe(0, 2.0, 0.0);                                       // zero ms
+  model.Observe(0, 2.0, std::numeric_limits<double>::quiet_NaN());  // NaN ms
+  model.Observe(0, std::numeric_limits<double>::infinity(), 5.0);   // infinite cost
   EXPECT_DOUBLE_EQ(model.rate_ms(), before);
-  EXPECT_EQ(model.PredictMs(-3.0), 0.0);  // nonsense cost predicts nothing
+  EXPECT_EQ(model.PredictMs(0, -3.0), 0.0);  // nonsense cost predicts nothing
+  EXPECT_TRUE(model.worker_rates().count(0));
+  EXPECT_FALSE(model.worker_rates().count(7));  // garbage never seeded a worker
 }
 
 TEST(LeaseCostModelTest, SeededModelPredictsBeforeAnyObservation) {
   const LeaseCostModel model(3.0);
   EXPECT_TRUE(model.seeded());
-  EXPECT_DOUBLE_EQ(model.PredictMs(2.0), 6.0);
+  EXPECT_DOUBLE_EQ(model.PredictMs(0, 2.0), 6.0);
   const LeaseCostModel unseedable(-1.0);  // garbage seed = start unknown
   EXPECT_FALSE(unseedable.seeded());
+}
+
+TEST(LeaseCostModelTest, PerWorkerRatesDivergeAndColdWorkersUseTheFleetPrior) {
+  LeaseCostModel model;
+  // Worker 0 is fast (2 ms/point), worker 1 an order of magnitude slower.
+  model.Observe(0, 1.0, 2.0);
+  model.Observe(1, 1.0, 20.0);
+  EXPECT_TRUE(model.worker_seeded(0));
+  EXPECT_TRUE(model.worker_seeded(1));
+  EXPECT_DOUBLE_EQ(model.RateFor(0), 2.0);
+  EXPECT_DOUBLE_EQ(model.RateFor(1), 20.0);
+  EXPECT_DOUBLE_EQ(model.PredictMs(0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(model.PredictMs(1, 3.0), 60.0);
+
+  // A cold worker (no observations yet) predicts at the fleet prior — which has
+  // blended both machines, so it sits strictly between them.
+  EXPECT_FALSE(model.worker_seeded(2));
+  const double fleet = model.RateFor(2);
+  EXPECT_DOUBLE_EQ(fleet, model.rate_ms());
+  EXPECT_GT(fleet, model.RateFor(0));
+  EXPECT_LT(fleet, model.RateFor(1));
+
+  // One worker's samples never contaminate another's learned rate.
+  model.Observe(0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(model.RateFor(1), 20.0);
+}
+
+TEST(PullLeaseWantsMoreTest, MaxUnitsClampBindsEvenWhenPredictionsStayZero) {
+  // The satellite-2 regression: units with SweepUnitCost == 0 predict 0 ms at any
+  // rate, so the "predicted time < target" branch alone would swallow an unbounded
+  // plan prefix.  The clamp must bind in every branch.
+  constexpr int kMax = 64;
+  constexpr int kColdCap = 2;
+  // Zero-cost units with a known rate: predicted_ms stays 0 forever, yet the lease
+  // must stop at exactly the cap.
+  for (int taken = 0; taken < kMax; ++taken) {
+    EXPECT_TRUE(PullLeaseWantsMore(taken, kMax, kColdCap, /*rate_known=*/true,
+                                   /*predicted_ms=*/0.0, /*target_ms=*/1000))
+        << "taken=" << taken;
+  }
+  EXPECT_FALSE(PullLeaseWantsMore(kMax, kMax, kColdCap, true, 0.0, 1000));
+  EXPECT_FALSE(PullLeaseWantsMore(kMax + 1, kMax, kColdCap, true, 0.0, 1000));
+  // Cold start: the cold cap binds, and the max-units clamp still dominates it.
+  EXPECT_TRUE(PullLeaseWantsMore(1, kMax, kColdCap, false, 0.0, 1000));
+  EXPECT_FALSE(PullLeaseWantsMore(kColdCap, kMax, kColdCap, false, 0.0, 1000));
+  EXPECT_FALSE(PullLeaseWantsMore(5, 5, /*cold_cap=*/100, false, 0.0, 1000));
+  // An empty lease always takes its first unit, even one predicted over target.
+  EXPECT_TRUE(PullLeaseWantsMore(0, kMax, kColdCap, true, 5000.0, 1000));
+  // Known rate: stop once the prediction crosses the target.
+  EXPECT_TRUE(PullLeaseWantsMore(3, kMax, kColdCap, true, 999.0, 1000));
+  EXPECT_FALSE(PullLeaseWantsMore(3, kMax, kColdCap, true, 1000.0, 1000));
 }
 
 TEST(EffectiveLeaseDeadlineTest, StretchesForLongUnitsAndFallsBackToFlat) {
@@ -366,12 +421,63 @@ TEST_F(DispatchTest, PullLeasesBeatStaticShardsOnASkewedFleet) {
   run(LeaseMode::kPull, &pull);
   run(LeaseMode::kStatic, &lpt);
   // Static: the slow worker sleeps through ~half the plan's cost (>= 8 units x
-  // 80 ms).  Pull: it only ever holds its small warm-up lease(s).
-  EXPECT_LT(pull.elapsed_ms, 0.75 * lpt.elapsed_ms)
+  // 80 ms).  Pull: it only ever holds its small warm-up lease(s).  The margin was
+  // 0.75 when lease sizing used one fleet-wide rate; per-worker rates keep the slow
+  // machine's leases proportionally smaller, so the bound tightens.
+  EXPECT_LT(pull.elapsed_ms, 0.65 * lpt.elapsed_ms)
       << "pull pool did not beat static LPT on a skewed fleet";
   EXPECT_GT(pull.leases_granted, lpt.leases_granted);
   EXPECT_EQ(pull.worker_failures, 0);
   EXPECT_EQ(lpt.worker_failures, 0);
+}
+
+TEST_F(DispatchTest, PerWorkerRatesTrackEachMachineOnAHeterogeneousFleet) {
+  // Two machines an order of magnitude apart: the final stats must carry a learned
+  // rate per machine, and the slow machine's rate must actually be much larger —
+  // a single fleet-wide EWMA would report one blended number and the straggler
+  // deadline / steal valuation would mis-predict both workers.
+  InProcessTransport::Options in_options;
+  in_options.delay_per_result = {{0, 90}, {1, 15}};
+  InProcessTransport transport(in_options);
+  DispatchOptions options;
+  options.num_workers = 2;
+  options.target_lease_ms = 120;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_TRUE(stats.cost_model_seeded);
+  EXPECT_TRUE(std::isfinite(stats.cost_rate_ms));
+  ASSERT_TRUE(stats.worker_cost_rates.count(0));
+  ASSERT_TRUE(stats.worker_cost_rates.count(1));
+  // 90 ms vs 15 ms of injected floor per unit: the learned rates must diverge by
+  // well over the EWMA's smoothing slack.
+  EXPECT_GT(stats.worker_cost_rates.at(0), 2.0 * stats.worker_cost_rates.at(1))
+      << "per-worker rates did not separate a slow machine from a fast one";
+  // The fleet prior blends both, so it sits between them.
+  EXPECT_GT(stats.cost_rate_ms, stats.worker_cost_rates.at(1));
+  EXPECT_LT(stats.cost_rate_ms, stats.worker_cost_rates.at(0));
+}
+
+TEST_F(DispatchTest, UnseededCostModelReportsNaNSentinelNotZero) {
+  // The satellite-1 regression: a fully-preseeded dispatch (every unit merged
+  // before any worker launches — the cache-hit-everything rerun) never feeds the
+  // cost model, so the old `cost_rate_ms = 0.0` report was indistinguishable from a
+  // genuinely instant fleet.  The sentinel is NaN plus an explicit flag.
+  InProcessTransport transport;
+  DispatchOptions options;
+  options.num_workers = 2;
+  options.preseeded_results = RunSweepUnits(*plan_, plan_->units);
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_EQ(stats.workers_launched, 0);
+  EXPECT_FALSE(stats.cost_model_seeded);
+  EXPECT_TRUE(std::isnan(stats.cost_rate_ms));
+  EXPECT_TRUE(stats.worker_cost_rates.empty());
 }
 
 TEST_F(DispatchTest, IdleWorkerStealsFromAnOverloadedPeer) {
@@ -483,6 +589,225 @@ TEST_F(DispatchTest, RandomizedScheduleMatrixMergesByteIdenticallyForAllK) {
                         << s.message;
       EXPECT_EQ(csv, *monolithic_csv_) << "workers=" << workers << " seed=" << seed;
     }
+  }
+}
+
+// --- lease pipelining ---------------------------------------------------------------
+
+TEST_F(DispatchTest, PipelinedLeasesMergeByteIdenticallyAndActuallyPipeline) {
+  // Small leases force many grants, so a draining lease nearly always has a
+  // prefetch in flight.  Identical bytes, and the stats prove the mechanism ran.
+  InProcessTransport transport;
+  DispatchOptions options;
+  options.num_workers = 2;
+  options.pipeline_leases = true;
+  options.max_lease_units = 2;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_GE(stats.leases_pipelined, 1) << "pipelining was enabled but never used";
+  EXPECT_LE(stats.leases_pipelined, stats.leases_granted);
+}
+
+TEST_F(DispatchTest, PipeliningSurvivesKillsStealsAndRevocations) {
+  // The revocation-aware part of the tentpole: a prefetch granted to a worker that
+  // then dies, hangs, or gets stolen from must be requeued like any other lease —
+  // and a revoked prefetch must never execute.  Same randomized matrix as the
+  // equivalence suite, pipelining on.
+  for (const int workers : {2, 4}) {
+    for (const uint32_t seed : {21u, 22u, 23u}) {
+      std::mt19937 rng(1000u * static_cast<uint32_t>(workers) + seed);
+      InProcessTransport::Options in_options;
+      in_options.heartbeat_interval_ms = 50;
+      for (int w = 0; w < workers; ++w) {
+        switch (rng() % 4) {
+          case 0:
+            in_options.fail_after[w] = 1 + static_cast<int>(rng() % 4);
+            break;
+          case 1:
+            in_options.hang_after[w] = static_cast<int>(rng() % 3);
+            break;
+          case 2:
+            in_options.delay_per_result[w] = 30 + static_cast<int>(rng() % 3) * 30;
+            break;
+          default:
+            break;
+        }
+        if (rng() % 2 == 0) {
+          in_options.duplicate_results.insert(w);
+        }
+      }
+      InProcessTransport transport(in_options);
+      DispatchOptions options;
+      options.num_workers = workers;
+      options.pipeline_leases = true;
+      options.target_lease_ms = 25;
+      options.straggler_deadline_ms = 250;
+      options.max_worker_launches = 64;
+      std::string csv;
+      DispatchStats stats;
+      const serde::Status s = Dispatch(transport, options, &csv, &stats);
+      ASSERT_TRUE(s.ok) << "workers=" << workers << " seed=" << seed << ": "
+                        << s.message;
+      EXPECT_EQ(csv, *monolithic_csv_) << "workers=" << workers << " seed=" << seed;
+    }
+  }
+}
+
+// --- checkpointed merge accumulator ------------------------------------------------
+
+TEST_F(DispatchTest, CompletedDispatchWritesAFinalCheckpointCoveringEveryUnit) {
+  const std::string path = ::testing::TempDir() + "/dispatch_final.ckpt";
+  std::remove(path.c_str());
+  InProcessTransport transport;
+  DispatchOptions options;
+  options.num_workers = 2;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 4;
+  std::string csv;
+  DispatchStats stats;
+  const serde::Status s = Dispatch(transport, options, &csv, &stats);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_GE(stats.checkpoints_written, 1);
+
+  std::string text;
+  ASSERT_TRUE(serde::ReadFile(path, &text).ok);
+  SweepCheckpoint checkpoint;
+  ASSERT_TRUE(ParseSweepCheckpoint(text, &checkpoint).ok);
+  EXPECT_EQ(checkpoint.plan_fingerprint, PlanFingerprint(*plan_));
+  EXPECT_EQ(checkpoint.results.size(), plan_->units.size());
+  // The checkpoint alone must reconstruct the monolithic bytes.
+  SweepMergeAccumulator accumulator(*plan_);
+  for (const SweepUnitResult& result : checkpoint.results) {
+    bool newly = false;
+    ASSERT_TRUE(accumulator.Add(result, &newly).ok);
+  }
+  std::vector<CellResult> cells;
+  ASSERT_TRUE(accumulator.Finalize(&cells).ok);
+  EXPECT_EQ(SweepAggregateCsv(*plan_, cells), *monolithic_csv_);
+}
+
+TEST_F(DispatchTest, KilledDispatcherResumesFromCheckpointByteIdentically) {
+  // The tentpole's crash-resume claim, in-library: kill the dispatcher (injected
+  // crash) at randomized points, resume from whatever checkpoint survived, repeat
+  // until a run completes — the final CSV must be the monolithic bytes, and
+  // completed units must never be re-leased across the whole crash chain.
+  for (const int workers : {2, 4, 8}) {
+    for (const uint32_t seed : {5u, 9u}) {
+      std::mt19937 rng(100u * static_cast<uint32_t>(workers) + seed);
+      const std::string path = ::testing::TempDir() + "/dispatch_resume_" +
+                               std::to_string(workers) + "_" + std::to_string(seed) +
+                               ".ckpt";
+      std::remove(path.c_str());
+      std::string csv;
+      DispatchStats stats;
+      int crashes = 0;
+      for (int attempt = 0;; ++attempt) {
+        ASSERT_LT(attempt, 32) << "crash/resume chain did not converge";
+        DispatchOptions options;
+        options.num_workers = workers;
+        options.checkpoint_path = path;
+        options.checkpoint_every = 1 + static_cast<int>(rng() % 3);
+        // Preseed from the surviving checkpoint, exactly like the tool does.
+        std::string text;
+        if (serde::ReadFile(path, &text).ok) {
+          SweepCheckpoint checkpoint;
+          ASSERT_TRUE(ParseSweepCheckpoint(text, &checkpoint).ok);
+          ASSERT_EQ(checkpoint.plan_fingerprint, PlanFingerprint(*plan_));
+          options.preseeded_results = checkpoint.results;
+        }
+        const size_t already = options.preseeded_results.size();
+        // Crash a few results into the run, until the plan is nearly done; then
+        // let one run finish.
+        if (already + 6 < plan_->units.size()) {
+          options.crash_after_results = 2 + static_cast<int>(rng() % 5);
+        }
+        InProcessTransport transport;
+        const serde::Status s = Dispatch(transport, options, &csv, &stats);
+        if (s.ok) {
+          break;
+        }
+        ASSERT_NE(s.message.find("injected dispatcher crash"), std::string::npos)
+            << s.message;
+        ++crashes;
+      }
+      EXPECT_GE(crashes, 1) << "the schedule never actually crashed a dispatcher";
+      EXPECT_EQ(csv, *monolithic_csv_)
+          << "workers=" << workers << " seed=" << seed << " crashes=" << crashes;
+      EXPECT_GT(stats.preseeded, 0);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST_F(DispatchTest, CheckpointsCoexistWithFailuresStealsAndPipelining) {
+  // Checkpoint writes interleave with worker kills, revocations, and prefetches;
+  // the resumed run must still converge to the monolithic bytes.
+  const std::string path = ::testing::TempDir() + "/dispatch_chaos.ckpt";
+  std::remove(path.c_str());
+  const auto run = [&](bool crash, std::string* csv, DispatchStats* stats) {
+    InProcessTransport::Options in_options;
+    in_options.fail_after = {{0, 2}};
+    in_options.delay_per_result = {{1, 40}};
+    in_options.duplicate_results = {2};
+    InProcessTransport transport(in_options);
+    DispatchOptions options;
+    options.num_workers = 3;
+    options.pipeline_leases = true;
+    options.target_lease_ms = 25;
+    options.straggler_deadline_ms = 250;
+    options.max_worker_launches = 32;
+    options.checkpoint_path = path;
+    options.checkpoint_every = 2;
+    if (crash) {
+      options.crash_after_results = 6;
+    }
+    std::string text;
+    if (serde::ReadFile(path, &text).ok) {
+      SweepCheckpoint checkpoint;
+      ASSERT_TRUE(ParseSweepCheckpoint(text, &checkpoint).ok);
+      options.preseeded_results = checkpoint.results;
+    }
+    const serde::Status s = Dispatch(transport, options, csv, stats);
+    EXPECT_EQ(s.ok, !crash) << s.message;
+  };
+  std::string csv;
+  DispatchStats stats;
+  run(/*crash=*/true, &csv, &stats);
+  run(/*crash=*/false, &csv, &stats);
+  EXPECT_EQ(csv, *monolithic_csv_);
+  EXPECT_GT(stats.preseeded, 0);
+  std::remove(path.c_str());
+}
+
+// --- heartbeat shutdown ordering (satellite 3) --------------------------------------
+
+TEST_F(DispatchTest, RapidHeartbeatsNeverOutliveTheirLeaseUnderRevocationChurn) {
+  // A 1 ms heartbeat against revocation churn (steals via a skewed fleet + a
+  // mid-lease death): if the heartbeat thread could still write after its lease
+  // closed — the pre-RAII bug when an error unwound past the manual stop — the
+  // TSan lane flags the channel race and byte-identity breaks under the torn
+  // writes.  Run it a few times; the interleaving is the test.
+  for (int round = 0; round < 3; ++round) {
+    InProcessTransport::Options in_options;
+    in_options.heartbeat_interval_ms = 1;
+    in_options.delay_per_result = {{0, 60}};
+    in_options.fail_after = {{1, 3}};
+    InProcessTransport transport(in_options);
+    DispatchOptions options;
+    options.num_workers = 3;
+    options.target_lease_ms = 25;
+    options.straggler_deadline_ms = 400;
+    options.pipeline_leases = (round % 2 == 1);
+    options.max_worker_launches = 32;
+    std::string csv;
+    DispatchStats stats;
+    const serde::Status s = Dispatch(transport, options, &csv, &stats);
+    ASSERT_TRUE(s.ok) << "round=" << round << ": " << s.message;
+    EXPECT_EQ(csv, *monolithic_csv_) << "round=" << round;
   }
 }
 

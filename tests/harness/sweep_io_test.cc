@@ -200,6 +200,78 @@ TEST(ShardResultsSerdeTest, MalformedFilesAreStatusErrors) {
   EXPECT_FALSE(ParseShardResults(good + "result unit=1 skipped=0 usable=0\n", &out).ok);
 }
 
+TEST(SweepCheckpointSerdeTest, RoundTripIsIdentity) {
+  SweepCheckpoint checkpoint;
+  checkpoint.plan_fingerprint = 13678292389700777394ull;
+  SweepUnitResult r;
+  r.unit_id = 0;
+  r.usable = true;
+  r.metric = 0.83769326123830135;
+  checkpoint.results.push_back(r);
+  r = SweepUnitResult{};
+  r.unit_id = 7;
+  r.skipped = true;
+  checkpoint.results.push_back(r);
+  r = SweepUnitResult{};
+  r.unit_id = 3;  // out of id order on purpose: checkpoints record merge order
+  checkpoint.results.push_back(r);
+
+  const std::string text = SerializeSweepCheckpoint(checkpoint);
+  SweepCheckpoint parsed;
+  const serde::Status s = ParseSweepCheckpoint(text, &parsed);
+  ASSERT_TRUE(s.ok) << s.message;
+  EXPECT_EQ(parsed, checkpoint);
+  EXPECT_EQ(SerializeSweepCheckpoint(parsed), text);  // byte-stable
+}
+
+TEST(SweepCheckpointSerdeTest, EmptyCheckpointRoundTrips) {
+  // A dispatch checkpointed before any result merged: legal, resumes to nothing.
+  SweepCheckpoint checkpoint;
+  checkpoint.plan_fingerprint = 1;
+  SweepCheckpoint parsed;
+  ASSERT_TRUE(
+      ParseSweepCheckpoint(SerializeSweepCheckpoint(checkpoint), &parsed).ok);
+  EXPECT_EQ(parsed, checkpoint);
+}
+
+TEST(SweepCheckpointSerdeTest, CorruptAndTruncatedFilesAreStatusErrors) {
+  // Resume must never silently restart from zero: every corruption shape a killed
+  // box can leave behind (or an operator can cause) is a loud parse error.
+  SweepCheckpoint checkpoint;
+  checkpoint.plan_fingerprint = 42;
+  checkpoint.results.push_back(SweepUnitResult{.unit_id = 0});
+  checkpoint.results.push_back(SweepUnitResult{.unit_id = 1});
+  const std::string good = SerializeSweepCheckpoint(checkpoint);
+
+  SweepCheckpoint out;
+  EXPECT_FALSE(ParseSweepCheckpoint("", &out).ok) << "empty file";
+  // Truncated mid-write: no 'end' marker.
+  const serde::Status truncated =
+      ParseSweepCheckpoint(good.substr(0, good.size() - 4), &out);
+  EXPECT_FALSE(truncated.ok);
+  EXPECT_NE(truncated.message.find("truncated"), std::string::npos);
+  // Truncated harder: a result line lost too.
+  EXPECT_FALSE(
+      ParseSweepCheckpoint(good.substr(0, good.rfind("result")), &out).ok);
+  // Header count disagrees with the body.
+  std::string wrong_count = good;
+  wrong_count.replace(wrong_count.find("units=2"), 7, "units=3");
+  EXPECT_FALSE(ParseSweepCheckpoint(wrong_count, &out).ok);
+  // Garbage appended after 'end'.
+  EXPECT_FALSE(
+      ParseSweepCheckpoint(good + "result unit=9 skipped=0 usable=0\n", &out).ok);
+  // Wrong version.
+  std::string wrong_version = good;
+  wrong_version.replace(wrong_version.find("v=1"), 3, "v=9");
+  EXPECT_FALSE(ParseSweepCheckpoint(wrong_version, &out).ok);
+  // A corrupted result line (bit-rot inside the body).
+  std::string corrupt = good;
+  corrupt.replace(corrupt.find("unit=1"), 6, "unit=x");
+  EXPECT_FALSE(ParseSweepCheckpoint(corrupt, &out).ok);
+  // Not a checkpoint at all.
+  EXPECT_FALSE(ParseSweepCheckpoint("shard-results v=1\nend\n", &out).ok);
+}
+
 TEST(ProfileSnapshotSerdeTest, RoundTripFromARealConfigSpace) {
   ExperimentOptions options;
   options.num_inputs = 10;

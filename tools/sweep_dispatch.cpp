@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <set>
@@ -63,6 +64,19 @@ namespace {
       "  --initial-cost-rate=R  seed the cost model at R ms per cost point instead\n"
       "                         of learning from the first results (default 0 = learn)\n"
       "  --no-steal             disable lease stealing for idle workers\n"
+      "  --pipeline-leases      pull mode: send each worker its next lease while the\n"
+      "                         current one drains (hides the request/grant round\n"
+      "                         trip on ssh-style transports)\n"
+      "  --checkpoint-dir=DIR   periodically checkpoint merged results to\n"
+      "                         DIR/checkpoint.sweep (atomic rename); on startup an\n"
+      "                         existing checkpoint for this plan is preseeded, so a\n"
+      "                         killed dispatch resumes with only unfinished units.\n"
+      "                         A corrupt or wrong-plan checkpoint is a hard error\n"
+      "  --checkpoint-every=N   checkpoint after every N newly merged results\n"
+      "                         (default 16)\n"
+      "  --stats                print a dispatch-stats record (incl. per-worker\n"
+      "                         ms-per-cost rates and total grant-wait idle time) to\n"
+      "                         stdout after the sweep\n"
       "  --worker-threads=N     threads per worker (default 0 = hardware)\n"
       "  --heartbeat-ms=N       worker heartbeat interval (default 5000; 0 disables\n"
       "                         — then rely on --cost-factor for long units)\n"
@@ -83,6 +97,9 @@ namespace {
       "  --inject-hang=I:N      (testing) worker I goes silent after N results\n"
       "  --inject-dup=I         (testing) worker I sends every result twice\n"
       "  --inject-delay=I:N     (testing) worker I sleeps N ms per unit (slow machine)\n"
+      "  --crash-after=N        (testing) kill the dispatcher after N merged results\n"
+      "                         (exits nonzero; pair with --checkpoint-dir + a rerun\n"
+      "                         to exercise resume)\n"
       "  -v                     log dispatch events to stderr\n",
       argv0);
   std::exit(2);
@@ -154,7 +171,9 @@ int main(int argc, char** argv) {
   std::string worker_cmd;
   bool print = false;
   bool verbose = false;
+  bool show_stats = false;
   int worker_threads = 0;
+  std::string checkpoint_dir;
   std::string cache_dir;
   std::string cache_mode_flag;
   std::string cache_stats_path;
@@ -198,6 +217,16 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--no-steal") == 0) {
       options.enable_steal = false;
+    } else if (std::strcmp(arg, "--pipeline-leases") == 0) {
+      options.pipeline_leases = true;
+    } else if (auto v = ArgValue(arg, "--checkpoint-dir")) {
+      checkpoint_dir = *v;
+    } else if (auto v = ArgValue(arg, "--checkpoint-every")) {
+      options.checkpoint_every = ParseIntOrDie(*v, "--checkpoint-every");
+    } else if (auto v = ArgValue(arg, "--crash-after")) {
+      options.crash_after_results = ParseIntOrDie(*v, "--crash-after");
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      show_stats = true;
     } else if (auto v = ArgValue(arg, "--cost-factor")) {
       const serde::Status s = serde::ParseDouble(*v, &options.straggler_cost_factor);
       if (!s) {
@@ -268,6 +297,34 @@ int main(int argc, char** argv) {
     std::vector<SweepUnit> uncached;
     SweepCachePreseed(plan, plan.units, cache, &options.preseeded_results, &uncached,
                       &cache_stats);
+  }
+
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);  // best-effort; the
+    // first checkpoint write surfaces a real permission problem loudly.
+    options.checkpoint_path = checkpoint_dir + "/checkpoint.sweep";
+    std::string checkpoint_text;
+    if (serde::ReadFile(options.checkpoint_path, &checkpoint_text)) {
+      // A checkpoint exists: it must parse and match this plan, or the operator is
+      // resuming the wrong sweep — refusing beats silently restarting from zero.
+      SweepCheckpoint checkpoint;
+      s = ParseSweepCheckpoint(checkpoint_text, &checkpoint);
+      if (!s) {
+        Fail("checkpoint '" + options.checkpoint_path + "': " + s.message +
+             " (refusing to silently restart; delete the file to start fresh)");
+      }
+      if (checkpoint.plan_fingerprint != PlanFingerprint(plan)) {
+        Fail("checkpoint '" + options.checkpoint_path +
+             "' was written for a different plan (fingerprint mismatch); delete "
+             "the file or point --checkpoint-dir elsewhere");
+      }
+      std::fprintf(stderr, "sweep_dispatch: resuming %zu checkpointed results\n",
+                   checkpoint.results.size());
+      options.preseeded_results.insert(options.preseeded_results.end(),
+                                       checkpoint.results.begin(),
+                                       checkpoint.results.end());
+    }
   }
 
   // Injection flags append worker-protocol testing flags to the matching launch
@@ -414,6 +471,35 @@ int main(int argc, char** argv) {
   }
   if (print) {
     std::fputs(csv.c_str(), stdout);
+  }
+  if (show_stats) {
+    serde::RecordWriter w("dispatch-stats");
+    w.Field("workers", stats.workers_launched)
+        .Field("launches_failed", stats.failed_launches)
+        .Field("leases", stats.leases_granted)
+        .Field("pipelined", stats.leases_pipelined)
+        .Field("revocations", stats.lease_revocations)
+        .Field("stolen", stats.units_stolen)
+        .Field("retries", stats.retry_assignments)
+        .Field("duplicates", stats.duplicate_results)
+        .Field("preseeded", stats.preseeded)
+        .Field("checkpoints", stats.checkpoints_written)
+        .Field("idle_ms", stats.worker_idle_ms)
+        .Field("elapsed_ms", stats.elapsed_ms)
+        .Field("cost_seeded", stats.cost_model_seeded);
+    if (stats.cost_model_seeded) {
+      // cost_rate_ms is a NaN sentinel when unseeded; FormatDouble (correctly)
+      // refuses non-finite values, so the field only exists when it means something.
+      w.Field("cost_rate_ms", stats.cost_rate_ms);
+    }
+    std::printf("%s\n", w.line().c_str());
+    for (const auto& [worker, rate] : stats.worker_cost_rates) {
+      std::printf("%s\n", serde::RecordWriter("worker-rate")
+                              .Field("worker", worker)
+                              .Field("rate_ms", rate)
+                              .line()
+                              .c_str());
+    }
   }
   std::fprintf(stderr,
                "sweep_dispatch: %zu units over %d workers in %d leases "
